@@ -1,0 +1,91 @@
+// Command pipelayer-bench regenerates every table and figure of the paper's
+// evaluation section and prints them in paper order. Use -fig13 to include
+// the (training-heavy) resolution/accuracy study and -quick to shrink it.
+//
+// Usage:
+//
+//	pipelayer-bench            # all analytic tables and figures
+//	pipelayer-bench -fig13     # additionally train the Figure 13 networks
+//	pipelayer-bench -fig13 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipelayer/internal/experiments"
+	"pipelayer/internal/networks"
+)
+
+func main() {
+	fig13 := flag.Bool("fig13", false, "run the Figure 13 resolution/accuracy study (trains five networks)")
+	variation := flag.Bool("variation", false, "run the device-variation extension study (trains two networks)")
+	inputBits := flag.Bool("inputbits", false, "run the input-spike-resolution ablation (trains one network)")
+	quick := flag.Bool("quick", false, "shrink the training studies for a fast run")
+	configPath := flag.String("config", "", "JSON file overriding the evaluation setup (see experiments.SetupOverrides)")
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		setup, err = experiments.SetupFromJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("PipeLayer evaluation reproduction (HPCA 2017)")
+	fmt.Printf("batch=%d images=%d array=%dx%d\n\n", setup.Batch, setup.Images, setup.Array.Rows, setup.Array.Cols)
+
+	fmt.Println(experiments.Table1().Render())
+	fmt.Println(experiments.Table2().Render())
+	fmt.Println(experiments.Table3().Render())
+	fmt.Println(experiments.Table5(setup).Render())
+	fmt.Println(experiments.Figure7(5, setup.Batch).Render())
+	fmt.Println(experiments.Figure15(setup).Render())
+	fmt.Println(experiments.Figure16(setup).Render())
+	fmt.Println(experiments.Figure17(setup).Render())
+	fmt.Println(experiments.Figure18(setup).Render())
+	fmt.Println(experiments.Section66(setup).Render())
+	fmt.Println(experiments.ISAACComparison().Render())
+	fmt.Println(experiments.BatchSweep(networks.AlexNet()).Render())
+	fmt.Println(experiments.CriticalPath(setup, networks.VGG("D"), 1).Render())
+	fmt.Println(experiments.EnergyBreakdown(setup).Render())
+
+	if *fig13 {
+		cfg := experiments.DefaultFigure13Config()
+		if *quick {
+			cfg.TrainSamples, cfg.TestSamples, cfg.Epochs = 300, 150, 3
+		}
+		fmt.Println(experiments.Figure13(cfg).Render())
+	} else {
+		fmt.Println("(Figure 13 skipped; pass -fig13 to train the resolution-study networks)")
+	}
+
+	if *variation {
+		cfg := experiments.DefaultVariationConfig()
+		if *quick {
+			cfg.TrainSamples, cfg.TestSamples, cfg.Epochs = 300, 150, 3
+		}
+		fmt.Println(experiments.VariationStudy(cfg).Render())
+	} else {
+		fmt.Println("(device-variation study skipped; pass -variation to run it)")
+	}
+
+	if *inputBits {
+		cfg := experiments.DefaultInputBitsConfig()
+		if *quick {
+			cfg.TrainSamples, cfg.TestSamples, cfg.Epochs = 300, 150, 2
+		}
+		fmt.Println(experiments.InputBitsStudy(setup, cfg).Render())
+	} else {
+		fmt.Println("(input-resolution ablation skipped; pass -inputbits to run it)")
+	}
+}

@@ -1,0 +1,152 @@
+// Command pipelayer-sim simulates one benchmark network on the PipeLayer
+// architecture and reports cycles, wall-clock time, energy breakdown, area
+// and the speedup/energy-saving versus the GPU baseline.
+//
+// Usage:
+//
+//	pipelayer-sim -net VGG-D -mode train -batch 64 -images 6400 -lambda 1
+//	pipelayer-sim -net Mnist-A -mode test -no-pipeline
+//	pipelayer-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"pipelayer/internal/experiments"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/pipeline"
+	"pipelayer/internal/trace"
+	"pipelayer/internal/workload"
+)
+
+func main() {
+	netName := flag.String("net", "AlexNet", "network name (see -list)")
+	mode := flag.String("mode", "train", "train or test")
+	batch := flag.Int("batch", 64, "batch size B")
+	images := flag.Int("images", 6400, "number of input images N")
+	lambda := flag.Float64("lambda", 1, "parallelism-granularity scale λ (0 ⇒ G=1; -1 ⇒ ∞)")
+	noPipe := flag.Bool("no-pipeline", false, "disable the inter-layer pipeline")
+	list := flag.Bool("list", false, "list available networks")
+	showTrace := flag.Bool("trace", false, "print the Figure 6 schedule gantt for the first pipeline window")
+	topology := flag.String("topology", "", "JSON file describing a custom network (overrides -net)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range networks.EvaluationNetworks() {
+			fmt.Printf("  %-8s L=%2d  weights=%d\n", s.Name, s.WeightedLayers(), s.TotalWeights())
+		}
+		return
+	}
+
+	var spec networks.Spec
+	if *topology != "" {
+		f, err := os.Open(*topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec, err = networks.SpecFromJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		found := false
+		for _, s := range networks.EvaluationNetworks() {
+			if strings.EqualFold(s.Name, *netName) {
+				spec, found = s, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown network %q (use -list)\n", *netName)
+			os.Exit(1)
+		}
+	}
+
+	lam := *lambda
+	if lam < 0 {
+		lam = math.Inf(1)
+	}
+	setup := experiments.DefaultSetup()
+	setup.Batch = *batch
+	setup.Images = *images
+	plans := setup.Model.BalancedPlans(spec.Layers, setup.Array, lam)
+
+	L := spec.WeightedLayers()
+	pipelined := !*noPipe
+	training := *mode == "train"
+
+	fmt.Printf("network   : %s (%d weighted layers, %d weights)\n", spec.Name, L, spec.TotalWeights())
+	fmt.Printf("mapping   : %s, %d logical arrays, %d physical crossbars\n",
+		experiments.LambdaLabel(lam), totalLogical(plans), totalPhysical(plans))
+	fmt.Printf("cycle time: %.3g s\n", setup.Model.CycleTime(plans))
+
+	var cycles int
+	var seconds, gpuSeconds, joules, gpuJoules float64
+	if training {
+		if *images%*batch != 0 {
+			fmt.Fprintf(os.Stderr, "images (%d) must be a multiple of batch (%d)\n", *images, *batch)
+			os.Exit(1)
+		}
+		res := pipeline.Simulate(pipeline.Config{L: L, B: *batch, N: *images, Pipelined: pipelined, Training: true})
+		cycles = res.Cycles
+		seconds = setup.Model.TrainingTime(spec, plans, *images, *batch, pipelined)
+		gpuSeconds = setup.GPU.TrainingTime(spec, *images, *batch)
+		joules = setup.Model.TrainingEnergy(spec, plans, *images, *batch, pipelined).Total()
+		gpuJoules = setup.GPU.TrainingEnergy(spec, *images, *batch)
+	} else {
+		res := pipeline.Simulate(pipeline.Config{L: L, N: *images, Pipelined: pipelined})
+		cycles = res.Cycles
+		seconds = setup.Model.TestingTime(spec, plans, *images, pipelined)
+		gpuSeconds = setup.GPU.TestingTime(spec, *images, *batch)
+		joules = setup.Model.TestingEnergy(spec, plans, *images, pipelined).Total()
+		gpuJoules = setup.GPU.TestingEnergy(spec, *images, *batch)
+	}
+
+	ops := workload.GOPs(workload.NetworkForwardOps(spec)) * float64(*images)
+	if training {
+		ops = workload.GOPs(workload.NetworkTrainingOps(spec)) * float64(*images)
+	}
+
+	fmt.Printf("mode      : %s, pipeline=%v, B=%d, N=%d\n", *mode, pipelined, *batch, *images)
+	fmt.Printf("cycles    : %d logical cycles (event-simulated)\n", cycles)
+	fmt.Printf("time      : %.4g s  (GPU baseline %.4g s → speedup %.2fx)\n", seconds, gpuSeconds, gpuSeconds/seconds)
+	fmt.Printf("energy    : %.4g J  (GPU baseline %.4g J → saving  %.2fx)\n", joules, gpuJoules, gpuJoules/joules)
+	fmt.Printf("area      : %.2f mm² (training configuration)\n", setup.Model.Area(spec, plans, *batch))
+	fmt.Printf("throughput: %.1f images/s, %.1f GOPS\n", float64(*images)/seconds, ops/seconds)
+
+	if *showTrace && training {
+		window := 2*L + min(*batch, 8) + 2
+		fmt.Printf("\nschedule (first %d cycles, Figure 6 style):\n%s", window, trace.Gantt(L, *batch, window))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func totalLogical(plans []mapping.Plan) int {
+	n := 0
+	for _, p := range plans {
+		n += p.LogicalArrays()
+	}
+	return n
+}
+
+func totalPhysical(plans []mapping.Plan) int {
+	n := 0
+	for _, p := range plans {
+		n += p.PhysicalArrays()
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+// Command pipelayer-train trains the Figure 13 resolution-study networks on
+// the synthetic digit dataset and prints the resolution/accuracy trade-off
+// (the paper's Figure 13), optionally followed by an analog-inference
+// fidelity check that runs the trained network through the full PipeLayer
+// machine (spike-coded crossbar datapath).
+//
+// Usage:
+//
+//	pipelayer-train                 # full study
+//	pipelayer-train -quick          # smaller dataset/epochs
+//	pipelayer-train -machine        # additionally verify analog inference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/experiments"
+	"pipelayer/internal/networks"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller dataset and fewer epochs")
+	machine := flag.Bool("machine", false, "run analog-machine fidelity check after training")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultFigure13Config()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.TrainSamples, cfg.TestSamples, cfg.Epochs = 300, 150, 3
+	}
+
+	fmt.Println("Training the Figure 13 study networks on the synthetic digit task")
+	fmt.Printf("train=%d test=%d epochs=%d batch=%d lr=%g seed=%d\n\n",
+		cfg.TrainSamples, cfg.TestSamples, cfg.Epochs, cfg.Batch, cfg.LearningRate, cfg.Seed)
+	fmt.Println(experiments.Figure13(cfg).Render())
+
+	if *machine {
+		fmt.Println("Analog-machine fidelity check (16-bit weights, spike-coded inputs)")
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		spec := networks.Mnist0()
+		net := networks.BuildTrainable(spec, rng)
+		train, test := dataset.TrainTest(cfg.TrainSamples, cfg.TestSamples, dataset.DefaultOptions(false), cfg.Seed)
+		for e := 0; e < cfg.Epochs; e++ {
+			loss := net.TrainEpoch(train, cfg.Batch, 0.05)
+			fmt.Printf("  epoch %d: loss %.4f\n", e+1, loss)
+		}
+		floatAcc := net.Accuracy(test)
+		m := arch.BuildMachine(net, 16)
+		analogAcc := m.Accuracy(test)
+		fmt.Printf("  float accuracy : %.3f\n", floatAcc)
+		fmt.Printf("  analog accuracy: %.3f (PipeLayer machine, quantized crossbars)\n", analogAcc)
+	}
+}

@@ -1,0 +1,61 @@
+package pipelayer_test
+
+import (
+	"fmt"
+
+	pipelayer "pipelayer"
+)
+
+// The Table 2 closed forms: training cost of the pipelined vs. sequential
+// machine for a 5-layer network, batch 64, 640 images.
+func ExampleTrainingCycles() {
+	pipelined := pipelayer.TrainingCycles(5, 64, 640, true)
+	sequential := pipelayer.TrainingCycles(5, 64, 640, false)
+	fmt.Println(pipelined, sequential)
+	// Output: 750 7050
+}
+
+// Testing-phase cycles: after L−1 fill cycles the pipeline emits one result
+// per cycle.
+func ExampleTestingCycles() {
+	fmt.Println(pipelayer.TestingCycles(8, 1000, true))
+	fmt.Println(pipelayer.TestingCycles(8, 1000, false))
+	// Output:
+	// 1007
+	// 8000
+}
+
+// The cycle-accurate simulator agrees with the closed form and reports the
+// Section 3.3 buffer depths.
+func ExampleSimulatePipeline() {
+	res := pipelayer.SimulatePipeline(pipelayer.PipelineConfig{
+		L: 3, B: 4, N: 8, Pipelined: true, Training: true,
+	})
+	fmt.Println("cycles:", res.Cycles)
+	fmt.Println("d1 buffer depth:", res.BufferDepth["d1"])
+	// Output:
+	// cycles: 22
+	// d1 buffer depth: 5
+}
+
+// Workload accounting: VGG-16 forward cost per image.
+func ExampleForwardGOPs() {
+	g := pipelayer.ForwardGOPs(pipelayer.VGG("D"))
+	fmt.Printf("%.0f GOPs\n", g)
+	// Output: 31 GOPs
+}
+
+// The Figure 6 schedule rendered as a Gantt chart: each row is a hardware
+// unit, each column a cycle, digits are image indices.
+func ExampleScheduleGantt() {
+	fmt.Print(pipelayer.ScheduleGantt(2, 2, 8))
+	// Output:
+	//       cycle 12345678
+	//          A1 01.....2
+	//          A2 .01.....
+	//        ErrL ..01....
+	//         A2E ...01...
+	//         A2D ...01...
+	//         A1D ....01..
+	//         Upd ......#.
+}

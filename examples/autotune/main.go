@@ -1,0 +1,80 @@
+// Autotune: the Section 5.2 compiler in action. "G can be set by programmer
+// or automatically optimized by compiler" — this example lets the planner
+// choose per-layer parallelism granularities for AlexNet under a series of
+// area budgets and compares each mapping against the hand-balanced uniform
+// λ sweep of Figures 17/18.
+//
+// Run with: go run ./examples/autotune [-net AlexNet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/gpu"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/planner"
+)
+
+func main() {
+	netName := flag.String("net", "AlexNet", "network to tune")
+	flag.Parse()
+
+	var spec networks.Spec
+	found := false
+	for _, s := range networks.EvaluationNetworks() {
+		if strings.EqualFold(s.Name, *netName) {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(1)
+	}
+
+	model := energy.DefaultModel()
+	baseline := gpu.Default()
+	B, N := 64, 6400
+	gpuTrain := baseline.TrainingTime(spec, N, B)
+
+	// Reference: the uniform λ=1 balanced mapping.
+	uniform := model.BalancedPlans(spec.Layers, mapping.DefaultArray, 1)
+	uniArea := model.Area(spec, uniform, B)
+	uniCycle := model.CycleTime(uniform)
+	fmt.Printf("Granularity autotuning for %s (training, B=%d)\n\n", spec.Name, B)
+	fmt.Printf("reference (uniform λ=1): cycle %.3gs, area %.1f mm², speedup %.2fx\n\n",
+		uniCycle, uniArea, gpuTrain/model.TrainingTime(spec, uniform, N, B, true))
+
+	fmt.Printf("%-12s %12s %12s %10s %10s\n", "budget mm²", "cycle time", "area mm²", "speedup", "steps")
+	for _, frac := range []float64{0.8, 1.0, 1.5, 2.5, 5.0} {
+		budget := uniArea * frac
+		res, err := planner.Optimize(model, spec, mapping.DefaultArray, B, budget)
+		if err != nil {
+			fmt.Printf("%-12.1f (budget below minimum mapping)\n", budget)
+			continue
+		}
+		t := model.TrainingTime(spec, res.Plans, N, B, true)
+		fmt.Printf("%-12.1f %12.3g %12.1f %10.2f %10d\n",
+			budget, res.CycleTime, res.AreaMM2, gpuTrain/t, res.Iterations)
+	}
+
+	// Show the chosen per-layer G at the 1.5× budget.
+	res, err := planner.Optimize(model, spec, mapping.DefaultArray, B, uniArea*1.5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nper-layer G at 1.5× reference budget:\n")
+	for _, p := range res.Plans {
+		if !p.Layer.UsesArrays() {
+			continue
+		}
+		fmt.Printf("  %-8s windows=%6d  G=%6d  steps=%5d\n",
+			p.Layer.Name, p.Layer.Windows(), p.G, p.Steps)
+	}
+}

@@ -1,0 +1,77 @@
+// Granularity sweep: the paper's Figures 17/18 trade-off for one network.
+// Parallelism granularity G replicates weight arrays; more copies process
+// more sliding windows per cycle (shorter cycles) at the price of area.
+// The sweep shows speedup rising monotonically with λ and saturating at the
+// data-movement floor, while area grows without bound — why a balanced
+// default granularity matters (Section 6.5).
+//
+// Run with: go run ./examples/granularity_sweep [-net VGG-A]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/experiments"
+	"pipelayer/internal/gpu"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+func main() {
+	netName := flag.String("net", "VGG-A", "network to sweep")
+	flag.Parse()
+
+	var spec networks.Spec
+	found := false
+	for _, s := range networks.EvaluationNetworks() {
+		if strings.EqualFold(s.Name, *netName) {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(1)
+	}
+
+	model := energy.DefaultModel()
+	baseline := gpu.Default()
+	B, N := 64, 6400
+	gpuTrain := baseline.TrainingTime(spec, N, B)
+
+	fmt.Printf("Granularity sweep for %s (training, B=%d, N=%d)\n\n", spec.Name, B, N)
+	fmt.Printf("%-8s %14s %12s %12s %12s\n", "λ", "cycle time", "speedup", "area mm²", "crossbars")
+	for _, lam := range experiments.Lambdas {
+		plans := model.BalancedPlans(spec.Layers, mapping.DefaultArray, lam)
+		t := model.TrainingTime(spec, plans, N, B, true)
+		phys := 0
+		for _, p := range plans {
+			phys += p.PhysicalArrays()
+		}
+		fmt.Printf("%-8s %14.3g %12.2f %12.1f %12d\n",
+			experiments.LambdaLabel(lam), model.CycleTime(plans), gpuTrain/t,
+			model.Area(spec, plans, B), phys)
+	}
+
+	// The saturation floor: the cycle component replication cannot shrink.
+	floor := 0.0
+	for _, l := range spec.Layers {
+		var vals float64
+		switch l.Kind {
+		case mapping.KindConv, mapping.KindPool:
+			vals = float64(l.OutC) * float64(l.OutH()) * float64(l.OutW())
+		case mapping.KindFC:
+			vals = float64(l.FCOut)
+		}
+		if mv := vals / model.MoveBandwidth; mv > floor {
+			floor = mv
+		}
+	}
+	fmt.Printf("\ndata-movement floor per cycle: %.3g s (λ=∞ cycle time: %.3g s)\n",
+		floor, model.CycleTime(model.BalancedPlans(spec.Layers, mapping.DefaultArray, math.Inf(1))))
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end tour of the PipeLayer reproduction.
+//
+//  1. Train a tiny CNN on the synthetic digit task with the from-scratch
+//     framework (the paper's Section 2 substrate).
+//  2. Program the trained weights onto the PipeLayer machine and run analog
+//     inference through the spike-coded crossbar datapath (Sections 4.1–4.2).
+//  3. Simulate the pipelined training schedule (Section 3.3) and report
+//     cycles, wall-clock time and energy from the device model (Section 6.2).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/energy"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/pipeline"
+)
+
+func main() {
+	// --- 1. Train a small network in software. ---
+	rng := rand.New(rand.NewSource(42))
+	spec := networks.Mnist0() // LeNet-like CNN from Table 3
+	net := networks.BuildTrainable(spec, rng)
+	train, test := dataset.TrainTest(400, 150, dataset.DefaultOptions(false), 7)
+
+	fmt.Println("1. Training Mnist-0 (software substrate)")
+	for epoch := 1; epoch <= 3; epoch++ {
+		loss := net.TrainEpoch(train, 10, 0.05)
+		fmt.Printf("   epoch %d: mean loss %.4f\n", epoch, loss)
+	}
+	fmt.Printf("   float accuracy: %.3f\n\n", net.Accuracy(test))
+
+	// --- 2. Analog inference on the PipeLayer machine. ---
+	fmt.Println("2. Programming weights onto ReRAM crossbars (16-bit, 4-bit cells ×4 groups)")
+	machine := arch.BuildMachine(net, 16)
+	fmt.Printf("   engines: %v\n", machine.Engines())
+	fmt.Printf("   analog accuracy: %.3f\n\n", machine.Accuracy(test))
+
+	// --- 3. Pipeline timing and energy. ---
+	fmt.Println("3. Simulating the inter-layer training pipeline (batch 64, 640 images)")
+	model := energy.DefaultModel()
+	plans := model.BalancedPlans(spec.Layers, mapping.DefaultArray, 1)
+	L, B, N := spec.WeightedLayers(), 64, 640
+	res := pipeline.Simulate(pipeline.Config{L: L, B: B, N: N, Pipelined: true, Training: true})
+	fmt.Printf("   logical cycles  : %d (closed form: %d)\n",
+		res.Cycles, mapping.PipelinedTrainingCycles(L, B, N))
+	fmt.Printf("   cycle time      : %.3g s\n", model.CycleTime(plans))
+	fmt.Printf("   training time   : %.3g s\n", model.TrainingTime(spec, plans, N, B, true))
+	e := model.TrainingEnergy(spec, plans, N, B, true)
+	fmt.Printf("   training energy : %.3g J (read %.2g + write %.2g + update %.2g + static %.2g)\n",
+		e.Total(), e.ReadJ, e.WriteJ, e.UpdateJ, e.StaticJ)
+	fmt.Printf("   area            : %.2f mm²\n", model.Area(spec, plans, B))
+}

@@ -1,0 +1,56 @@
+// VGG pipeline walkthrough: maps VGG-D (VGG-16) onto PipeLayer and shows the
+// per-layer plans (Figure 5 partitioning + Table 5 granularity), the Table 2
+// cycle counts validated by the event simulator, and the resulting
+// time/energy versus the GPU baseline — the per-network slice of Figures
+// 15 and 16.
+//
+// Run with: go run ./examples/vgg_pipeline
+package main
+
+import (
+	"fmt"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/gpu"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/pipeline"
+)
+
+func main() {
+	spec := networks.VGG("D")
+	model := energy.DefaultModel()
+	baseline := gpu.Default()
+	B, N := 64, 6400
+
+	fmt.Printf("Mapping %s onto PipeLayer (128×128 crossbars)\n\n", spec.Name)
+	plans := model.BalancedPlans(spec.Layers, mapping.DefaultArray, 1)
+	fmt.Printf("%-8s %6s %9s %6s %7s %7s %9s\n", "layer", "kind", "windows", "G", "steps", "tiles", "crossbars")
+	for _, p := range plans {
+		l := p.Layer
+		if !l.UsesArrays() {
+			fmt.Printf("%-8s %6s %9s %6s %7s %7s %9s\n", l.Name, l.Kind, "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-8s %6s %9d %6d %7d %4dx%-2d %9d\n",
+			l.Name, l.Kind, l.Windows(), p.G, p.Steps, p.RowTiles, p.ColTiles, p.PhysicalArrays())
+	}
+
+	L := spec.WeightedLayers()
+	fmt.Printf("\nTraining schedule (L=%d, B=%d, N=%d):\n", L, B, N)
+	pipe := pipeline.Simulate(pipeline.Config{L: L, B: B, N: N, Pipelined: true, Training: true})
+	noPipe := mapping.NonPipelinedTrainingCycles(L, B, N)
+	fmt.Printf("  pipelined cycles   : %d (formula %d)\n", pipe.Cycles, mapping.PipelinedTrainingCycles(L, B, N))
+	fmt.Printf("  non-pipelined      : %d  (%.1fx more)\n", noPipe, float64(noPipe)/float64(pipe.Cycles))
+	fmt.Printf("  buffer depths      : d1=%d ... d%d=%d (rule 2(L-l)+1)\n",
+		pipe.BufferDepth["d1"], L-1, pipe.BufferDepth[fmt.Sprintf("d%d", L-1)])
+
+	plTime := model.TrainingTime(spec, plans, N, B, true)
+	gpuTime := baseline.TrainingTime(spec, N, B)
+	plE := model.TrainingEnergy(spec, plans, N, B, true).Total()
+	gpuE := baseline.TrainingEnergy(spec, N, B)
+	fmt.Printf("\nTraining %d images:\n", N)
+	fmt.Printf("  PipeLayer : %8.3f s  %10.1f J   (area %.1f mm²)\n", plTime, plE, model.Area(spec, plans, B))
+	fmt.Printf("  GTX 1080  : %8.3f s  %10.1f J\n", gpuTime, gpuE)
+	fmt.Printf("  speedup %.2fx, energy saving %.2fx\n", gpuTime/plTime, gpuE/plE)
+}

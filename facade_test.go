@@ -1,0 +1,112 @@
+package pipelayer_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	pipelayer "pipelayer"
+)
+
+func TestFacadeSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := pipelayer.BuildTrainable(pipelayer.EvaluationNetworks()[0], rng)
+	s := pipelayer.NewSolver(0.1, 0.9, 1e-4)
+	train, _ := pipelayer.SyntheticDigits(60, 1, true, 2)
+	first := s.TrainEpoch(net, train, 10)
+	var last float64
+	for i := 0; i < 5; i++ {
+		last = s.TrainEpoch(net, train, 10)
+	}
+	if last >= first {
+		t.Fatalf("solver did not reduce loss: %g -> %g", first, last)
+	}
+}
+
+func TestFacadeOptimizeMapping(t *testing.T) {
+	m := pipelayer.DefaultDeviceModel()
+	spec := pipelayer.AlexNet()
+	res, err := pipelayer.OptimizeMapping(m, spec, 64, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AreaMM2 > 400 || res.CycleTime <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestFacadeMemoryConfig(t *testing.T) {
+	cfg := pipelayer.DefaultMemoryConfig()
+	if cfg.PeakWriteBandwidth() < pipelayer.DefaultDeviceModel().MoveBandwidth {
+		t.Fatal("memory organization cannot sustain the model's bandwidth")
+	}
+}
+
+func TestFacadeDeepPipeline(t *testing.T) {
+	cfg := pipelayer.DefaultDeepPipeline()
+	spec := pipelayer.AlexNet()
+	if cfg.TrainingCycles(spec, 64, 6400) <= pipelayer.TrainingCycles(spec.WeightedLayers(), 64, 6400, true) {
+		t.Fatal("deep pipeline must cost more training cycles")
+	}
+}
+
+func TestFacadeSaveLoadWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := pipelayer.BuildTrainable(pipelayer.EvaluationNetworks()[0], rng)
+	var buf bytes.Buffer
+	if err := pipelayer.SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	net2 := pipelayer.BuildTrainable(pipelayer.EvaluationNetworks()[0], rand.New(rand.NewSource(99)))
+	if err := pipelayer.LoadWeights(&buf, net2); err != nil {
+		t.Fatal(err)
+	}
+	x := pipelayer.NewTensor(784)
+	x.RandUniform(rng, 0, 1)
+	if net.Predict(x) != net2.Predict(x) {
+		t.Fatal("restored network predicts differently")
+	}
+}
+
+func TestFacadeScheduleGantt(t *testing.T) {
+	out := pipelayer.ScheduleGantt(3, 4, 12)
+	if !strings.Contains(out, "A1") || !strings.Contains(out, "ErrL") {
+		t.Fatalf("gantt broken:\n%s", out)
+	}
+}
+
+func TestFacadeAcceleratorRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	acc := pipelayer.NewAccelerator(pipelayer.DefaultDeviceModel())
+	spec := pipelayer.EvaluationNetworks()[0] // Mnist-A
+	if err := acc.TopologySet(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.PipelineSet(true); err != nil {
+		t.Fatal(err)
+	}
+	train, test := pipelayer.SyntheticDigits(200, 80, true, 6)
+	if _, err := acc.Train(acc.CopyToPL(train), 10, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.Test(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy <= 0.1 {
+		t.Fatalf("accuracy %g no better than chance after an epoch", rep.Accuracy)
+	}
+}
+
+func TestFacadeDefaultExperimentSetup(t *testing.T) {
+	s := pipelayer.DefaultExperimentSetup()
+	if s.Batch != 64 || s.Images != 6400 {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+}

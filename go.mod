@@ -1,0 +1,3 @@
+module pipelayer
+
+go 1.22

@@ -1,0 +1,96 @@
+package arch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/tensor"
+)
+
+// trainDigits generates a flat training set for the sigmoid sanity test.
+func trainDigits(n int) []nn.Sample {
+	return dataset.Generate(n, dataset.DefaultOptions(true), 44)
+}
+
+// sigmoidSpec is an MLP with sigmoid hidden activation — exercising the
+// configurable-LUT path of the activation component (Section 4.2.3).
+func sigmoidSpec() networks.Spec {
+	return networks.Spec{
+		Name: "sig-mlp", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.FC("fc1", 784, 32).WithActivation(mapping.ActSigmoid),
+			mapping.FC("fc2", 32, 10),
+		},
+	}
+}
+
+func TestMachineSigmoidLUTFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := networks.BuildTrainable(sigmoidSpec(), rng)
+	m := BuildMachine(net, 16)
+	// fc1 (no fusion) + sigmoid LUT stage + fc2 = 3 engines.
+	if got := len(m.Engines()); got != 3 {
+		t.Fatalf("engines = %v", m.Engines())
+	}
+	x := tensor.New(784).RandUniform(rng, 0, 1)
+	yf := net.Forward(x)
+	ya := m.Forward(x)
+	for i := 0; i < 10; i++ {
+		if math.Abs(yf.At(i)-ya.At(i)) > 0.03*(1+math.Abs(yf.At(i))) {
+			t.Fatalf("score %d: float %g vs LUT machine %g", i, yf.At(i), ya.At(i))
+		}
+	}
+}
+
+// avgSpec uses average pooling — Equation 2's datapath.
+func avgSpec() networks.Spec {
+	return networks.Spec{
+		Name: "avg-cnn", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.Conv("conv1", 1, 28, 28, 6, 5, 1, 0), // -> 6×24×24
+			mapping.AvgPool("pool1", 6, 24, 24, 2),       // -> 6×12×12
+			mapping.FC("fc", 6*12*12, 10),
+		},
+	}
+}
+
+func TestMachineAvgPoolFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net := networks.BuildTrainable(avgSpec(), rng)
+	m := BuildMachine(net, 16)
+	x := tensor.New(1, 28, 28).RandUniform(rng, 0, 1)
+	yf := net.Forward(x)
+	ya := m.Forward(x)
+	for i := 0; i < 10; i++ {
+		if math.Abs(yf.At(i)-ya.At(i)) > 0.03*(1+math.Abs(yf.At(i))) {
+			t.Fatalf("score %d: float %g vs machine %g", i, yf.At(i), ya.At(i))
+		}
+	}
+}
+
+func TestSigmoidNetworkTrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(23))
+	net := networks.BuildTrainable(sigmoidSpec(), rng)
+	// XOR-style sanity: the sigmoid MLP must learn the synthetic digits at
+	// least moderately.
+	first := 0.0
+	var last float64
+	for e := 0; e < 6; e++ {
+		loss := net.TrainEpoch(trainDigits(300), 10, 0.3)
+		if e == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("sigmoid net loss did not decrease: %g -> %g", first, last)
+	}
+}

@@ -1,0 +1,88 @@
+package arch
+
+import (
+	"runtime"
+	"sync"
+
+	"pipelayer/internal/nn"
+	"pipelayer/internal/reram"
+)
+
+// CloneShared returns a machine that shares the (read-only) programmed
+// weight arrays with the receiver but owns fresh activation units and a
+// fresh memory bank — the software analogue of replicating only the
+// peripheral state so independent inputs can stream through copies of the
+// same crossbars (the essence of the paper's weight replication, Section
+// 3.2.3, applied to evaluation throughput).
+func (m *Machine) CloneShared() *Machine {
+	c := &Machine{Name: m.Name, Bank: reram.NewMemoryBank()}
+	for _, e := range m.engines {
+		switch t := e.(type) {
+		case *convEngine:
+			clone := *t // shares arrays (read-only) and bias slice
+			clone.act = reram.NewActivationUnit(reram.ReLULUT())
+			c.engines = append(c.engines, &clone)
+		case *denseEngine:
+			clone := *t
+			clone.act = reram.NewActivationUnit(reram.ReLULUT())
+			c.engines = append(c.engines, &clone)
+		case *poolEngine:
+			clone := *t
+			clone.act = reram.NewActivationUnit(nil)
+			c.engines = append(c.engines, &clone)
+		default:
+			// funcEngine and future stateless stages can be shared as-is.
+			c.engines = append(c.engines, e)
+		}
+	}
+	return c
+}
+
+// AccuracyParallel evaluates top-1 accuracy across the samples using up to
+// `workers` machine clones in parallel (workers ≤ 0 selects GOMAXPROCS).
+// The result is identical to Accuracy — the clones share immutable weight
+// arrays and keep all mutable state private.
+func (m *Machine) AccuracyParallel(samples []nn.Sample, workers int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers == 1 {
+		return m.Accuracy(samples)
+	}
+
+	var wg sync.WaitGroup
+	correct := make([]int, workers)
+	chunk := (len(samples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			clone := m.CloneShared()
+			for _, s := range samples[lo:hi] {
+				if clone.Predict(s.Input) == s.Label {
+					correct[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range correct {
+		total += c
+	}
+	return float64(total) / float64(len(samples))
+}

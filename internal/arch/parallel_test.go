@@ -1,0 +1,66 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/tensor"
+)
+
+func TestCloneSharedPredictsIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := networks.BuildTrainable(networks.Mnist0(), rng)
+	m := BuildMachine(net, 16)
+	c := m.CloneShared()
+	for i := 0; i < 10; i++ {
+		x := tensor.New(1, 28, 28).RandUniform(rng, 0, 1)
+		if m.Predict(x) != c.Predict(x) {
+			t.Fatal("clone predicts differently")
+		}
+	}
+}
+
+func TestAccuracyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	m := BuildMachine(net, 16)
+	samples := dataset.Generate(120, dataset.DefaultOptions(true), 4)
+	seq := m.Accuracy(samples)
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		if par := m.AccuracyParallel(samples, workers); par != seq {
+			t.Fatalf("workers=%d: parallel accuracy %g != sequential %g", workers, par, seq)
+		}
+	}
+}
+
+func TestAccuracyParallelEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	m := BuildMachine(net, 16)
+	if m.AccuracyParallel(nil, 4) != 0 {
+		t.Fatal("empty set must score 0")
+	}
+}
+
+func TestAccuracyParallelMoreWorkersThanSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	m := BuildMachine(net, 16)
+	samples := dataset.Generate(3, dataset.DefaultOptions(true), 5)
+	if got, want := m.AccuracyParallel(samples, 16), m.Accuracy(samples); got != want {
+		t.Fatalf("tiny set: %g vs %g", got, want)
+	}
+}
+
+func TestCloneSharedDoesNotShareBank(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	m := BuildMachine(net, 16)
+	c := m.CloneShared()
+	m.Forward(tensor.New(784).RandUniform(rng, 0, 1))
+	if c.Bank.Len() != 0 {
+		t.Fatal("clone's memory bank must be independent")
+	}
+}

@@ -1,0 +1,112 @@
+// Package arch assembles the PipeLayer machine from its substrates: tiled
+// crossbar engines per layer (Figure 9's overall architecture), the
+// error-backward datapaths of Section 4.3 (Figure 10/11), the weight-update
+// read–modify–write of Section 4.4 (Figure 14b), and the Table 1 cycle
+// operation breakdown. A Machine runs full-network analog inference and
+// exposes the same accuracy interface as the float framework, so functional
+// fidelity is directly measurable.
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"pipelayer/internal/fixed"
+	"pipelayer/internal/tensor"
+)
+
+// Quantized is the fast functional model of a programmed ResolutionArray:
+// weights and inputs are reduced to the same integer codes the crossbars
+// hold, but the integer dot products are evaluated numerically instead of
+// spike-by-spike. The two paths are provably identical (the spike package's
+// DotProduct property test shows count == exact integer product), so the
+// fast model preserves bit-exact functional behaviour at a fraction of the
+// simulation cost; TestQuantizedMatchesSpikePath cross-checks them.
+type Quantized struct {
+	Rows, Cols int
+	// codes holds the signed 16-bit weight codes (row-major).
+	codes []int32
+	// scale maps code ±65535 to the analog magnitude ±wMax.
+	scale float64
+	// Bits is the input spike resolution.
+	Bits int
+}
+
+// NewQuantized programs a (rows×cols) float weight matrix at 16-bit signed
+// resolution with the given input bit width.
+func NewQuantized(w *tensor.Tensor, rows, cols, bits int) *Quantized {
+	if w.Size() != rows*cols {
+		panic(fmt.Sprintf("arch: weight tensor has %d elems for %dx%d", w.Size(), rows, cols))
+	}
+	q := &Quantized{Rows: rows, Cols: cols, Bits: bits, codes: make([]int32, rows*cols)}
+	q.Program(w)
+	return q
+}
+
+// Program (re)writes the weights, refreshing the scale — the same code
+// assignment as reram.ResolutionArray.Program.
+func (q *Quantized) Program(w *tensor.Tensor) {
+	q.scale = w.AbsMax()
+	if q.scale == 0 {
+		q.scale = 1
+	}
+	for i, v := range w.Data() {
+		mag := math.Round(math.Abs(v) / q.scale * math.MaxUint16)
+		if v >= 0 {
+			q.codes[i] = int32(mag)
+		} else {
+			q.codes[i] = -int32(mag)
+		}
+	}
+}
+
+// Scale returns the analog magnitude of the full-scale code.
+func (q *Quantized) Scale() float64 { return q.scale }
+
+// WeightCode returns the signed 16-bit code of one weight.
+func (q *Quantized) WeightCode(row, col int) int32 { return q.codes[row*q.Cols+col] }
+
+// MatVec computes out_j = Σ_i x_i·w_ij through the quantized datapath:
+// inputs quantized to Bits-bit codes (signed inputs via the two-pass
+// positive/negative mechanism), integer accumulation, rescale.
+func (q *Quantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
+	if x.Size() != q.Rows {
+		panic(fmt.Sprintf("arch: MatVec input %d elems for %d rows", x.Size(), q.Rows))
+	}
+	out := tensor.New(q.Cols)
+	xScale := x.AbsMax()
+	if xScale == 0 {
+		return out
+	}
+	maxIn := float64(uint64(1)<<uint(q.Bits) - 1)
+	acc := make([]float64, q.Cols)
+	for i, v := range x.Data() {
+		code := math.Round(math.Abs(v) / xScale * maxIn)
+		if code == 0 {
+			continue
+		}
+		if v < 0 {
+			code = -code
+		}
+		row := q.codes[i*q.Cols : (i+1)*q.Cols]
+		for j, w := range row {
+			acc[j] += code * float64(w)
+		}
+	}
+	k := xScale / maxIn * q.scale / math.MaxUint16
+	for j, a := range acc {
+		out.Data()[j] = a * k
+	}
+	return out
+}
+
+// Segments returns the four 4-bit cell codes for one weight (positive or
+// negative array per sign), for inspection and the update unit.
+func (q *Quantized) Segments(row, col int) (segs [fixed.Groups]uint8, negative bool) {
+	c := q.codes[row*q.Cols+col]
+	negative = c < 0
+	if negative {
+		c = -c
+	}
+	return fixed.Decompose16(uint16(c)), negative
+}

@@ -1,0 +1,77 @@
+package arch
+
+// Table 1 of the paper: the break of operations within one logical cycle for
+// the four cycle cases. The cycle time must fit the longest sequence
+// (Section 3.1); the pipeline simulator's TrainingCycleFactor reflects the
+// longer backward chains.
+
+// CycleOp is one micro-operation of a cycle.
+type CycleOp string
+
+// The component sequence of Figure 9.
+const (
+	OpMemoryRead      CycleOp = "memory-read"
+	OpSpikeDrive      CycleOp = "spike-drive"
+	OpMorphableMMV    CycleOp = "morphable-matrix-vector"
+	OpIntegrateFire   CycleOp = "integrate-and-fire"
+	OpActivation      CycleOp = "activation"
+	OpMemoryWrite     CycleOp = "memory-write"
+	OpWeightReadOld   CycleOp = "weight-read-old"
+	OpSubtractorWrite CycleOp = "subtract-and-program"
+)
+
+// CycleCase is one row of Table 1.
+type CycleCase struct {
+	// Name identifies the case.
+	Name string
+	// Reads / Writes name the data each case touches (in terms of the
+	// paper's d, δ, ∂ symbols).
+	Reads, Writes string
+	// Ops is the in-cycle operation sequence.
+	Ops []CycleOp
+}
+
+// Table1 returns the four cycle cases: forward, backward error for the last
+// layer, backward error + partial derivative for inner layers, and the
+// weight-update cycle.
+func Table1(L int) []CycleCase {
+	return []CycleCase{
+		{
+			Name:  "forward",
+			Reads: "d_{l-1}", Writes: "d_l",
+			Ops: []CycleOp{OpMemoryRead, OpSpikeDrive, OpMorphableMMV, OpIntegrateFire, OpActivation, OpMemoryWrite},
+		},
+		{
+			Name:  "backward-last",
+			Reads: "d_L, labels", Writes: "δ_L, ∂b_L",
+			Ops: []CycleOp{OpMemoryRead, OpActivation, OpMemoryWrite},
+		},
+		{
+			Name:  "backward-inner",
+			Reads: "δ_{l+1}; d_l and δ_{l+1}", Writes: "δ_l; ∂W_{l+1}, ∂b_{l+1}",
+			Ops: []CycleOp{
+				OpMemoryRead, OpSpikeDrive, OpMorphableMMV, OpIntegrateFire, OpActivation, OpMemoryWrite,
+				// The derivative computation A_l2(d_l, δ) runs in the same
+				// cycle through a second array pass.
+				OpSpikeDrive, OpMorphableMMV, OpIntegrateFire, OpMemoryWrite,
+			},
+		},
+		{
+			Name:  "update",
+			Reads: "∂W_l (averaged by 1/B spikes), old W_l", Writes: "new W_l",
+			Ops: []CycleOp{OpMemoryRead, OpWeightReadOld, OpSubtractorWrite},
+		},
+	}
+}
+
+// LongestCase returns the case with the most operations — the one the cycle
+// time must accommodate.
+func LongestCase(cases []CycleCase) CycleCase {
+	best := cases[0]
+	for _, c := range cases[1:] {
+		if len(c.Ops) > len(best.Ops) {
+			best = c
+		}
+	}
+	return best
+}

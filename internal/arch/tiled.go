@@ -1,0 +1,90 @@
+package arch
+
+import (
+	"fmt"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/tensor"
+)
+
+// TiledQuantized realizes the balanced mapping of Figure 5 functionally: a
+// weight matrix larger than one crossbar is decomposed into a grid of
+// array-sized tiles; an input vector is sliced across the row tiles, each
+// tile computes its partial products, and "we can get the right results by
+// collecting array outputs horizontally and summing them vertically."
+type TiledQuantized struct {
+	Rows, Cols int
+	Array      mapping.ArraySpec
+	// tiles[r][c] covers rows [r·Array.Rows, …) × cols [c·Array.Cols, …).
+	tiles    [][]*Quantized
+	rowTiles int
+	colTiles int
+	bits     int
+}
+
+// NewTiledQuantized programs a (rows×cols) float weight matrix onto a grid
+// of crossbar-sized Quantized tiles.
+func NewTiledQuantized(w *tensor.Tensor, rows, cols int, array mapping.ArraySpec, bits int) *TiledQuantized {
+	if w.Size() != rows*cols {
+		panic(fmt.Sprintf("arch: weight tensor has %d elems for %dx%d", w.Size(), rows, cols))
+	}
+	if array.Rows <= 0 || array.Cols <= 0 {
+		panic("arch: invalid array spec")
+	}
+	t := &TiledQuantized{
+		Rows: rows, Cols: cols, Array: array, bits: bits,
+		rowTiles: (rows + array.Rows - 1) / array.Rows,
+		colTiles: (cols + array.Cols - 1) / array.Cols,
+	}
+	t.tiles = make([][]*Quantized, t.rowTiles)
+	for r := 0; r < t.rowTiles; r++ {
+		t.tiles[r] = make([]*Quantized, t.colTiles)
+		r0 := r * array.Rows
+		r1 := min(r0+array.Rows, rows)
+		for c := 0; c < t.colTiles; c++ {
+			c0 := c * array.Cols
+			c1 := min(c0+array.Cols, cols)
+			sub := tensor.New((r1 - r0) * (c1 - c0))
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					sub.Data()[(i-r0)*(c1-c0)+(j-c0)] = w.Data()[i*cols+j]
+				}
+			}
+			t.tiles[r][c] = NewQuantized(sub, r1-r0, c1-c0, bits)
+		}
+	}
+	return t
+}
+
+// TileCount returns (rowTiles, colTiles) — Figure 5's partition shape.
+func (t *TiledQuantized) TileCount() (int, int) { return t.rowTiles, t.colTiles }
+
+// MatVec computes out_j = Σ_i x_i·w_ij across the tile grid: each row-tile
+// slice of the input drives its row of arrays; per output column the
+// row-tile partial counts are summed.
+func (t *TiledQuantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
+	if x.Size() != t.Rows {
+		panic(fmt.Sprintf("arch: MatVec input %d elems for %d rows", x.Size(), t.Rows))
+	}
+	out := tensor.New(t.Cols)
+	for r := 0; r < t.rowTiles; r++ {
+		r0 := r * t.Array.Rows
+		r1 := min(r0+t.Array.Rows, t.Rows)
+		slice := tensor.FromSlice(x.Data()[r0:r1], r1-r0)
+		for c := 0; c < t.colTiles; c++ {
+			c0 := c * t.Array.Cols
+			part := t.tiles[r][c].MatVec(slice)
+			for j, v := range part.Data() {
+				out.Data()[c0+j] += v
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package arch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/tensor"
+)
+
+func TestTiledQuantizedMatchesExactProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows, cols := 300, 70 // forces 3×... tiles with a 128×64 array
+	array := mapping.ArraySpec{Rows: 128, Cols: 64}
+	w := tensor.New(rows*cols).RandNormal(rng, 0, 1)
+	tq := NewTiledQuantized(w, rows, cols, array, 16)
+	rt, ct := tq.TileCount()
+	if rt != 3 || ct != 2 {
+		t.Fatalf("tile grid = %dx%d, want 3x2", rt, ct)
+	}
+	x := tensor.New(rows).RandNormal(rng, 0, 1)
+	got := tq.MatVec(x)
+	for j := 0; j < cols; j++ {
+		s := 0.0
+		for i := 0; i < rows; i++ {
+			s += x.At(i) * w.Data()[i*cols+j]
+		}
+		if math.Abs(got.At(j)-s) > 2e-3*(1+math.Abs(s)) {
+			t.Fatalf("col %d: tiled %g vs exact %g", j, got.At(j), s)
+		}
+	}
+}
+
+// Property: the Figure 5 claim — partitioning into tiles and summing
+// vertically matches the single-array result up to per-tile quantization
+// scale differences (each tile quantizes against its own maximum, so the
+// tolerance reflects 16-bit steps, not exact equality).
+func TestPropertyTiledMatchesUntiled(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 10 + rng.Intn(80)
+		cols := 1 + rng.Intn(20)
+		array := mapping.ArraySpec{Rows: 8 + rng.Intn(32), Cols: 4 + rng.Intn(16)}
+		w := tensor.New(rows*cols).RandNormal(rng, 0, 1)
+		x := tensor.New(rows).RandNormal(rng, 0, 1)
+		tiled := NewTiledQuantized(w, rows, cols, array, 16).MatVec(x)
+		whole := NewQuantized(w, rows, cols, 16).MatVec(x)
+		for j := 0; j < cols; j++ {
+			if math.Abs(tiled.At(j)-whole.At(j)) > 5e-3*(1+math.Abs(whole.At(j))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledSingleTileDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := tensor.New(10*5).RandNormal(rng, 0, 1)
+	tq := NewTiledQuantized(w, 10, 5, mapping.DefaultArray, 16)
+	rt, ct := tq.TileCount()
+	if rt != 1 || ct != 1 {
+		t.Fatalf("small matrix should fit one tile, got %dx%d", rt, ct)
+	}
+	// A single tile must be bit-identical to the untiled path.
+	x := tensor.New(10).RandNormal(rng, 0, 1)
+	whole := NewQuantized(w, 10, 5, 16).MatVec(x)
+	if !tensor.Equal(tq.MatVec(x), whole, 0) {
+		t.Fatal("single-tile result must match untiled exactly")
+	}
+}
+
+func TestTiledValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTiledQuantized(tensor.New(4), 2, 3, mapping.DefaultArray, 16) },
+		func() { NewTiledQuantized(tensor.New(6), 2, 3, mapping.ArraySpec{}, 16) },
+		func() {
+			tq := NewTiledQuantized(tensor.New(6), 2, 3, mapping.DefaultArray, 16)
+			tq.MatVec(tensor.New(5))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

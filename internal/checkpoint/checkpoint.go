@@ -1,0 +1,159 @@
+// Package checkpoint serializes trained network weights — the host-side
+// counterpart of the paper's Weight_load API (Section 5.2): weights trained
+// once (on the accelerator or in software) are persisted and later loaded
+// into a freshly assembled network of the same topology.
+//
+// The format is a small self-describing binary container (magic, version,
+// parameter count, then per parameter: name, shape, float64 data), written
+// with encoding/binary in little-endian order.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pipelayer/internal/nn"
+)
+
+// magic identifies checkpoint streams; version gates format changes.
+const (
+	magic   = 0x504c4b50 // "PLKP"
+	version = 1
+)
+
+// Save writes every parameter of the network to w.
+func Save(w io.Writer, net *nn.Network) error {
+	params := net.Params()
+	if err := writeU32(w, magic); err != nil {
+		return err
+	}
+	if err := writeU32(w, version); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(w, p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := writeU32(w, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := writeU32(w, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.Value.Data() {
+			if err := writeU64(w, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint from r into the network's parameters. The network
+// must have the same parameter names and shapes the checkpoint was saved
+// from (i.e. the same topology and layer names).
+func Load(r io.Reader, net *nn.Network) error {
+	m, err := readU32(r)
+	if err != nil {
+		return fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("checkpoint: bad magic %#x", m)
+	}
+	v, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if v != version {
+		return fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	params := net.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("checkpoint: has %d params, network has %d", count, len(params))
+	}
+	for _, p := range params {
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("checkpoint: parameter %q does not match network parameter %q", name, p.Name)
+		}
+		rank, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		wantShape := p.Value.Shape()
+		if int(rank) != len(wantShape) {
+			return fmt.Errorf("checkpoint: %s has rank %d, want %d", name, rank, len(wantShape))
+		}
+		for i := 0; i < int(rank); i++ {
+			d, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			if int(d) != wantShape[i] {
+				return fmt.Errorf("checkpoint: %s dim %d is %d, want %d", name, i, d, wantShape[i])
+			}
+		}
+		data := p.Value.Data()
+		for i := range data {
+			bits, err := readU64(r)
+			if err != nil {
+				return fmt.Errorf("checkpoint: %s data: %w", name, err)
+			}
+			data[i] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}
+
+func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var v uint64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("checkpoint: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

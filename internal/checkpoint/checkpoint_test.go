@@ -1,0 +1,104 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := networks.BuildTrainable(networks.Mnist0(), rng)
+	// Perturb weights so the round trip carries real data.
+	for _, p := range net.Params() {
+		p.Value.RandNormal(rng, 0, 0.3)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	net2 := networks.BuildTrainable(networks.Mnist0(), rand.New(rand.NewSource(99)))
+	if err := Load(&buf, net2); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := net.Params(), net2.Params()
+	for i := range p1 {
+		if !tensor.Equal(p1[i].Value, p2[i].Value, 0) {
+			t.Fatalf("param %s differs after round trip", p1[i].Name)
+		}
+	}
+}
+
+func TestLoadedNetworkBehavesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	train, test := dataset.TrainTest(200, 80, dataset.DefaultOptions(true), 4)
+	for e := 0; e < 3; e++ {
+		net.TrainEpoch(train, 10, 0.1)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	net2 := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(77)))
+	if err := Load(&buf, net2); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range test {
+		if net.Predict(s.Input) != net2.Predict(s.Input) {
+			t.Fatal("restored network predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	net := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(1)))
+	if err := Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), net); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestLoadRejectsTopologyMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	netA := networks.BuildTrainable(networks.MnistA(), rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, netA); err != nil {
+		t.Fatal(err)
+	}
+	netB := networks.BuildTrainable(networks.MnistB(), rng)
+	if err := Load(&buf, netB); err == nil {
+		t.Fatal("expected shape/name mismatch error")
+	}
+}
+
+func TestLoadRejectsTruncatedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	net2 := networks.BuildTrainable(networks.MnistA(), rng)
+	if err := Load(bytes.NewReader(trunc), net2); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 0xFF // corrupt version field
+	if err := Load(bytes.NewReader(raw), net); err == nil {
+		t.Fatal("expected version error")
+	}
+}

@@ -1,0 +1,37 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/networks"
+)
+
+// FuzzLoad feeds arbitrary bytes to the checkpoint parser: it must reject
+// them with an error, never panic — the robustness contract of a
+// deserializer that reads files from disk.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid checkpoint and simple corruptions of it.
+	net := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x4b, 0x4c, 0x50}) // magic bytes reversed
+	truncated := append([]byte(nil), valid[:16]...)
+	f.Add(truncated)
+	huge := append([]byte(nil), valid...)
+	huge[12] = 0xFF // implausible string length field
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(2)))
+		// Must never panic; errors are expected for almost all inputs.
+		_ = Load(bytes.NewReader(data), target)
+	})
+}

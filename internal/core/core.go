@@ -1,0 +1,230 @@
+// Package core is the integrated PipeLayer accelerator — the paper's primary
+// contribution assembled from every substrate. It exposes the programming
+// interface of Section 5.2 (Copy_to_PL / Copy_to_CPU, Topology_set,
+// Weight_load, Pipeline_set, Train / Test) as a stateful Accelerator, and it
+// executes *complete training* functionally through the analog datapaths:
+//
+//   - forward passes run through quantized crossbar models (the bit-exact
+//     fast equivalent of the spike-domain simulation, see internal/arch);
+//   - error backward runs through dedicated error arrays holding the
+//     reordered kernels (W)* of Section 4.3;
+//   - partial derivatives accumulate in buffers over the batch and the
+//     weight update flows through the Section 4.4.2 read–modify–write with
+//     1/B averaging spikes and 4-bit segment recomposition;
+//
+// while the timing/energy side of every run comes from the cycle-accurate
+// pipeline simulation and the device model.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/energy"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/pipeline"
+	"pipelayer/internal/tensor"
+)
+
+// Accelerator is a configured PipeLayer device. The zero value is unusable;
+// create one with New and drive it through the Section 5.2 call sequence:
+// TopologySet → WeightLoad → PipelineSet → Train/Test.
+type Accelerator struct {
+	model energy.Model
+
+	spec   networks.Spec
+	lambda float64
+	plans  []mapping.Plan
+
+	engines   []layerEngine
+	loss      nn.Loss
+	update    *arch.UpdateUnit
+	pipelined bool
+
+	topologySet bool
+	loaded      bool
+
+	// HostBytesIn / HostBytesOut count Copy_to_PL / Copy_to_CPU traffic.
+	HostBytesIn, HostBytesOut int64
+}
+
+// Report summarizes one Train or Test run: functional results plus the
+// modeled cycles, wall-clock time and energy.
+type Report struct {
+	Images   int
+	Accuracy float64
+	MeanLoss float64
+	Cycles   int
+	Seconds  float64
+	Energy   energy.Breakdown
+}
+
+// New creates an unconfigured accelerator with the given device model.
+func New(model energy.Model) *Accelerator {
+	return &Accelerator{model: model, loss: nn.SoftmaxLoss{}, update: arch.NewUpdateUnit(model.SpikeBits)}
+}
+
+// TopologySet configures the layer connections and datapaths (the paper's
+// Topology_set): the network geometry and the λ-scaled array granularity.
+func (a *Accelerator) TopologySet(spec networks.Spec, lambda float64) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	a.spec = spec
+	a.lambda = lambda
+	a.plans = a.model.BalancedPlans(spec.Layers, mapping.DefaultArray, lambda)
+	a.topologySet = true
+	a.loaded = false
+	a.pipelined = false
+	return nil
+}
+
+// WeightLoad programs weights into the morphable subarrays (the paper's
+// Weight_load): pretrained weights when net is non-nil, otherwise fresh
+// initial weights drawn from rng for training from scratch.
+func (a *Accelerator) WeightLoad(net *nn.Network, rng *rand.Rand) error {
+	if !a.topologySet {
+		return errors.New("core: Weight_load before Topology_set")
+	}
+	if net == nil {
+		if rng == nil {
+			return errors.New("core: initial Weight_load requires a random source")
+		}
+		net = networks.BuildTrainable(a.spec, rng)
+	}
+	engines, err := buildEngines(net, a.model.SpikeBits)
+	if err != nil {
+		return err
+	}
+	a.engines = engines
+	a.loaded = true
+	return nil
+}
+
+// PipelineSet enables or disables the inter-layer pipeline (the paper's
+// Pipeline_set).
+func (a *Accelerator) PipelineSet(on bool) error {
+	if !a.loaded {
+		return errors.New("core: Pipeline_set before Weight_load")
+	}
+	a.pipelined = on
+	return nil
+}
+
+// CopyToPL models the host-to-accelerator transfer of input data and
+// returns the same samples (the accelerator works in place); transfer bytes
+// are accounted at float32 width.
+func (a *Accelerator) CopyToPL(samples []nn.Sample) []nn.Sample {
+	for _, s := range samples {
+		a.HostBytesIn += int64(s.Input.Size()) * 4
+	}
+	return samples
+}
+
+// CopyToCPU models the accelerator-to-host readback of a result tensor.
+func (a *Accelerator) CopyToCPU(t *tensor.Tensor) *tensor.Tensor {
+	a.HostBytesOut += int64(t.Size()) * 4
+	return t.Clone()
+}
+
+// forward runs one image through the analog datapath.
+func (a *Accelerator) forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, e := range a.engines {
+		x = e.forward(x)
+	}
+	return x
+}
+
+// Test runs inference over the samples (the paper's Test mode) and reports
+// accuracy plus the modeled cycles/time/energy of the run.
+func (a *Accelerator) Test(samples []nn.Sample) (Report, error) {
+	if !a.loaded {
+		return Report{}, errors.New("core: Test before Weight_load")
+	}
+	if len(samples) == 0 {
+		return Report{}, errors.New("core: Test with no samples")
+	}
+	correct := 0
+	for _, s := range samples {
+		y := a.forward(s.Input)
+		if _, idx := y.Max(); idx == s.Label {
+			correct++
+		}
+	}
+	n := len(samples)
+	L := a.spec.WeightedLayers()
+	sim := pipeline.Simulate(pipeline.Config{L: L, N: n, Pipelined: a.pipelined})
+	return Report{
+		Images:   n,
+		Accuracy: float64(correct) / float64(n),
+		Cycles:   sim.Cycles,
+		Seconds:  a.model.TestingTime(a.spec, a.plans, n, a.pipelined),
+		Energy:   a.model.TestingEnergy(a.spec, a.plans, n, a.pipelined),
+	}, nil
+}
+
+// Train runs the paper's Train mode over the samples with the given batch
+// size and learning rate: weights are frozen within each batch, per-image
+// partial derivatives accumulate in the gradient buffers, and the averaged
+// update is applied through the hardware read–modify–write at each batch
+// boundary. It returns the functional results plus the modeled run cost.
+func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report, error) {
+	if !a.loaded {
+		return Report{}, errors.New("core: Train before Weight_load")
+	}
+	if batch <= 0 {
+		return Report{}, errors.New("core: batch must be positive")
+	}
+	if len(samples) == 0 || len(samples)%batch != 0 {
+		return Report{}, fmt.Errorf("core: sample count %d must be a positive multiple of batch %d", len(samples), batch)
+	}
+	totalLoss := 0.0
+	classes := a.spec.Classes
+	for start := 0; start < len(samples); start += batch {
+		for _, s := range samples[start : start+batch] {
+			y := a.forward(s.Input)
+			t := nn.OneHot(s.Label, classes)
+			totalLoss += a.loss.Loss(y, t)
+			delta := a.loss.Grad(y, t)
+			for i := len(a.engines) - 1; i >= 0; i-- {
+				delta = a.engines[i].backward(delta)
+			}
+		}
+		for _, e := range a.engines {
+			e.applyUpdate(lr, batch, a.update)
+		}
+	}
+	n := len(samples)
+	L := a.spec.WeightedLayers()
+	sim := pipeline.Simulate(pipeline.Config{L: L, B: batch, N: n, Pipelined: a.pipelined, Training: true})
+	rep := Report{
+		Images:   n,
+		MeanLoss: totalLoss / float64(n),
+		Cycles:   sim.Cycles,
+		Seconds:  a.model.TrainingTime(a.spec, a.plans, n, batch, a.pipelined),
+		Energy:   a.model.TrainingEnergy(a.spec, a.plans, n, batch, a.pipelined),
+	}
+	return rep, nil
+}
+
+// Plans returns the active mapping plans (nil before Topology_set).
+func (a *Accelerator) Plans() []mapping.Plan { return a.plans }
+
+// WeightsSnapshot returns deep copies of every stage's master parameters,
+// for verification and checkpointing.
+func (a *Accelerator) WeightsSnapshot() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, e := range a.engines {
+		for _, w := range e.weights() {
+			out = append(out, w.Clone())
+		}
+	}
+	return out
+}
+
+// Pipelined reports whether the inter-layer pipeline is enabled.
+func (a *Accelerator) Pipelined() bool { return a.pipelined }

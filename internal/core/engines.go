@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/tensor"
+)
+
+// layerEngine is one analog pipeline stage with full training support:
+// forward through the quantized crossbar model, error backward through the
+// reordered-kernel arrays, gradient accumulation in buffers, and the
+// hardware weight update.
+//
+// The backward path is split the way the hardware splits it (Section 4.3):
+// maskError is the activation component ANDing a raw error with this
+// stage's f′ (computed from its buffered output d_l), and errorBackward is
+// the error-array pass Wᵀδ that also accumulates this stage's partial
+// derivatives from the buffered input d_{l-1}. The stateful backward —
+// used by the sequential executor — is exactly
+// errorBackward(maskError(δ, lastOut), lastIn).
+type layerEngine interface {
+	forward(x *tensor.Tensor) *tensor.Tensor
+	backward(delta *tensor.Tensor) *tensor.Tensor
+	// maskError applies this stage's activation derivative to a raw error,
+	// using the buffered stage output.
+	maskError(raw, output *tensor.Tensor) *tensor.Tensor
+	// errorBackward accumulates this stage's gradients from (δ, buffered
+	// input) and returns the raw upstream error Wᵀδ.
+	errorBackward(delta, input *tensor.Tensor) *tensor.Tensor
+	applyUpdate(lr float64, batch int, u *arch.UpdateUnit)
+	// weights returns the stage's master parameter tensors (empty for
+	// weight-free stages), for snapshotting and verification.
+	weights() []*tensor.Tensor
+}
+
+// buildEngines lowers a float network onto analog layer engines. Supported
+// sequence: Conv(+ReLU), MaxPool, Dense(+ReLU) — the trainable zoo.
+func buildEngines(net *nn.Network, bits int) ([]layerEngine, error) {
+	var engines []layerEngine
+	layers := net.Layers
+	for i := 0; i < len(layers); i++ {
+		switch l := layers[i].(type) {
+		case *nn.Dense:
+			relu := false
+			if i+1 < len(layers) {
+				if _, ok := layers[i+1].(*nn.ReLU); ok {
+					relu = true
+					i++
+				}
+			}
+			engines = append(engines, newDenseEngine(l, relu, bits))
+		case *nn.Conv:
+			if _, _, _, _, _, stride, _ := l.Geometry(); stride != 1 {
+				// The Figure 11 error-backward-as-convolution identity the
+				// analog datapath implements holds for unit stride.
+				return nil, fmt.Errorf("core: conv layer %s has stride %d; the analog backward path supports stride 1", l.Name(), stride)
+			}
+			relu := false
+			if i+1 < len(layers) {
+				if _, ok := layers[i+1].(*nn.ReLU); ok {
+					relu = true
+					i++
+				}
+			}
+			engines = append(engines, newConvEngine(l, relu, bits))
+		case *nn.MaxPool:
+			inC, inH, inW, k := l.Geometry()
+			engines = append(engines, &poolEngine{inC: inC, inH: inH, inW: inW, k: k})
+		default:
+			return nil, fmt.Errorf("core: unsupported layer type %T", l)
+		}
+	}
+	return engines, nil
+}
+
+// denseEngine is an inner-product stage: a forward array pair (in×out) and
+// an error-backward array pair holding Wᵀ (out×in), per Section 4.3.
+type denseEngine struct {
+	in, out int
+	relu    bool
+	bits    int
+
+	w    *tensor.Tensor // float master copy (host shadow of the arrays)
+	bias *tensor.Tensor
+	fwd  *arch.Quantized // rows=in, cols=out
+	bwd  *arch.Quantized // rows=out, cols=in
+
+	gradW *tensor.Tensor
+	gradB *tensor.Tensor
+
+	lastIn  *tensor.Tensor
+	lastOut *tensor.Tensor
+	inShape []int
+}
+
+func newDenseEngine(l *nn.Dense, relu bool, bits int) *denseEngine {
+	e := &denseEngine{
+		in: l.In(), out: l.Out(), relu: relu, bits: bits,
+		w:     l.Weights().Value.Clone(), // (out, in)
+		bias:  l.Bias().Value.Clone(),
+		gradW: tensor.New(l.Out(), l.In()),
+		gradB: tensor.New(l.Out()),
+	}
+	e.program()
+	return e
+}
+
+// program (re)writes both array pairs from the float master weights.
+func (e *denseEngine) program() {
+	e.fwd = arch.NewQuantized(tensor.Transpose(e.w), e.in, e.out, e.bits)
+	e.bwd = arch.NewQuantized(e.w, e.out, e.in, e.bits)
+}
+
+func (e *denseEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
+
+func (e *denseEngine) forward(x *tensor.Tensor) *tensor.Tensor {
+	e.inShape = x.Shape()
+	flat := x.Reshape(e.in)
+	e.lastIn = flat.Clone()
+	y := e.fwd.MatVec(flat)
+	y.AddInPlace(e.bias)
+	if e.relu {
+		y.Apply(func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	}
+	e.lastOut = y.Clone()
+	return y
+}
+
+func (e *denseEngine) backward(delta *tensor.Tensor) *tensor.Tensor {
+	d := e.maskError(delta.Reshape(e.out), e.lastOut)
+	return e.errorBackward(d, e.lastIn).Reshape(e.inShape...)
+}
+
+func (e *denseEngine) maskError(raw, output *tensor.Tensor) *tensor.Tensor {
+	if !e.relu {
+		return raw
+	}
+	return arch.ReluBackward(raw.Reshape(e.out), output.Reshape(e.out))
+}
+
+func (e *denseEngine) errorBackward(delta, input *tensor.Tensor) *tensor.Tensor {
+	d := delta.Reshape(e.out)
+	in := input.Reshape(e.in)
+	// ∂W = δ·d_{l-1}ᵀ and ∂b = δ accumulate in the gradient buffers.
+	e.gradW.AddInPlace(tensor.Outer(d, in))
+	e.gradB.AddInPlace(d)
+	// δ_{l-1} = Wᵀδ through the error array pair.
+	return e.bwd.MatVec(d)
+}
+
+func (e *denseEngine) applyUpdate(lr float64, batch int, u *arch.UpdateUnit) {
+	scale := e.w.AbsMax() * 2
+	if scale == 0 {
+		scale = 1
+	}
+	u.Apply(e.w, e.gradW, lr, batch, scale)
+	// Bias registers update digitally (the paper keeps bias in the extra
+	// word line; the averaged gradient applies the same way).
+	e.bias.AxpyInPlace(-lr/float64(batch), e.gradB)
+	e.gradW.Zero()
+	e.gradB.Zero()
+	e.program()
+}
+
+// convEngine is a convolution stage: a forward array pair holding the kernel
+// matrix and an error array pair holding the reordered kernels (W)* of
+// Figure 11; derivatives follow Figure 12 on the buffered d and δ.
+type convEngine struct {
+	inC, inH, inW, outC int
+	k, stride, pad      int
+	relu                bool
+	bits                int
+
+	w    *tensor.Tensor // (outC, inC, k, k) float master
+	bias *tensor.Tensor
+	fwd  *arch.Quantized // rows=inC·k·k, cols=outC
+	bwd  *arch.Quantized // rows=outC·k·k, cols=inC (reordered kernels)
+
+	gradW *tensor.Tensor
+	gradB *tensor.Tensor
+
+	lastIn  *tensor.Tensor
+	lastOut *tensor.Tensor
+}
+
+func newConvEngine(l *nn.Conv, relu bool, bits int) *convEngine {
+	inC, inH, inW, outC, k, stride, pad := l.Geometry()
+	e := &convEngine{
+		inC: inC, inH: inH, inW: inW, outC: outC,
+		k: k, stride: stride, pad: pad, relu: relu, bits: bits,
+		w:     l.Weights().Value.Clone(),
+		bias:  l.Bias().Value.Clone(),
+		gradW: tensor.New(outC, inC, k, k),
+		gradB: tensor.New(outC),
+	}
+	e.program()
+	return e
+}
+
+func (e *convEngine) program() {
+	wmat := e.w.Reshape(e.outC, e.inC*e.k*e.k)
+	e.fwd = arch.NewQuantized(tensor.Transpose(wmat), e.inC*e.k*e.k, e.outC, e.bits)
+	back := arch.BackwardKernels(e.w) // (inC, outC, k, k)
+	bmat := back.Reshape(e.inC, e.outC*e.k*e.k)
+	e.bwd = arch.NewQuantized(tensor.Transpose(bmat), e.outC*e.k*e.k, e.inC, e.bits)
+}
+
+func (e *convEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
+
+func (e *convEngine) forward(x *tensor.Tensor) *tensor.Tensor {
+	e.lastIn = x.Clone()
+	cols := tensor.Im2Col(x, e.k, e.k, e.stride, e.pad)
+	oh := tensor.ConvOutDim(e.inH, e.k, e.stride, e.pad)
+	ow := tensor.ConvOutDim(e.inW, e.k, e.stride, e.pad)
+	nwin := oh * ow
+	out := tensor.New(e.outC, oh, ow)
+	vec := tensor.New(cols.Dim(0))
+	for wdx := 0; wdx < nwin; wdx++ {
+		for i := 0; i < cols.Dim(0); i++ {
+			vec.Data()[i] = cols.At(i, wdx)
+		}
+		y := e.fwd.MatVec(vec)
+		for c := 0; c < e.outC; c++ {
+			v := y.At(c) + e.bias.At(c)
+			if e.relu && v < 0 {
+				v = 0
+			}
+			out.Data()[c*nwin+wdx] = v
+		}
+	}
+	e.lastOut = out.Clone()
+	return out
+}
+
+func (e *convEngine) backward(delta *tensor.Tensor) *tensor.Tensor {
+	d := e.maskError(delta, e.lastOut)
+	return e.errorBackward(d, e.lastIn)
+}
+
+func (e *convEngine) outShape() (int, int) {
+	return tensor.ConvOutDim(e.inH, e.k, e.stride, e.pad), tensor.ConvOutDim(e.inW, e.k, e.stride, e.pad)
+}
+
+func (e *convEngine) maskError(raw, output *tensor.Tensor) *tensor.Tensor {
+	oh, ow := e.outShape()
+	r := raw.Reshape(e.outC, oh, ow)
+	if !e.relu {
+		return r
+	}
+	return arch.ReluBackward(r, output.Reshape(e.outC, oh, ow))
+}
+
+func (e *convEngine) errorBackward(delta, input *tensor.Tensor) *tensor.Tensor {
+	oh, ow := e.outShape()
+	d := delta.Reshape(e.outC, oh, ow)
+	in := input.Reshape(e.inC, e.inH, e.inW)
+	// ∂b and ∂W accumulate (Figure 12 — the buffered d acts as the kernel).
+	for c := 0; c < e.outC; c++ {
+		s := 0.0
+		plane := d.Data()[c*oh*ow : (c+1)*oh*ow]
+		for _, v := range plane {
+			s += v
+		}
+		e.gradB.Data()[c] += s
+	}
+	e.gradW.AddInPlace(arch.ConvDerivative(in, d, e.k, e.pad))
+
+	// δ_{l-1} = conv2(δ, rot180(K), 'full') through the error arrays: the
+	// padded error's im2col columns drive the reordered-kernel array pair.
+	padded := tensor.Pad2D(d, e.k-1)
+	cols := tensor.Im2Col(padded, e.k, e.k, 1, 0)
+	fh := padded.Dim(1) - e.k + 1
+	fw := padded.Dim(2) - e.k + 1
+	nwin := fh * fw
+	full := tensor.New(e.inC, fh, fw)
+	vec := tensor.New(cols.Dim(0))
+	for wdx := 0; wdx < nwin; wdx++ {
+		for i := 0; i < cols.Dim(0); i++ {
+			vec.Data()[i] = cols.At(i, wdx)
+		}
+		y := e.bwd.MatVec(vec)
+		for c := 0; c < e.inC; c++ {
+			full.Data()[c*nwin+wdx] = y.At(c)
+		}
+	}
+	if e.pad > 0 {
+		full = tensor.Crop2D(full, e.pad)
+	}
+	return full
+}
+
+func (e *convEngine) applyUpdate(lr float64, batch int, u *arch.UpdateUnit) {
+	scale := e.w.AbsMax() * 2
+	if scale == 0 {
+		scale = 1
+	}
+	u.Apply(e.w, e.gradW, lr, batch, scale)
+	e.bias.AxpyInPlace(-lr/float64(batch), e.gradB)
+	e.gradW.Zero()
+	e.gradB.Zero()
+	e.program()
+}
+
+// poolEngine is a max-pooling stage; backward routes errors to the stored
+// window maxima (Figure 10b).
+type poolEngine struct {
+	inC, inH, inW, k int
+	lastIn           *tensor.Tensor
+}
+
+func (e *poolEngine) forward(x *tensor.Tensor) *tensor.Tensor {
+	e.lastIn = x.Clone()
+	oh, ow := e.inH/e.k, e.inW/e.k
+	out := tensor.New(e.inC, oh, ow)
+	for c := 0; c < e.inC; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := x.At(c, oy*e.k, ox*e.k)
+				for ky := 0; ky < e.k; ky++ {
+					for kx := 0; kx < e.k; kx++ {
+						if v := x.At(c, oy*e.k+ky, ox*e.k+kx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(best, c, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+func (e *poolEngine) backward(delta *tensor.Tensor) *tensor.Tensor {
+	return e.errorBackward(delta, e.lastIn)
+}
+
+func (e *poolEngine) maskError(raw, _ *tensor.Tensor) *tensor.Tensor {
+	return raw.Reshape(e.inC, e.inH/e.k, e.inW/e.k)
+}
+
+func (e *poolEngine) errorBackward(delta, input *tensor.Tensor) *tensor.Tensor {
+	return arch.MaxPoolBackward(
+		delta.Reshape(e.inC, e.inH/e.k, e.inW/e.k),
+		input.Reshape(e.inC, e.inH, e.inW), e.k)
+}
+
+func (e *poolEngine) applyUpdate(float64, int, *arch.UpdateUnit) {}
+
+func (e *poolEngine) weights() []*tensor.Tensor { return nil }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pipelayer/internal/nn"
+	"pipelayer/internal/tensor"
+)
+
+// Functional pipelined execution: this file plays the Figure 6 schedule with
+// real tensors. Up to B images are in flight simultaneously; every
+// inter-stage d value lives in a circular ring of 2(L−l)+1 entries exactly
+// as Section 3.3 prescribes; every unit performs at most one operation per
+// logical cycle; and because the weights are frozen within a batch and the
+// per-layer gradient accumulation order matches the sequential machine's,
+// the result is bit-identical to sequential execution —
+// TestPipelinedTrainMatchesSequential verifies it weight-for-weight.
+//
+// Per-image cycle offsets (entry cycle e, stages 1..L):
+//
+//	forward stage k:        e + k − 1        writes ring d_k, peeks d_{k−1}
+//	output error (ErrL):    e + L            consumes d_L, writes δ_L
+//	error+derivative C_l:   e + 2L − l       consumes δ_{l+1} and d_l,
+//	  (l = L−1 .. 1)                         writes δ_l
+//	first-stage gradient:   e + 2L           consumes δ_1
+//	batch update:           e + 2L + 1       (last image of the batch)
+//
+// so d_l written at e+l−1 is last read at e+2L−l — a gap of 2(L−l)+1
+// cycles, the paper's ring depth, with the consume-before-write ordering
+// that lets the slot be rewritten in the very cycle it drains.
+type ring struct {
+	name    string
+	entries []ringEntry
+	wp      int
+}
+
+type ringEntry struct {
+	image int
+	data  *tensor.Tensor
+	live  bool
+}
+
+func newRing(name string, depth int) *ring {
+	if depth <= 0 {
+		panic("core: ring depth must be positive")
+	}
+	return &ring{name: name, entries: make([]ringEntry, depth)}
+}
+
+func (r *ring) write(image int, t *tensor.Tensor) {
+	e := &r.entries[r.wp]
+	if e.live {
+		panic(fmt.Sprintf("core: ring %s overwrites live data of image %d with image %d", r.name, e.image, image))
+	}
+	*e = ringEntry{image: image, data: t, live: true}
+	r.wp = (r.wp + 1) % len(r.entries)
+}
+
+// peek returns image's live entry without retiring it.
+func (r *ring) peek(image int) *tensor.Tensor {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.live && e.image == image {
+			return e.data
+		}
+	}
+	panic(fmt.Sprintf("core: ring %s has no live entry for image %d", r.name, image))
+}
+
+// consume retires image's entry and returns its tensor.
+func (r *ring) consume(image int) *tensor.Tensor {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.live && e.image == image {
+			e.live = false
+			return e.data
+		}
+	}
+	panic(fmt.Sprintf("core: ring %s has no live entry for image %d", r.name, image))
+}
+
+// pipelinedOp is one scheduled operation.
+type pipelinedOp struct {
+	cycle int
+	kind  opKind
+	image int
+	stage int // 1-based stage index where applicable
+}
+
+type opKind int
+
+const (
+	opForward opKind = iota
+	opErrLast
+	opErrChain // C_l: error through stage l+1's arrays + stage l's mask
+	opGradFirst
+	opUpdate
+)
+
+// TrainPipelined runs the same training computation as Train but through
+// the cycle-by-cycle pipelined schedule with ring-buffered intermediates.
+func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64) (Report, error) {
+	if !a.loaded {
+		return Report{}, errors.New("core: Train before Weight_load")
+	}
+	if batch <= 0 || len(samples) == 0 || len(samples)%batch != 0 {
+		return Report{}, fmt.Errorf("core: sample count %d must be a positive multiple of batch %d", len(samples), batch)
+	}
+	L := len(a.engines)
+
+	dRing := make([]*ring, L+1)
+	for l := 1; l < L; l++ {
+		dRing[l] = newRing(fmt.Sprintf("d%d", l), 2*(L-l)+1)
+	}
+	dRing[L] = newRing(fmt.Sprintf("d%d", L), 2)
+	deltaRing := make([]*ring, L+1)
+	for l := 1; l <= L; l++ {
+		deltaRing[l] = newRing(fmt.Sprintf("delta%d", l), 2)
+	}
+
+	ops := buildPipelinedSchedule(len(samples), batch, L)
+	byCycle := map[int][]pipelinedOp{}
+	last := 0
+	for _, op := range ops {
+		byCycle[op.cycle] = append(byCycle[op.cycle], op)
+		if op.cycle > last {
+			last = op.cycle
+		}
+	}
+
+	totalLoss := 0.0
+	classes := a.spec.Classes
+	for c := 1; c <= last; c++ {
+		// All reads/consumes execute during the cycle; the produced tensors
+		// are written to the rings at the cycle boundary (consume-before-
+		// write, Section 3.3).
+		type pendingWrite struct {
+			ring  *ring
+			image int
+			data  *tensor.Tensor
+		}
+		var writes []pendingWrite
+		for _, op := range byCycle[c] {
+			switch op.kind {
+			case opForward:
+				var x *tensor.Tensor
+				if op.stage == 1 {
+					x = samples[op.image].Input
+				} else {
+					x = dRing[op.stage-1].peek(op.image)
+				}
+				y := a.engines[op.stage-1].forward(x)
+				writes = append(writes, pendingWrite{dRing[op.stage], op.image, y})
+			case opErrLast:
+				y := dRing[L].consume(op.image)
+				t := nn.OneHot(samples[op.image].Label, classes)
+				totalLoss += a.loss.Loss(y, t)
+				raw := a.loss.Grad(y, t)
+				g := a.engines[L-1].maskError(raw, y)
+				writes = append(writes, pendingWrite{deltaRing[L], op.image, g})
+			case opErrChain:
+				l := op.stage // producing δ_l from δ_{l+1}
+				delta := deltaRing[l+1].consume(op.image)
+				dl := dRing[l].consume(op.image) // final user of d_l
+				raw := a.engines[l].errorBackward(delta, dl)
+				g := a.engines[l-1].maskError(raw, dl)
+				writes = append(writes, pendingWrite{deltaRing[l], op.image, g})
+			case opGradFirst:
+				delta := deltaRing[1].consume(op.image)
+				a.engines[0].errorBackward(delta, samples[op.image].Input)
+			case opUpdate:
+				for _, e := range a.engines {
+					e.applyUpdate(lr, batch, a.update)
+				}
+			}
+		}
+		for _, w := range writes {
+			w.ring.write(w.image, w.data)
+		}
+	}
+
+	n := len(samples)
+	return Report{
+		Images:   n,
+		MeanLoss: totalLoss / float64(n),
+		Cycles:   last,
+		Seconds:  a.model.TrainingTime(a.spec, a.plans, n, batch, true),
+		Energy:   a.model.TrainingEnergy(a.spec, a.plans, n, batch, true),
+	}, nil
+}
+
+// buildPipelinedSchedule expands the Figure 6 offsets over all images.
+func buildPipelinedSchedule(n, batch, L int) []pipelinedOp {
+	var ops []pipelinedOp
+	period := 2*L + batch + 1
+	for img := 0; img < n; img++ {
+		b, i := img/batch, img%batch
+		e := b*period + i + 1
+		for k := 1; k <= L; k++ {
+			ops = append(ops, pipelinedOp{cycle: e + k - 1, kind: opForward, image: img, stage: k})
+		}
+		ops = append(ops, pipelinedOp{cycle: e + L, kind: opErrLast, image: img, stage: L})
+		for l := L - 1; l >= 1; l-- {
+			ops = append(ops, pipelinedOp{cycle: e + 2*L - l, kind: opErrChain, image: img, stage: l})
+		}
+		ops = append(ops, pipelinedOp{cycle: e + 2*L, kind: opGradFirst, image: img, stage: 1})
+		if (img+1)%batch == 0 {
+			ops = append(ops, pipelinedOp{cycle: e + 2*L + 1, kind: opUpdate, image: img})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/tensor"
+)
+
+// buildPair creates two identically initialized accelerators.
+func buildPair(t *testing.T, spec networks.Spec, seed int64) (*Accelerator, *Accelerator) {
+	t.Helper()
+	mk := func() *Accelerator {
+		a := newAccel()
+		if err := a.TopologySet(spec, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WeightLoad(nil, rand.New(rand.NewSource(seed))); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	return mk(), mk()
+}
+
+// The central architectural claim, functionally verified: processing B
+// images through the Figure 6 pipeline — with d values held in
+// 2(L−l)+1-deep circular rings and every unit used once per cycle —
+// computes exactly the same weights as processing them sequentially.
+func TestPipelinedTrainMatchesSequential(t *testing.T) {
+	spec := networks.Spec{
+		Name: "pipe-mlp", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.FC("fc1", 784, 64),
+			mapping.FC("fc2", 64, 32),
+			mapping.FC("fc3", 32, 10),
+		},
+	}
+	seq, pipe := buildPair(t, spec, 31)
+	samples := dataset.Generate(40, dataset.DefaultOptions(true), 8)
+
+	repSeq, err := seq.Train(samples, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPipe, err := pipe.TrainPipelined(samples, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repSeq.MeanLoss != repPipe.MeanLoss {
+		t.Fatalf("losses differ: sequential %.12f vs pipelined %.12f", repSeq.MeanLoss, repPipe.MeanLoss)
+	}
+	ws, wp := seq.WeightsSnapshot(), pipe.WeightsSnapshot()
+	if len(ws) != len(wp) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(ws), len(wp))
+	}
+	for i := range ws {
+		if !tensor.Equal(ws[i], wp[i], 0) {
+			t.Fatalf("weight tensor %d differs between sequential and pipelined training", i)
+		}
+	}
+}
+
+func TestPipelinedTrainMatchesSequentialCNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	spec := networks.Spec{
+		Name: "pipe-cnn", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.Conv("conv1", 1, 28, 28, 4, 3, 1, 1),
+			mapping.Pool("pool1", 4, 28, 28, 2),
+			mapping.Conv("conv2", 4, 14, 14, 8, 3, 1, 1),
+			mapping.Pool("pool2", 8, 14, 14, 2),
+			mapping.FC("fc", 8*7*7, 10),
+		},
+	}
+	seq, pipe := buildPair(t, spec, 5)
+	samples := dataset.Generate(12, dataset.DefaultOptions(false), 9)
+	if _, err := seq.Train(samples, 4, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.TrainPipelined(samples, 4, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	ws, wp := seq.WeightsSnapshot(), pipe.WeightsSnapshot()
+	for i := range ws {
+		if !tensor.Equal(ws[i], wp[i], 0) {
+			t.Fatalf("CNN weight tensor %d differs", i)
+		}
+	}
+}
+
+func TestPipelinedCycleCountMatchesStageFormula(t *testing.T) {
+	// The pipelined executor's schedule spans (N/B)(2S+B+1) cycles where S
+	// counts *all* stages (pooling included).
+	spec := networks.Mnist0()
+	a := newAccel()
+	if err := a.TopologySet(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	samples := dataset.Generate(16, dataset.DefaultOptions(false), 3)
+	rep, err := a.TrainPipelined(samples, 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := 6 // conv, pool, conv, pool, fc, fc
+	want := (16 / 8) * (2*stages + 8 + 1)
+	if rep.Cycles != want {
+		t.Fatalf("pipelined executor cycles = %d, want %d", rep.Cycles, want)
+	}
+}
+
+func TestPipelinedTrainValidation(t *testing.T) {
+	a := newAccel()
+	if _, err := a.TrainPipelined(nil, 4, 0.1); err == nil {
+		t.Fatal("unloaded accelerator must fail")
+	}
+	if err := a.TopologySet(networks.MnistA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	samples := dataset.Generate(10, dataset.DefaultOptions(true), 1)
+	if _, err := a.TrainPipelined(samples, 3, 0.1); err == nil {
+		t.Fatal("non-multiple sample count must fail")
+	}
+}
+
+func TestRingLivenessAndDepth(t *testing.T) {
+	r := newRing("x", 2)
+	a := tensor.FromSlice([]float64{1}, 1)
+	b := tensor.FromSlice([]float64{2}, 1)
+	r.write(0, a)
+	r.write(1, b)
+	if got := r.peek(0); got.At(0) != 1 {
+		t.Fatal("peek broken")
+	}
+	if got := r.consume(0); got.At(0) != 1 {
+		t.Fatal("consume broken")
+	}
+	// Slot 0 drained: the third write must succeed.
+	r.write(2, a)
+	// Now both slots live: a fourth write must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overwrite panic")
+		}
+	}()
+	r.write(3, b)
+}
+
+func TestRingConsumeMissingPanics(t *testing.T) {
+	r := newRing("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.consume(7)
+}

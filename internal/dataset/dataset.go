@@ -1,0 +1,176 @@
+// Package dataset provides the deterministic synthetic stand-in for MNIST
+// used by the reproduction's accuracy experiments (paper Section 6.1 uses the
+// real MNIST database, which is not available in this offline environment;
+// the substitution is documented in DESIGN.md).
+//
+// Images are 28×28 grayscale renderings of the ten digits as seven-segment
+// patterns with per-sample random translation, intensity scaling and pixel
+// noise. The task is learnable by small MLPs/CNNs yet non-trivial, and its
+// accuracy degrades under weight quantization — the property the paper's
+// Figure 13 experiment depends on.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/nn"
+	"pipelayer/internal/tensor"
+)
+
+// Size is the side length of generated images (MNIST's 28).
+const Size = 28
+
+// segment identifiers of a seven-segment display.
+const (
+	segA = iota // top
+	segB        // top-right
+	segC        // bottom-right
+	segD        // bottom
+	segE        // bottom-left
+	segF        // top-left
+	segG        // middle
+	numSegments
+)
+
+// digitSegments maps each digit class to its lit segments.
+var digitSegments = [10][numSegments]bool{
+	0: {segA: true, segB: true, segC: true, segD: true, segE: true, segF: true},
+	1: {segB: true, segC: true},
+	2: {segA: true, segB: true, segG: true, segE: true, segD: true},
+	3: {segA: true, segB: true, segG: true, segC: true, segD: true},
+	4: {segF: true, segG: true, segB: true, segC: true},
+	5: {segA: true, segF: true, segG: true, segC: true, segD: true},
+	6: {segA: true, segF: true, segG: true, segE: true, segC: true, segD: true},
+	7: {segA: true, segB: true, segC: true},
+	8: {segA: true, segB: true, segC: true, segD: true, segE: true, segF: true, segG: true},
+	9: {segA: true, segB: true, segC: true, segD: true, segF: true, segG: true},
+}
+
+// glyph geometry on the 28×28 canvas (before jitter).
+const (
+	glyphLeft   = 8
+	glyphRight  = 19
+	glyphTop    = 4
+	glyphMid    = 13
+	glyphBottom = 23
+	strokeWidth = 2
+)
+
+// drawSegment stamps one segment onto img with the given intensity and
+// translation (dx, dy). Out-of-bounds pixels are clipped.
+func drawSegment(img []float64, seg int, intensity float64, dx, dy int) {
+	hline := func(y, x0, x1 int) {
+		for t := 0; t < strokeWidth; t++ {
+			yy := y + t + dy
+			if yy < 0 || yy >= Size {
+				continue
+			}
+			for x := x0 + dx; x <= x1+dx; x++ {
+				if x >= 0 && x < Size {
+					img[yy*Size+x] = intensity
+				}
+			}
+		}
+	}
+	vline := func(x, y0, y1 int) {
+		for t := 0; t < strokeWidth; t++ {
+			xx := x + t + dx
+			if xx < 0 || xx >= Size {
+				continue
+			}
+			for y := y0 + dy; y <= y1+dy; y++ {
+				if y >= 0 && y < Size {
+					img[y*Size+xx] = intensity
+				}
+			}
+		}
+	}
+	switch seg {
+	case segA:
+		hline(glyphTop, glyphLeft, glyphRight)
+	case segB:
+		vline(glyphRight, glyphTop, glyphMid)
+	case segC:
+		vline(glyphRight, glyphMid, glyphBottom)
+	case segD:
+		hline(glyphBottom, glyphLeft, glyphRight)
+	case segE:
+		vline(glyphLeft, glyphMid, glyphBottom)
+	case segF:
+		vline(glyphLeft, glyphTop, glyphMid)
+	case segG:
+		hline(glyphMid, glyphLeft, glyphRight)
+	}
+}
+
+// Options controls sample generation.
+type Options struct {
+	// MaxShift is the maximum absolute per-sample translation in pixels.
+	MaxShift int
+	// Noise is the standard deviation of additive Gaussian pixel noise.
+	Noise float64
+	// Flat, when true, emits rank-1 tensors of 784 elements (MLP input);
+	// otherwise rank-3 (1,28,28) tensors (CNN input).
+	Flat bool
+}
+
+// DefaultOptions mirror the difficulty calibration used throughout the
+// experiments: ±2 px jitter and σ=0.15 noise.
+func DefaultOptions(flat bool) Options {
+	return Options{MaxShift: 2, Noise: 0.15, Flat: flat}
+}
+
+// Render draws a single digit with the given jitter parameters into a new
+// image slice of Size*Size float64 pixels in [roughly 0,1].
+func Render(digit int, intensity float64, dx, dy int, noise float64, rng *rand.Rand) []float64 {
+	if digit < 0 || digit > 9 {
+		panic(fmt.Sprintf("dataset: digit %d out of range", digit))
+	}
+	img := make([]float64, Size*Size)
+	for seg := 0; seg < numSegments; seg++ {
+		if digitSegments[digit][seg] {
+			drawSegment(img, seg, intensity, dx, dy)
+		}
+	}
+	if noise > 0 {
+		for i := range img {
+			img[i] += noise * rng.NormFloat64()
+			if img[i] < 0 {
+				img[i] = 0
+			} else if img[i] > 1 {
+				img[i] = 1
+			}
+		}
+	}
+	return img
+}
+
+// Generate produces n labeled samples with balanced classes (class i appears
+// ⌈n/10⌉ or ⌊n/10⌋ times, cycling), deterministically from seed.
+func Generate(n int, opts Options, seed int64) []nn.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]nn.Sample, n)
+	for i := 0; i < n; i++ {
+		digit := i % 10
+		intensity := 0.7 + 0.3*rng.Float64()
+		dx := rng.Intn(2*opts.MaxShift+1) - opts.MaxShift
+		dy := rng.Intn(2*opts.MaxShift+1) - opts.MaxShift
+		img := Render(digit, intensity, dx, dy, opts.Noise, rng)
+		var x *tensor.Tensor
+		if opts.Flat {
+			x = tensor.FromSlice(img, Size*Size)
+		} else {
+			x = tensor.FromSlice(img, 1, Size, Size)
+		}
+		samples[i] = nn.Sample{Input: x, Label: digit}
+	}
+	// Shuffle deterministically so batches mix classes.
+	rng.Shuffle(n, func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	return samples
+}
+
+// TrainTest generates disjoint train and test sets from independent streams.
+func TrainTest(nTrain, nTest int, opts Options, seed int64) (train, test []nn.Sample) {
+	return Generate(nTrain, opts, seed), Generate(nTest, opts, seed+1e9)
+}

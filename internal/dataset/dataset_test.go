@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/tensor"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(50, DefaultOptions(true), 42)
+	b := Generate(50, DefaultOptions(true), 42)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		if !tensor.Equal(a[i].Input, b[i].Input, 0) {
+			t.Fatalf("pixel mismatch at %d", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(10, DefaultOptions(true), 1)
+	b := Generate(10, DefaultOptions(true), 2)
+	same := true
+	for i := range a {
+		if !tensor.Equal(a[i].Input, b[i].Input, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestGenerateBalancedClasses(t *testing.T) {
+	samples := Generate(100, DefaultOptions(true), 3)
+	counts := map[int]int{}
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	for d := 0; d < 10; d++ {
+		if counts[d] != 10 {
+			t.Fatalf("class %d has %d samples, want 10", d, counts[d])
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	flat := Generate(3, DefaultOptions(true), 4)
+	if flat[0].Input.Rank() != 1 || flat[0].Input.Size() != 784 {
+		t.Fatalf("flat shape = %v", flat[0].Input.Shape())
+	}
+	img := Generate(3, DefaultOptions(false), 4)
+	sh := img[0].Input.Shape()
+	if len(sh) != 3 || sh[0] != 1 || sh[1] != 28 || sh[2] != 28 {
+		t.Fatalf("image shape = %v", sh)
+	}
+}
+
+func TestRenderPixelRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	img := Render(8, 1.0, 2, -2, 0.3, rng)
+	for i, v := range img {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel[%d] = %g outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestRenderDigitsDistinct(t *testing.T) {
+	// Clean renderings (no jitter/noise) of distinct digits must differ.
+	rng := rand.New(rand.NewSource(6))
+	imgs := make([][]float64, 10)
+	for d := 0; d < 10; d++ {
+		imgs[d] = Render(d, 1.0, 0, 0, 0, rng)
+	}
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			diff := 0.0
+			for i := range imgs[a] {
+				d := imgs[a][i] - imgs[b][i]
+				if d < 0 {
+					d = -d
+				}
+				diff += d
+			}
+			if diff == 0 {
+				t.Fatalf("digits %d and %d render identically", a, b)
+			}
+		}
+	}
+}
+
+func TestRenderInvalidDigitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Render(10, 1, 0, 0, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestRenderHasInk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for d := 0; d < 10; d++ {
+		img := Render(d, 1.0, 0, 0, 0, rng)
+		sum := 0.0
+		for _, v := range img {
+			sum += v
+		}
+		if sum < 10 {
+			t.Fatalf("digit %d has almost no ink: sum=%g", d, sum)
+		}
+	}
+}
+
+func TestTrainTestDisjointStreams(t *testing.T) {
+	train, test := TrainTest(20, 20, DefaultOptions(true), 11)
+	if len(train) != 20 || len(test) != 20 {
+		t.Fatalf("sizes: %d/%d", len(train), len(test))
+	}
+	// Streams are independent: first tensors should differ.
+	if tensor.Equal(train[0].Input, test[0].Input, 0) && train[0].Label == test[0].Label {
+		// Extremely unlikely unless streams are identical; check a second pair.
+		if tensor.Equal(train[1].Input, test[1].Input, 0) {
+			t.Fatal("train and test streams appear identical")
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package energy
+
+// Calibration bridges: derive the model's aggregate constants from the
+// lower-level substrates instead of asserting them, so the layers of the
+// simulator stay mutually consistent.
+
+// MemoryBandwidthProvider is the slice of the memsys package the model
+// needs: a sustained-write bandwidth in values/second. (Declared here so
+// energy does not import memsys; memsys already imports energy for its
+// consistency test.)
+type MemoryBandwidthProvider interface {
+	// PeakWriteBandwidth returns the streaming write bandwidth in values/s.
+	PeakWriteBandwidth() float64
+}
+
+// CalibrateMoveBandwidth returns a copy of the model whose MoveBandwidth is
+// derived from the given memory organization at the stated sustained
+// utilization (peak × utilization): writes bound the movement because every
+// cycle the layer outputs must land in the memory subarrays.
+func (m Model) CalibrateMoveBandwidth(mem MemoryBandwidthProvider, utilization float64) Model {
+	if utilization <= 0 || utilization > 1 {
+		panic("energy: utilization must be in (0, 1]")
+	}
+	out := m
+	out.MoveBandwidth = mem.PeakWriteBandwidth() * utilization
+	return out
+}

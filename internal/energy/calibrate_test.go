@@ -1,0 +1,43 @@
+package energy
+
+import "testing"
+
+type fakeMem struct{ bw float64 }
+
+func (f fakeMem) PeakWriteBandwidth() float64 { return f.bw }
+
+func TestCalibrateMoveBandwidth(t *testing.T) {
+	m := DefaultModel()
+	c := m.CalibrateMoveBandwidth(fakeMem{bw: 4e11}, 0.25)
+	if c.MoveBandwidth != 1e11 {
+		t.Fatalf("calibrated bandwidth = %g", c.MoveBandwidth)
+	}
+	// The receiver must be unchanged (value semantics).
+	if m.MoveBandwidth == c.MoveBandwidth && m.MoveBandwidth != 1e11 {
+		t.Fatal("original model mutated")
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	m := DefaultModel()
+	for _, u := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("utilization %g should panic", u)
+				}
+			}()
+			m.CalibrateMoveBandwidth(fakeMem{bw: 1e12}, u)
+		}()
+	}
+}
+
+func TestCalibratedModelStillWorks(t *testing.T) {
+	m := DefaultModel().CalibrateMoveBandwidth(fakeMem{bw: 2e11}, 0.5)
+	if m.MoveBandwidth != 1e11 {
+		t.Fatalf("bandwidth = %g", m.MoveBandwidth)
+	}
+	if m.slotTime() != DefaultModel().slotTime() {
+		t.Fatal("calibration must not disturb other constants")
+	}
+}

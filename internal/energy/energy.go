@@ -1,0 +1,292 @@
+// Package energy is the PipeLayer performance, energy and area model of the
+// paper's Section 6.2: NVSim-derived per-spike read/write latency and energy
+// (29.31 ns / 50.88 ns and 1.08 pJ / 3.91 nJ per spike, as reported in the
+// paper), spike-count-based energy accounting, logical-cycle timing derived
+// from the mapping plans, and a crossbar-count area model calibrated to the
+// paper's 82.63 mm² total (see DESIGN.md for the calibration note).
+package energy
+
+import (
+	"math"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// Model holds the device constants. The zero value is not usable; call
+// DefaultModel.
+type Model struct {
+	// SpikeBits is the input resolution: one logical array pass takes
+	// SpikeBits time slots (16-bit inputs, Section 5.1).
+	SpikeBits int
+	// ReadLatency / WriteLatency are seconds per spike slot (paper §6.2).
+	ReadLatency, WriteLatency float64
+	// ReadEnergy / WriteEnergy are joules per spike (paper §6.2).
+	ReadEnergy, WriteEnergy float64
+	// Activity is the average fraction of 1-bits in spike-coded data.
+	Activity float64
+	// CellsPerValue is the number of cell writes to store one 16-bit value
+	// (4 groups of 4-bit cells).
+	CellsPerValue int
+	// ArrayArea is mm² per physical 128×128 crossbar including its share of
+	// spike drivers, integrate-and-fire units and activation logic.
+	ArrayArea float64
+	// MemSubarrayArea is mm² per memory-subarray buffer entry.
+	MemSubarrayArea float64
+	// MoveBandwidth is the aggregate connection-component bandwidth between
+	// morphable and memory subarrays, in values per second: every cycle a
+	// layer's full output volume must traverse it, which is the component of
+	// the cycle time that replication (G) cannot shrink — the reason
+	// Figure 17's speedup saturates at large λ.
+	MoveBandwidth float64
+	// BalanceRatio κ is the compute-to-movement ratio the default
+	// granularity is balanced to: the balanced G makes the sequential array
+	// passes take ≈ κ× the unavoidable data-movement time.
+	BalanceRatio float64
+	// TrainingCycleFactor lengthens training cycles relative to testing
+	// cycles: Table 1's backward cases chain two array operations (error
+	// propagation plus derivative accumulation) where forward chains one.
+	TrainingCycleFactor float64
+	// PeripheralPower is the static/peripheral power draw (controller,
+	// spike drivers, integrate-and-fire comparators, connection network) in
+	// watts, charged for the duration of a run.
+	PeripheralPower float64
+}
+
+// DefaultModel returns the paper-parameterized model.
+func DefaultModel() Model {
+	return Model{
+		SpikeBits:           16,
+		ReadLatency:         29.31e-9,
+		WriteLatency:        50.88e-9,
+		ReadEnergy:          1.08e-12,
+		WriteEnergy:         3.91e-9,
+		Activity:            0.5,
+		CellsPerValue:       4,
+		ArrayArea:           5.0e-5, // 50 µm² per crossbar with periphery
+		MemSubarrayArea:     1.0e-3, // 0.001 mm² per buffer entry
+		MoveBandwidth:       1e11,   // 100 G values/s across all banks
+		BalanceRatio:        3,
+		TrainingCycleFactor: 2.4,
+		PeripheralPower:     100,
+	}
+}
+
+// slotTime is the duration of one sequential array pass: SpikeBits input
+// spike slots plus the output write slot.
+func (m Model) slotTime() float64 {
+	return float64(m.SpikeBits)*m.ReadLatency + m.WriteLatency
+}
+
+// layerOutputValues counts one layer's per-image output volume.
+func layerOutputValues(l mapping.Layer) float64 {
+	switch l.Kind {
+	case mapping.KindConv, mapping.KindPool:
+		return float64(l.OutC) * float64(l.OutH()) * float64(l.OutW())
+	case mapping.KindFC:
+		return float64(l.FCOut)
+	default:
+		return 0
+	}
+}
+
+// layerCycleTime is one layer's logical-cycle duration: its sequential array
+// passes plus its unavoidable output data movement.
+func (m Model) layerCycleTime(p mapping.Plan) float64 {
+	move := layerOutputValues(p.Layer) / m.MoveBandwidth
+	return float64(p.Steps)*m.slotTime() + move
+}
+
+// LayerCycleTime exposes one layer's logical-cycle duration, for planners
+// that need to find the critical layer.
+func (m Model) LayerCycleTime(p mapping.Plan) float64 { return m.layerCycleTime(p) }
+
+// CycleTime returns the physical duration of one logical cycle for a mapped
+// network: the slowest layer sets the pace (Section 3.1 — "the cycle time
+// has to allow the longest sequence of operations to fit").
+func (m Model) CycleTime(plans []mapping.Plan) float64 {
+	t := m.slotTime()
+	for _, p := range plans {
+		if lt := m.layerCycleTime(p); lt > t {
+			t = lt
+		}
+	}
+	return t
+}
+
+// BalancedG returns the energy-aware default granularity for a layer: the
+// smallest G whose sequential passes take no more than κ× the layer's data
+// movement time (the area/speed balance of Section 3.2.3; Table 5's defaults
+// are derived with this rule, see DESIGN.md).
+func (m Model) BalancedG(l mapping.Layer) int {
+	if !l.UsesArrays() {
+		return 0
+	}
+	move := layerOutputValues(l) / m.MoveBandwidth
+	targetSteps := int(m.BalanceRatio * move / m.slotTime())
+	if targetSteps < 1 {
+		targetSteps = 1
+	}
+	g := (l.Windows() + targetSteps - 1) / targetSteps
+	if g < 1 {
+		g = 1
+	}
+	if w := l.Windows(); g > w {
+		g = w
+	}
+	return g
+}
+
+// BalancedPlans maps a layer sequence at λ-scaled balanced granularity.
+func (m Model) BalancedPlans(layers []mapping.Layer, array mapping.ArraySpec, lambda float64) []mapping.Plan {
+	plans := make([]mapping.Plan, len(layers))
+	for i, l := range layers {
+		g := mapping.ScaleGFrom(l, m.BalancedG(l), lambda)
+		plans[i] = mapping.NewPlan(l, array, g)
+	}
+	return plans
+}
+
+// Breakdown is the per-run energy decomposition.
+type Breakdown struct {
+	// ReadJ is spike-read (compute) energy; WriteJ is buffer/array write
+	// energy; UpdateJ is weight-programming energy; StaticJ is the
+	// peripheral power integrated over the run time.
+	ReadJ, WriteJ, UpdateJ, StaticJ float64
+}
+
+// Total returns the summed energy in joules.
+func (b Breakdown) Total() float64 { return b.ReadJ + b.WriteJ + b.UpdateJ + b.StaticJ }
+
+// forwardReadSpikes counts input spikes of one image's forward pass: every
+// window drives its input vector (VecLen values × SpikeBits slots ×
+// Activity) into the positive and negative arrays (drivers are shared
+// across the four resolution groups, Section 4.2.1).
+func (m Model) forwardReadSpikes(s networks.Spec) float64 {
+	total := 0.0
+	for _, l := range s.Layers {
+		if !l.UsesArrays() {
+			continue
+		}
+		total += float64(l.Windows()) * float64(l.InputVecLen()) * float64(m.SpikeBits) * m.Activity * 2
+	}
+	return total
+}
+
+// outputValues counts the data values every layer emits per image.
+func outputValues(s networks.Spec) float64 {
+	total := 0.0
+	for _, l := range s.Layers {
+		switch l.Kind {
+		case mapping.KindConv, mapping.KindPool:
+			total += float64(l.OutC) * float64(l.OutH()) * float64(l.OutW())
+		case mapping.KindFC:
+			total += float64(l.FCOut)
+		}
+	}
+	return total
+}
+
+// TestingEnergy returns the energy of inferring n images at the given
+// mapping (the plans set the run time the peripheral power integrates over).
+func (m Model) TestingEnergy(s networks.Spec, plans []mapping.Plan, n int, pipelined bool) Breakdown {
+	reads := m.forwardReadSpikes(s) * float64(n)
+	writes := outputValues(s) * float64(m.CellsPerValue) * float64(n)
+	return Breakdown{
+		ReadJ:   reads * m.ReadEnergy,
+		WriteJ:  writes * m.WriteEnergy,
+		StaticJ: m.PeripheralPower * m.TestingTime(s, plans, n, pipelined),
+	}
+}
+
+// TrainingEnergy returns the energy of training on n images with batch b:
+// forward reads, backward reads (error pass + derivative pass ≈ 2× forward),
+// intermediate writes (d to buffers and morphable arrays, δ to buffers), and
+// the per-batch weight reprogramming (Section 4.4.2).
+func (m Model) TrainingEnergy(s networks.Spec, plans []mapping.Plan, n, b int, pipelined bool) Breakdown {
+	fwdReads := m.forwardReadSpikes(s)
+	reads := fwdReads * 3 * float64(n) // forward + error + derivative passes
+	vals := outputValues(s)
+	// d written to its buffer and to morphable subarrays (as derivative
+	// kernels, Section 4.4.1); δ written to its buffer.
+	writes := vals * 3 * float64(m.CellsPerValue) * float64(n)
+	updates := float64(s.TotalWeights()) * float64(m.CellsPerValue) * float64(n) / float64(b)
+	return Breakdown{
+		ReadJ:   reads * m.ReadEnergy,
+		WriteJ:  writes * m.WriteEnergy,
+		UpdateJ: updates * m.WriteEnergy,
+		StaticJ: m.PeripheralPower * m.TrainingTime(s, plans, n, b, pipelined),
+	}
+}
+
+// TestingTime returns the wall-clock time of inferring n images at the given
+// mapping, pipelined or not.
+func (m Model) TestingTime(s networks.Spec, plans []mapping.Plan, n int, pipelined bool) float64 {
+	L := s.WeightedLayers()
+	var cycles int
+	if pipelined {
+		cycles = mapping.PipelinedTestingCycles(L, n)
+	} else {
+		cycles = mapping.NonPipelinedTestingCycles(L, n)
+	}
+	return float64(cycles) * m.CycleTime(plans)
+}
+
+// TrainingTime returns the wall-clock time of training n images (batch b).
+func (m Model) TrainingTime(s networks.Spec, plans []mapping.Plan, n, b int, pipelined bool) float64 {
+	L := s.WeightedLayers()
+	var cycles int
+	if pipelined {
+		cycles = mapping.PipelinedTrainingCycles(L, b, n)
+	} else {
+		cycles = mapping.NonPipelinedTrainingCycles(L, b, n)
+	}
+	return float64(cycles) * m.CycleTime(plans) * m.TrainingCycleFactor
+}
+
+// Area returns the silicon area in mm² of a mapped network in training
+// configuration: the Table 2 morphable-array and memory-subarray counts at
+// the plan granularities, each array expanded to its physical crossbars.
+func (m Model) Area(s networks.Spec, plans []mapping.Plan, batch int) float64 {
+	L := s.WeightedLayers()
+	arrays := 0.0
+	for _, p := range plans {
+		if p.LogicalArrays() == 0 {
+			continue
+		}
+		// Forward copies plus backward error copies (all but the first
+		// weighted layer) plus the per-batch derivative arrays: the per-layer
+		// expansion of Table 2's GL + G(L−1) + BL.
+		perLayer := p.LogicalArrays() * 2 // forward + error-backward copies
+		perLayer += batch * p.ArraysPerCopy()
+		arrays += float64(perLayer * mapping.PhysicalPerLogical)
+	}
+	mem := float64(mapping.PipelinedMemBuffers(L))
+	return arrays*m.ArrayArea + mem*m.MemSubarrayArea
+}
+
+// TestingArea returns the (smaller) inference-only area: forward arrays only
+// plus 2L memory buffers.
+func (m Model) TestingArea(s networks.Spec, plans []mapping.Plan) float64 {
+	arrays := 0.0
+	for _, p := range plans {
+		arrays += float64(p.PhysicalArrays())
+	}
+	mem := float64(mapping.NonPipelinedMemBuffers(s.WeightedLayers()))
+	return arrays*m.ArrayArea + mem*m.MemSubarrayArea
+}
+
+// GeoMean returns the geometric mean of a positive series.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("energy: GeoMean requires positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

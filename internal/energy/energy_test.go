@@ -1,0 +1,200 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+func TestDefaultModelConstantsMatchPaper(t *testing.T) {
+	m := DefaultModel()
+	// Section 6.2: 29.31 ns / 50.88 ns per spike, 1.08 pJ / 3.91 nJ per spike.
+	if m.ReadLatency != 29.31e-9 || m.WriteLatency != 50.88e-9 {
+		t.Fatal("latency constants must match the paper")
+	}
+	if m.ReadEnergy != 1.08e-12 || m.WriteEnergy != 3.91e-9 {
+		t.Fatal("energy constants must match the paper")
+	}
+	if m.SpikeBits != 16 {
+		t.Fatal("default resolution is 16-bit (Section 5.1)")
+	}
+}
+
+func TestCycleTimeDominatedBySlowestLayer(t *testing.T) {
+	m := DefaultModel()
+	spec := networks.Mnist0()
+	plans := m.BalancedPlans(spec.Layers, mapping.DefaultArray, 1)
+	ct := m.CycleTime(plans)
+	worst := 0.0
+	for _, p := range plans {
+		if lt := m.layerCycleTime(p); lt > worst {
+			worst = lt
+		}
+	}
+	if ct != worst {
+		t.Fatalf("CycleTime %g != slowest layer %g", ct, worst)
+	}
+	if ct < m.slotTime() {
+		t.Fatal("cycle cannot be shorter than one array pass")
+	}
+}
+
+func TestCycleTimeShrinksWithLambdaAndSaturates(t *testing.T) {
+	m := DefaultModel()
+	spec := networks.VGG("A")
+	var prev float64 = math.Inf(1)
+	for _, lam := range []float64{0, 0.25, 0.5, 1, 2, 4, math.Inf(1)} {
+		plans := m.BalancedPlans(spec.Layers, mapping.DefaultArray, lam)
+		ct := m.CycleTime(plans)
+		if ct > prev+1e-15 {
+			t.Fatalf("cycle time increased at λ=%g: %g > %g", lam, ct, prev)
+		}
+		prev = ct
+	}
+	// Saturation: λ=∞ is bounded below by the data-movement floor.
+	inf := m.CycleTime(m.BalancedPlans(spec.Layers, mapping.DefaultArray, math.Inf(1)))
+	floor := 0.0
+	for _, l := range spec.Layers {
+		if mv := layerOutputValues(l) / m.MoveBandwidth; mv > floor {
+			floor = mv
+		}
+	}
+	if inf < floor {
+		t.Fatalf("λ=∞ cycle %g below movement floor %g", inf, floor)
+	}
+}
+
+func TestBalancedGRespectsWindows(t *testing.T) {
+	m := DefaultModel()
+	for _, s := range networks.EvaluationNetworks() {
+		for _, l := range s.Layers {
+			g := m.BalancedG(l)
+			if !l.UsesArrays() {
+				if g != 0 {
+					t.Fatalf("%s/%s: pooling G = %d", s.Name, l.Name, g)
+				}
+				continue
+			}
+			if g < 1 || g > l.Windows() {
+				t.Fatalf("%s/%s: G = %d outside [1, %d]", s.Name, l.Name, g, l.Windows())
+			}
+		}
+	}
+}
+
+func TestTrainingTimeExceedsTestingTime(t *testing.T) {
+	m := DefaultModel()
+	for _, s := range networks.EvaluationNetworks() {
+		plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, 1)
+		n, b := 640, 64
+		tr := m.TrainingTime(s, plans, n, b, true)
+		te := m.TestingTime(s, plans, n, true)
+		if tr <= te {
+			t.Errorf("%s: training %g not > testing %g", s.Name, tr, te)
+		}
+	}
+}
+
+func TestPipelinedFasterThanNonPipelined(t *testing.T) {
+	m := DefaultModel()
+	s := networks.AlexNet()
+	plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, 1)
+	n, b := 640, 64
+	if m.TrainingTime(s, plans, n, b, true) >= m.TrainingTime(s, plans, n, b, false) {
+		t.Fatal("pipelined training must be faster")
+	}
+	if m.TestingTime(s, plans, n, true) >= m.TestingTime(s, plans, n, false) {
+		t.Fatal("pipelined testing must be faster")
+	}
+}
+
+func TestEnergyBreakdownComponentsPositive(t *testing.T) {
+	m := DefaultModel()
+	s := networks.MnistA()
+	plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, 1)
+	te := m.TestingEnergy(s, plans, 100, true)
+	if te.ReadJ <= 0 || te.WriteJ <= 0 || te.StaticJ <= 0 || te.UpdateJ != 0 {
+		t.Fatalf("testing breakdown: %+v", te)
+	}
+	tr := m.TrainingEnergy(s, plans, 128, 64, true)
+	if tr.UpdateJ <= 0 {
+		t.Fatal("training must include update energy")
+	}
+	if tr.Total() <= te.Total() {
+		t.Fatal("training energy for same image count must exceed testing energy")
+	}
+	if got := tr.Total(); math.Abs(got-(tr.ReadJ+tr.WriteJ+tr.UpdateJ+tr.StaticJ)) > 1e-18 {
+		t.Fatal("Total must sum the components")
+	}
+}
+
+func TestEnergyScalesLinearlyInN(t *testing.T) {
+	m := DefaultModel()
+	s := networks.MnistB()
+	plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, 1)
+	e1 := m.TestingEnergy(s, plans, 100, false).Total()
+	e2 := m.TestingEnergy(s, plans, 200, false).Total()
+	if math.Abs(e2/e1-2) > 0.02 {
+		t.Fatalf("energy not ~linear in N: %g vs %g", e1, e2)
+	}
+}
+
+func TestLargerBatchReducesUpdateEnergy(t *testing.T) {
+	m := DefaultModel()
+	s := networks.VGG("A")
+	plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, 1)
+	small := m.TrainingEnergy(s, plans, 128, 16, true).UpdateJ
+	large := m.TrainingEnergy(s, plans, 128, 64, true).UpdateJ
+	if large >= small {
+		t.Fatal("larger batches amortize weight reprogramming")
+	}
+}
+
+func TestAreaGrowsWithLambda(t *testing.T) {
+	m := DefaultModel()
+	s := networks.VGG("A")
+	prev := 0.0
+	for _, lam := range []float64{0, 0.25, 0.5, 1, 2, 4, math.Inf(1)} {
+		plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, lam)
+		a := m.Area(s, plans, 64)
+		if a <= prev {
+			t.Fatalf("area not increasing at λ=%g: %g after %g", lam, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestAreaCalibrationBallpark(t *testing.T) {
+	// The paper reports a total PipeLayer area of 82.63 mm²; our default
+	// training configuration for AlexNet must land in the same decade.
+	m := DefaultModel()
+	s := networks.AlexNet()
+	plans := m.BalancedPlans(s.Layers, mapping.DefaultArray, 1)
+	a := m.Area(s, plans, 64)
+	if a < 20 || a > 400 {
+		t.Fatalf("AlexNet training area = %g mm², want same decade as 82.63 mm²", a)
+	}
+	if ta := m.TestingArea(s, plans); ta >= a {
+		t.Fatalf("testing area %g must be below training area %g", ta, a)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean = %g", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) must be 0")
+	}
+}
+
+func TestGeoMeanRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

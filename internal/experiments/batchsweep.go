@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// BatchRow is one batch size's pipeline utilization summary.
+type BatchRow struct {
+	Batch int
+	// CyclesPerImage is the pipelined training cost (2L+B+1)/B.
+	CyclesPerImage float64
+	// Utilization is the ideal 1-cycle-per-image throughput divided by the
+	// achieved one: B/(2L+B+1).
+	Utilization float64
+	// SpeedupOverSequential is the cycle advantage over the non-pipelined
+	// machine at the same batch.
+	SpeedupOverSequential float64
+}
+
+// BatchSweepResult quantifies Section 3.3's dependence on the batch size:
+// the pipeline fills with 2L+1 cycles per batch, so utilization approaches 1
+// only when B ≫ 2L ("the performance gain is due to the fact that B is
+// normally much larger", e.g. 64).
+type BatchSweepResult struct {
+	Network string
+	L       int
+	Rows    []BatchRow
+}
+
+// BatchSweep evaluates the sweep for one network's depth.
+func BatchSweep(spec networks.Spec) BatchSweepResult {
+	L := spec.WeightedLayers()
+	res := BatchSweepResult{Network: spec.Name, L: L}
+	n := 7680 // divisible by every batch size below
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		p := mapping.PipelinedTrainingCycles(L, b, n)
+		np := mapping.NonPipelinedTrainingCycles(L, b, n)
+		res.Rows = append(res.Rows, BatchRow{
+			Batch:                 b,
+			CyclesPerImage:        float64(p) / float64(n),
+			Utilization:           float64(n) / float64(p),
+			SpeedupOverSequential: float64(np) / float64(p),
+		})
+	}
+	return res
+}
+
+// Render formats the sweep.
+func (r BatchSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batch-size sensitivity (Section 3.3): %s, L=%d\n", r.Network, r.L)
+	fmt.Fprintf(&b, "  %-8s %14s %12s %14s\n", "batch", "cycles/image", "utilization", "vs sequential")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8d %14.3f %12.3f %14.2f\n",
+			row.Batch, row.CyclesPerImage, row.Utilization, row.SpeedupOverSequential)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pipelayer/internal/networks"
+)
+
+func TestBatchSweepUtilizationMonotone(t *testing.T) {
+	r := BatchSweep(networks.AlexNet())
+	prev := 0.0
+	for _, row := range r.Rows {
+		if row.Utilization <= prev {
+			t.Fatalf("utilization must grow with batch: %.3f after %.3f", row.Utilization, prev)
+		}
+		if row.Utilization > 1 {
+			t.Fatalf("utilization %.3f cannot exceed 1", row.Utilization)
+		}
+		prev = row.Utilization
+	}
+}
+
+func TestBatchSweepAsymptote(t *testing.T) {
+	// At B = 256 for L = 8 the utilization is 256/(2·8+256+1) ≈ 0.937.
+	r := BatchSweep(networks.AlexNet())
+	last := r.Rows[len(r.Rows)-1]
+	want := 256.0 / float64(2*8+256+1)
+	if diff := last.Utilization - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("B=256 utilization %.6f, want %.6f", last.Utilization, want)
+	}
+}
+
+func TestBatchSweepBatch1NoAdvantage(t *testing.T) {
+	// With B = 1 the pipeline degenerates to the sequential machine.
+	r := BatchSweep(networks.MnistC())
+	if r.Rows[0].Batch != 1 {
+		t.Fatal("first row must be B=1")
+	}
+	if r.Rows[0].SpeedupOverSequential != 1 {
+		t.Fatalf("B=1 speedup = %g, want exactly 1", r.Rows[0].SpeedupOverSequential)
+	}
+}
+
+func TestBatchSweepDeeperNetworksNeedBiggerBatches(t *testing.T) {
+	shallow := BatchSweep(networks.MnistA()) // L=2
+	deep := BatchSweep(networks.VGG("E"))    // L=19
+	for i := range shallow.Rows {
+		if deep.Rows[i].Utilization >= shallow.Rows[i].Utilization {
+			t.Fatalf("B=%d: deeper net must have lower utilization", shallow.Rows[i].Batch)
+		}
+	}
+}
+
+func TestBatchSweepRender(t *testing.T) {
+	out := BatchSweep(networks.MnistA()).Render()
+	if !strings.Contains(out, "Batch-size sensitivity") || len(out) < 100 {
+		t.Fatal("render broken")
+	}
+}

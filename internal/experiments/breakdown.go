@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/networks"
+)
+
+// BreakdownRow is one network's training-energy decomposition (fractions).
+type BreakdownRow struct {
+	Network                         string
+	TotalJ                          float64
+	ReadFrac, WriteFrac, UpdateFrac float64
+	StaticFrac                      float64
+}
+
+// EnergyBreakdownResult decomposes the training energy of every evaluation
+// network into the model's four components — the diagnostic behind the
+// paper's Section 6.4 observation that PipeLayer's energy advantage erodes
+// in training because of the extra intermediate-data writes, and behind the
+// Section 6.6 note that writing everything to ReRAM (instead of eDRAM)
+// costs power efficiency.
+type EnergyBreakdownResult struct {
+	Rows []BreakdownRow
+}
+
+// EnergyBreakdown computes the decomposition for the Figure 15/16 setup.
+func EnergyBreakdown(s Setup) EnergyBreakdownResult {
+	var res EnergyBreakdownResult
+	for _, spec := range networks.EvaluationNetworks() {
+		plans := s.plans(spec)
+		e := s.Model.TrainingEnergy(spec, plans, s.Images, s.Batch, true)
+		total := e.Total()
+		res.Rows = append(res.Rows, BreakdownRow{
+			Network:    spec.Name,
+			TotalJ:     total,
+			ReadFrac:   e.ReadJ / total,
+			WriteFrac:  e.WriteJ / total,
+			UpdateFrac: e.UpdateJ / total,
+			StaticFrac: e.StaticJ / total,
+		})
+	}
+	return res
+}
+
+// Render formats the decomposition.
+func (r EnergyBreakdownResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Training-energy breakdown (fractions of total)\n")
+	fmt.Fprintf(&b, "  %-10s %12s %8s %8s %8s %8s\n", "Network", "total J", "read", "write", "update", "static")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %12.3g %8.3f %8.3f %8.3f %8.3f\n",
+			row.Network, row.TotalJ, row.ReadFrac, row.WriteFrac, row.UpdateFrac, row.StaticFrac)
+	}
+	return b.String()
+}

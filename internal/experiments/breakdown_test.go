@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEnergyBreakdownFractionsSumToOne(t *testing.T) {
+	r := EnergyBreakdown(DefaultSetup())
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		sum := row.ReadFrac + row.WriteFrac + row.UpdateFrac + row.StaticFrac
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: fractions sum to %g", row.Network, sum)
+		}
+		if row.TotalJ <= 0 {
+			t.Fatalf("%s: non-positive total", row.Network)
+		}
+	}
+}
+
+func TestEnergyBreakdownWritesDominantForCNNs(t *testing.T) {
+	// The Section 6.6 claim: PipeLayer writes all data to ReRAM, so for the
+	// large CNNs the (expensive, 3.91 nJ/spike) writes dominate training
+	// energy; reads (1.08 pJ/spike) are negligible.
+	r := EnergyBreakdown(DefaultSetup())
+	for _, row := range r.Rows {
+		if !strings.HasPrefix(row.Network, "VGG") {
+			continue
+		}
+		if row.WriteFrac+row.UpdateFrac < 0.5 {
+			t.Errorf("%s: write+update fraction %.3f should dominate", row.Network, row.WriteFrac+row.UpdateFrac)
+		}
+		if row.ReadFrac > 0.05 {
+			t.Errorf("%s: read fraction %.3f should be tiny", row.Network, row.ReadFrac)
+		}
+	}
+}
+
+func TestEnergyBreakdownStaticDominatesMLPs(t *testing.T) {
+	// Tiny MLPs have little data to move; peripheral power dominates.
+	r := EnergyBreakdown(DefaultSetup())
+	if r.Rows[0].Network != "Mnist-A" {
+		t.Fatal("row order changed")
+	}
+	if r.Rows[0].StaticFrac < 0.3 {
+		t.Errorf("Mnist-A static fraction %.3f should be significant", r.Rows[0].StaticFrac)
+	}
+}
+
+func TestEnergyBreakdownRender(t *testing.T) {
+	out := EnergyBreakdown(DefaultSetup()).Render()
+	if !strings.Contains(out, "Training-energy breakdown") || len(out) < 200 {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/isaac"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// ISAACRow is one batch size's cycles-per-image comparison.
+type ISAACRow struct {
+	Batch int
+	// Training cycles per image.
+	PipeLayer, ISAACStyle float64
+}
+
+// ISAACComparisonResult quantifies the paper's Section 3.2.2 argument: the
+// ISAAC-style deep pipeline pays its full fill/drain depth at every batch
+// boundary, so its training cycles per image blow up as the batch shrinks,
+// while PipeLayer's coarse 2L+1-deep pipeline barely notices.
+type ISAACComparisonResult struct {
+	Network string
+	L       int
+	Depth   int // ISAAC-style pipeline depth
+	Rows    []ISAACRow
+	// StallSlowdownShallow / StallSlowdownDeep are Monte-Carlo relative
+	// slowdowns at 5% per-stage stall probability (the bubble argument).
+	StallSlowdownShallow, StallSlowdownDeep float64
+	// FanIn is the paper's 340-point dependency example (2×2 kernels over 4
+	// upstream layers).
+	FanIn int
+}
+
+// ISAACComparison runs the training-cycle and stall comparisons on AlexNet.
+func ISAACComparison() ISAACComparisonResult {
+	spec := networks.AlexNet()
+	cfg := isaac.DefaultConfig()
+	L := spec.WeightedLayers()
+	res := ISAACComparisonResult{
+		Network: spec.Name,
+		L:       L,
+		Depth:   cfg.Depth(spec),
+		FanIn:   isaac.DependencyFanIn(2, 4),
+	}
+	n := 4096
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		res.Rows = append(res.Rows, ISAACRow{
+			Batch:      b,
+			PipeLayer:  float64(mapping.PipelinedTrainingCycles(L, b, n)) / float64(n),
+			ISAACStyle: float64(cfg.TrainingCycles(spec, b, n)) / float64(n),
+		})
+	}
+	const p = 0.05
+	items := 2000
+	shallowDepth := 2*L + 1
+	deepDepth := res.Depth
+	res.StallSlowdownShallow = float64(isaac.SimulateStalls(items, shallowDepth, p, 11)) /
+		float64(items+shallowDepth-1)
+	res.StallSlowdownDeep = float64(isaac.SimulateStalls(items, deepDepth, p, 11)) /
+		float64(items+deepDepth-1)
+	return res
+}
+
+// Render formats the comparison.
+func (r ISAACComparisonResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deep-pipeline comparison (Section 3.2.2): %s, L=%d, ISAAC-style depth=%d\n",
+		r.Network, r.L, r.Depth)
+	fmt.Fprintf(&b, "  %-8s %18s %18s %8s\n", "batch", "PipeLayer cyc/img", "deep-pipe cyc/img", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8d %18.2f %18.2f %8.2f\n",
+			row.Batch, row.PipeLayer, row.ISAACStyle, row.ISAACStyle/row.PipeLayer)
+	}
+	fmt.Fprintf(&b, "  stall slowdown @5%%/stage: shallow %.3fx, deep %.3fx\n",
+		r.StallSlowdownShallow, r.StallSlowdownDeep)
+	fmt.Fprintf(&b, "  dependency fan-in (2×2 kernels, 4 layers): %d points (paper: 340)\n", r.FanIn)
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestISAACComparisonShape(t *testing.T) {
+	r := ISAACComparison()
+	if r.FanIn != 340 {
+		t.Fatalf("fan-in = %d, want the paper's 340", r.FanIn)
+	}
+	if r.Depth <= 2*r.L+1 {
+		t.Fatal("ISAAC-style depth must exceed PipeLayer's 2L+1")
+	}
+	prevRatio := 0.0
+	for i := len(r.Rows) - 1; i >= 0; i-- {
+		row := r.Rows[i]
+		if row.ISAACStyle <= row.PipeLayer {
+			t.Fatalf("B=%d: deep pipeline (%.2f cyc/img) must cost more than PipeLayer (%.2f)",
+				row.Batch, row.ISAACStyle, row.PipeLayer)
+		}
+		ratio := row.ISAACStyle / row.PipeLayer
+		// Iterating from large B to small B, the penalty must grow.
+		if ratio < prevRatio {
+			t.Fatalf("penalty must grow as batch shrinks: B=%d ratio %.2f < %.2f", row.Batch, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if r.StallSlowdownDeep <= r.StallSlowdownShallow {
+		t.Fatalf("deep pipeline stall slowdown %.3f must exceed shallow %.3f",
+			r.StallSlowdownDeep, r.StallSlowdownShallow)
+	}
+	if !strings.Contains(r.Render(), "340") {
+		t.Fatal("render missing fan-in")
+	}
+}
+
+func TestVariationStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training study skipped in -short mode")
+	}
+	cfg := VariationConfig{
+		TrainSamples: 250, TestSamples: 100, Epochs: 2, Batch: 10,
+		LearningRate: 0.08, Seed: 5,
+		Sigmas: []float64{0, 0.1, 0.5},
+		Bits:   8,
+	}
+	r := VariationStudy(cfg)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row.Normalized) != 3 {
+			t.Fatalf("%s: series length %d", row.Network, len(row.Normalized))
+		}
+		// σ=0 must be exactly the baseline.
+		if row.Normalized[0] < 0.999 || row.Normalized[0] > 1.001 {
+			t.Fatalf("%s: σ=0 normalized accuracy %.3f != 1", row.Network, row.Normalized[0])
+		}
+		// Heavy noise must hurt.
+		if row.Normalized[2] > row.Normalized[0] {
+			t.Errorf("%s: σ=0.5 accuracy %.3f should not exceed noise-free %.3f",
+				row.Network, row.Normalized[2], row.Normalized[0])
+		}
+	}
+	if !strings.Contains(r.Render(), "Device Variation") {
+		t.Fatal("render broken")
+	}
+}

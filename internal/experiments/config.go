@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SetupOverrides is the JSON schema for customizing an evaluation run:
+// every field is optional and overlays the DefaultSetup. Example:
+//
+//	{
+//	  "batch": 128,
+//	  "images": 12800,
+//	  "model": {"spikeBits": 8, "peripheralPower": 50},
+//	  "gpu": {"power": 250, "hostPerBatch": 0.002}
+//	}
+type SetupOverrides struct {
+	Batch  *int `json:"batch"`
+	Images *int `json:"images"`
+	Model  *struct {
+		SpikeBits           *int     `json:"spikeBits"`
+		ReadLatency         *float64 `json:"readLatency"`
+		WriteLatency        *float64 `json:"writeLatency"`
+		ReadEnergy          *float64 `json:"readEnergy"`
+		WriteEnergy         *float64 `json:"writeEnergy"`
+		Activity            *float64 `json:"activity"`
+		ArrayArea           *float64 `json:"arrayArea"`
+		MoveBandwidth       *float64 `json:"moveBandwidth"`
+		BalanceRatio        *float64 `json:"balanceRatio"`
+		TrainingCycleFactor *float64 `json:"trainingCycleFactor"`
+		PeripheralPower     *float64 `json:"peripheralPower"`
+	} `json:"model"`
+	GPU *struct {
+		PeakFLOPS      *float64 `json:"peakFLOPS"`
+		MemBandwidth   *float64 `json:"memBandwidth"`
+		Power          *float64 `json:"power"`
+		ConvUtil       *float64 `json:"convUtil"`
+		FCUtil         *float64 `json:"fcUtil"`
+		LaunchOverhead *float64 `json:"launchOverhead"`
+		HostPerBatch   *float64 `json:"hostPerBatch"`
+	} `json:"gpu"`
+}
+
+// SetupFromJSON reads overrides from r and applies them to the default
+// setup. Unknown fields are rejected so typos surface immediately.
+func SetupFromJSON(r io.Reader) (Setup, error) {
+	s := DefaultSetup()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var ov SetupOverrides
+	if err := dec.Decode(&ov); err != nil {
+		return Setup{}, fmt.Errorf("experiments: parsing setup: %w", err)
+	}
+	if ov.Batch != nil {
+		if *ov.Batch <= 0 {
+			return Setup{}, fmt.Errorf("experiments: batch must be positive, got %d", *ov.Batch)
+		}
+		s.Batch = *ov.Batch
+	}
+	if ov.Images != nil {
+		if *ov.Images <= 0 {
+			return Setup{}, fmt.Errorf("experiments: images must be positive, got %d", *ov.Images)
+		}
+		s.Images = *ov.Images
+	}
+	if s.Images%s.Batch != 0 {
+		return Setup{}, fmt.Errorf("experiments: images (%d) must be a multiple of batch (%d)", s.Images, s.Batch)
+	}
+	if ov.Model != nil {
+		m := ov.Model
+		setInt(&s.Model.SpikeBits, m.SpikeBits)
+		setF(&s.Model.ReadLatency, m.ReadLatency)
+		setF(&s.Model.WriteLatency, m.WriteLatency)
+		setF(&s.Model.ReadEnergy, m.ReadEnergy)
+		setF(&s.Model.WriteEnergy, m.WriteEnergy)
+		setF(&s.Model.Activity, m.Activity)
+		setF(&s.Model.ArrayArea, m.ArrayArea)
+		setF(&s.Model.MoveBandwidth, m.MoveBandwidth)
+		setF(&s.Model.BalanceRatio, m.BalanceRatio)
+		setF(&s.Model.TrainingCycleFactor, m.TrainingCycleFactor)
+		setF(&s.Model.PeripheralPower, m.PeripheralPower)
+	}
+	if ov.GPU != nil {
+		g := ov.GPU
+		setF(&s.GPU.PeakFLOPS, g.PeakFLOPS)
+		setF(&s.GPU.MemBandwidth, g.MemBandwidth)
+		setF(&s.GPU.Power, g.Power)
+		setF(&s.GPU.ConvUtil, g.ConvUtil)
+		setF(&s.GPU.FCUtil, g.FCUtil)
+		setF(&s.GPU.LaunchOverhead, g.LaunchOverhead)
+		setF(&s.GPU.HostPerBatch, g.HostPerBatch)
+	}
+	return s, nil
+}
+
+func setF(dst *float64, src *float64) {
+	if src != nil {
+		*dst = *src
+	}
+}
+
+func setInt(dst *int, src *int) {
+	if src != nil {
+		*dst = *src
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetupFromJSONDefaults(t *testing.T) {
+	s, err := SetupFromJSON(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultSetup()
+	if s.Batch != d.Batch || s.Images != d.Images || s.Model != d.Model || s.GPU != d.GPU {
+		t.Fatal("empty overrides must yield the defaults")
+	}
+}
+
+func TestSetupFromJSONOverrides(t *testing.T) {
+	in := `{
+		"batch": 128,
+		"images": 1280,
+		"model": {"spikeBits": 8, "peripheralPower": 42.5},
+		"gpu": {"power": 250}
+	}`
+	s, err := SetupFromJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Batch != 128 || s.Images != 1280 {
+		t.Fatalf("batch/images: %d/%d", s.Batch, s.Images)
+	}
+	if s.Model.SpikeBits != 8 || s.Model.PeripheralPower != 42.5 {
+		t.Fatalf("model overrides lost: %+v", s.Model)
+	}
+	if s.GPU.Power != 250 {
+		t.Fatalf("gpu override lost: %g", s.GPU.Power)
+	}
+	// Unspecified fields keep defaults.
+	if s.Model.ReadLatency != DefaultSetup().Model.ReadLatency {
+		t.Fatal("unspecified model field changed")
+	}
+}
+
+func TestSetupFromJSONRejectsUnknownField(t *testing.T) {
+	if _, err := SetupFromJSON(strings.NewReader(`{"batcch": 64}`)); err == nil {
+		t.Fatal("typo field must be rejected")
+	}
+}
+
+func TestSetupFromJSONValidation(t *testing.T) {
+	cases := []string{
+		`{"batch": 0}`,
+		`{"images": -5}`,
+		`{"batch": 64, "images": 100}`, // not a multiple
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := SetupFromJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q must be rejected", in)
+		}
+	}
+}

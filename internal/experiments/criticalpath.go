@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// CriticalPathRow is one layer's cycle-time decomposition.
+type CriticalPathRow struct {
+	Layer    string
+	Kind     string
+	G, Steps int
+	// ComputeSeconds is the sequential-array-pass component (shrinks with
+	// G); MoveSeconds is the data-movement component (fixed); Total is the
+	// layer's cycle time.
+	ComputeSeconds, MoveSeconds, Total float64
+	// Critical marks the layer that bounds the machine's cycle.
+	Critical bool
+}
+
+// CriticalPathResult decomposes a network's logical cycle time per layer —
+// the diagnostic behind the Section 6.5 balance discussion: the default G
+// equalizes compute against movement, and the residual critical layer is
+// what extra area (larger λ, Figure 17) buys down.
+type CriticalPathResult struct {
+	Network   string
+	Lambda    float64
+	CycleTime float64
+	Rows      []CriticalPathRow
+}
+
+// CriticalPath computes the decomposition at the given λ.
+func CriticalPath(s Setup, spec networks.Spec, lambda float64) CriticalPathResult {
+	plans := s.Model.BalancedPlans(spec.Layers, s.Array, lambda)
+	res := CriticalPathResult{
+		Network:   spec.Name,
+		Lambda:    lambda,
+		CycleTime: s.Model.CycleTime(plans),
+	}
+	worst := -1.0
+	worstIdx := -1
+	for i, p := range plans {
+		total := s.Model.LayerCycleTime(p)
+		move := total
+		compute := 0.0
+		if p.Layer.UsesArrays() {
+			// Recover the split: compute = total − move where move is the
+			// zero-step layer time.
+			zero := mapping.Plan{Layer: p.Layer} // Steps == 0
+			move = s.Model.LayerCycleTime(zero)
+			compute = total - move
+		}
+		res.Rows = append(res.Rows, CriticalPathRow{
+			Layer: p.Layer.Name, Kind: p.Layer.Kind.String(),
+			G: p.G, Steps: p.Steps,
+			ComputeSeconds: compute, MoveSeconds: move, Total: total,
+		})
+		if total > worst {
+			worst, worstIdx = total, i
+		}
+	}
+	if worstIdx >= 0 {
+		res.Rows[worstIdx].Critical = true
+	}
+	return res
+}
+
+// Render formats the decomposition.
+func (r CriticalPathResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-layer cycle decomposition: %s at %s (cycle %.3g s)\n",
+		r.Network, LambdaLabel(r.Lambda), r.CycleTime)
+	fmt.Fprintf(&b, "  %-8s %-5s %7s %7s %12s %12s %12s\n",
+		"layer", "kind", "G", "steps", "compute", "move", "total")
+	for _, row := range r.Rows {
+		mark := " "
+		if row.Critical {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s %-8s %-5s %7d %7d %12.3g %12.3g %12.3g\n",
+			mark, row.Layer, row.Kind, row.G, row.Steps,
+			row.ComputeSeconds, row.MoveSeconds, row.Total)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipelayer/internal/networks"
+)
+
+func TestCriticalPathOneCriticalLayer(t *testing.T) {
+	s := DefaultSetup()
+	r := CriticalPath(s, networks.VGG("A"), 1)
+	crit := 0
+	for _, row := range r.Rows {
+		if row.Critical {
+			crit++
+			if math.Abs(row.Total-r.CycleTime) > 1e-15 {
+				t.Fatalf("critical layer total %g != cycle time %g", row.Total, r.CycleTime)
+			}
+		}
+	}
+	if crit != 1 {
+		t.Fatalf("critical layers = %d, want 1", crit)
+	}
+}
+
+func TestCriticalPathDecompositionSums(t *testing.T) {
+	s := DefaultSetup()
+	r := CriticalPath(s, networks.AlexNet(), 1)
+	for _, row := range r.Rows {
+		if math.Abs(row.ComputeSeconds+row.MoveSeconds-row.Total) > 1e-15 {
+			t.Fatalf("%s: compute %g + move %g != total %g",
+				row.Layer, row.ComputeSeconds, row.MoveSeconds, row.Total)
+		}
+		if row.ComputeSeconds < 0 || row.MoveSeconds < 0 {
+			t.Fatalf("%s: negative component", row.Layer)
+		}
+	}
+}
+
+func TestCriticalPathComputeShrinksWithLambda(t *testing.T) {
+	s := DefaultSetup()
+	spec := networks.VGG("A")
+	at1 := CriticalPath(s, spec, 1)
+	atInf := CriticalPath(s, spec, math.Inf(1))
+	// Every conv layer's compute component must shrink (or stay) as λ→∞;
+	// the move component is invariant.
+	for i := range at1.Rows {
+		if at1.Rows[i].Kind != "conv" {
+			continue
+		}
+		if atInf.Rows[i].ComputeSeconds > at1.Rows[i].ComputeSeconds {
+			t.Fatalf("%s: compute grew with λ", at1.Rows[i].Layer)
+		}
+		if math.Abs(atInf.Rows[i].MoveSeconds-at1.Rows[i].MoveSeconds) > 1e-18 {
+			t.Fatalf("%s: move component must be λ-invariant", at1.Rows[i].Layer)
+		}
+	}
+}
+
+func TestCriticalPathRender(t *testing.T) {
+	out := CriticalPath(DefaultSetup(), networks.Mnist0(), 1).Render()
+	if !strings.Contains(out, "cycle decomposition") || !strings.Contains(out, "*") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

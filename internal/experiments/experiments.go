@@ -1,0 +1,53 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the architecture tables of Sections 3 and 4:
+// one function per artifact, each returning a structured result with a
+// Render method that prints the same rows/series the paper reports.
+// cmd/pipelayer-bench runs them all; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/gpu"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// Setup bundles the models every performance experiment shares.
+type Setup struct {
+	Model  energy.Model
+	GPU    gpu.Platform
+	Array  mapping.ArraySpec
+	Batch  int
+	Images int
+}
+
+// DefaultSetup mirrors the paper's evaluation configuration: batch 64, the
+// default device model and the GTX 1080 baseline.
+func DefaultSetup() Setup {
+	return Setup{
+		Model:  energy.DefaultModel(),
+		GPU:    gpu.Default(),
+		Array:  mapping.DefaultArray,
+		Batch:  64,
+		Images: 6400,
+	}
+}
+
+// plans maps a network at λ=1 balanced granularity.
+func (s Setup) plans(spec networks.Spec) []mapping.Plan {
+	return s.Model.BalancedPlans(spec.Layers, s.Array, 1)
+}
+
+// Lambdas is the λ sweep of Figures 17 and 18.
+var Lambdas = []float64{0, 0.25, 0.5, 1, 2, 4, math.Inf(1)}
+
+// LambdaLabel renders a λ value the way the paper's axes do.
+func LambdaLabel(l float64) string {
+	if math.IsInf(l, 1) {
+		return "λ=∞"
+	}
+	return "λ=" + strconv.FormatFloat(l, 'g', -1, 64)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/fixed"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// Figure13Config controls the cost of the resolution/accuracy study.
+type Figure13Config struct {
+	TrainSamples, TestSamples int
+	Epochs                    int
+	Batch                     int
+	LearningRate              float64
+	Seed                      int64
+	// Bits are the weight resolutions evaluated (Figure 13's x-axis,
+	// descending from 8 to 2; float is always evaluated as the reference).
+	Bits []int
+}
+
+// DefaultFigure13Config mirrors the paper's sweep at a tractable scale for
+// the synthetic dataset.
+func DefaultFigure13Config() Figure13Config {
+	return Figure13Config{
+		TrainSamples: 1000,
+		TestSamples:  400,
+		Epochs:       6,
+		Batch:        10,
+		LearningRate: 0.08,
+		Seed:         1,
+		Bits:         []int{8, 7, 6, 5, 4, 3, 2},
+	}
+}
+
+// Figure13Row is one network's normalized-accuracy series.
+type Figure13Row struct {
+	Network  string
+	FloatAcc float64
+	// Normalized[i] = accuracy at Bits[i] / FloatAcc.
+	Normalized []float64
+}
+
+// Figure13Result reproduces Figure 13: the trade-off between ReRAM cell
+// resolution and application accuracy.
+type Figure13Result struct {
+	Bits []int
+	Rows []Figure13Row
+}
+
+// Figure13 trains the five study networks (M-1, M-2, M-3, M-C, C-4) on the
+// synthetic digit task, then re-evaluates each with weights quantized at
+// every bit width, reporting accuracy normalized to the float reference —
+// exactly the paper's protocol with the documented dataset substitution.
+func Figure13(cfg Figure13Config) Figure13Result {
+	res := Figure13Result{Bits: cfg.Bits}
+	for _, spec := range networks.ResolutionStudyNetworks() {
+		res.Rows = append(res.Rows, figure13Net(spec, cfg))
+	}
+	return res
+}
+
+func figure13Net(spec networks.Spec, cfg Figure13Config) Figure13Row {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flat := spec.Layers[0].Kind == mapping.KindFC
+	train, test := dataset.TrainTest(cfg.TrainSamples, cfg.TestSamples, dataset.DefaultOptions(flat), cfg.Seed)
+	net := networks.BuildTrainable(spec, rng)
+	for e := 0; e < cfg.Epochs; e++ {
+		net.TrainEpoch(train, cfg.Batch, cfg.LearningRate)
+	}
+	row := Figure13Row{Network: spec.Name, FloatAcc: net.Accuracy(test)}
+	if row.FloatAcc == 0 {
+		row.FloatAcc = 1e-9 // avoid division by zero on degenerate runs
+	}
+	snap := net.SnapshotWeights()
+	for _, bits := range cfg.Bits {
+		for _, p := range net.Params() {
+			copy(p.Value.Data(), fixed.Quantize(p.Value, bits).Data())
+		}
+		acc := net.Accuracy(test)
+		net.RestoreWeights(snap)
+		row.Normalized = append(row.Normalized, acc/row.FloatAcc)
+	}
+	return row
+}
+
+// Render formats the figure data.
+func (r Figure13Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: Tradeoff Between Resolution and Accuracy (normalized to float)\n")
+	fmt.Fprintf(&b, "  %-6s %7s", "Net", "float")
+	for _, bits := range r.Bits {
+		fmt.Fprintf(&b, " %6d-bit", bits)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-6s %7.3f", row.Network, row.FloatAcc)
+		for _, v := range row.Normalized {
+			fmt.Fprintf(&b, " %10.3f", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

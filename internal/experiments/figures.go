@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// Figure7Point is one (N, cycles) pair of the latency analysis.
+type Figure7Point struct {
+	N                             int
+	NonPipelinedCycles, Pipelined int
+}
+
+// Figure7Result reproduces Figure 7: training latency with and without the
+// pipeline as the input count grows.
+type Figure7Result struct {
+	L, B   int
+	Points []Figure7Point
+}
+
+// Figure7 evaluates the latency formulas over a batch sweep.
+func Figure7(L, B int) Figure7Result {
+	res := Figure7Result{L: L, B: B}
+	for _, batches := range []int{1, 2, 4, 8, 16} {
+		n := batches * B
+		res.Points = append(res.Points, Figure7Point{
+			N:                  n,
+			NonPipelinedCycles: mapping.NonPipelinedTrainingCycles(L, B, n),
+			Pipelined:          mapping.PipelinedTrainingCycles(L, B, n),
+		})
+	}
+	return res
+}
+
+// Render formats the series.
+func (r Figure7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Latency of PipeLayer (L=%d, B=%d)\n", r.L, r.B)
+	fmt.Fprintf(&b, "  %8s %14s %14s %9s\n", "N", "no-pipeline", "pipelined", "ratio")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %8d %14d %14d %9.2f\n",
+			p.N, p.NonPipelinedCycles, p.Pipelined,
+			float64(p.NonPipelinedCycles)/float64(p.Pipelined))
+	}
+	return b.String()
+}
+
+// SpeedupRow is one network's Figure 15 entry (GPU normalized to 1).
+type SpeedupRow struct {
+	Network                  string
+	TrainNonPipelined, Train float64
+	TestNonPipelined, Test   float64
+}
+
+// Figure15Result reproduces Figure 15: speedups of all ten networks in
+// training and testing for non-pipelined and pipelined PipeLayer.
+type Figure15Result struct {
+	Rows []SpeedupRow
+	// Geomeans over the ten networks.
+	GeoTrain, GeoTest, GeoOverall             float64
+	GeoTrainNonPipelined, GeoTestNonPipelined float64
+}
+
+// Figure15 runs the timing models over the evaluation networks.
+func Figure15(s Setup) Figure15Result {
+	var res Figure15Result
+	var trains, tests, all, npTrains, npTests []float64
+	for _, spec := range networks.EvaluationNetworks() {
+		plans := s.plans(spec)
+		gpuTest := s.GPU.TestingTime(spec, s.Images, s.Batch)
+		gpuTrain := s.GPU.TrainingTime(spec, s.Images, s.Batch)
+		row := SpeedupRow{
+			Network:           spec.Name,
+			Train:             gpuTrain / s.Model.TrainingTime(spec, plans, s.Images, s.Batch, true),
+			TrainNonPipelined: gpuTrain / s.Model.TrainingTime(spec, plans, s.Images, s.Batch, false),
+			Test:              gpuTest / s.Model.TestingTime(spec, plans, s.Images, true),
+			TestNonPipelined:  gpuTest / s.Model.TestingTime(spec, plans, s.Images, false),
+		}
+		res.Rows = append(res.Rows, row)
+		trains = append(trains, row.Train)
+		tests = append(tests, row.Test)
+		all = append(all, row.Train, row.Test)
+		npTrains = append(npTrains, row.TrainNonPipelined)
+		npTests = append(npTests, row.TestNonPipelined)
+	}
+	res.GeoTrain = energy.GeoMean(trains)
+	res.GeoTest = energy.GeoMean(tests)
+	res.GeoOverall = energy.GeoMean(all)
+	res.GeoTrainNonPipelined = energy.GeoMean(npTrains)
+	res.GeoTestNonPipelined = energy.GeoMean(npTests)
+	return res
+}
+
+// Render formats the figure data.
+func (r Figure15Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 15: Speedups of Networks in Both Training and Testing (GPU = 1)\n")
+	fmt.Fprintf(&b, "  %-10s %12s %12s %12s %12s\n", "Network", "train-np", "train-pipe", "test-np", "test-pipe")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %12.2f %12.2f %12.2f %12.2f\n",
+			row.Network, row.TrainNonPipelined, row.Train, row.TestNonPipelined, row.Test)
+	}
+	fmt.Fprintf(&b, "  %-10s %12.2f %12.2f %12.2f %12.2f\n", "Gmean",
+		r.GeoTrainNonPipelined, r.GeoTrain, r.GeoTestNonPipelined, r.GeoTest)
+	fmt.Fprintf(&b, "  overall geomean (train+test, pipelined): %.2fx\n", r.GeoOverall)
+	return b.String()
+}
+
+// EnergyRow is one network's Figure 16 entry.
+type EnergyRow struct {
+	Network     string
+	Train, Test float64
+}
+
+// Figure16Result reproduces Figure 16: energy savings relative to the GPU.
+type Figure16Result struct {
+	Rows                          []EnergyRow
+	GeoTrain, GeoTest, GeoOverall float64
+}
+
+// Figure16 runs the energy models over the evaluation networks.
+func Figure16(s Setup) Figure16Result {
+	var res Figure16Result
+	var trains, tests, all []float64
+	for _, spec := range networks.EvaluationNetworks() {
+		plans := s.plans(spec)
+		row := EnergyRow{
+			Network: spec.Name,
+			Train: s.GPU.TrainingEnergy(spec, s.Images, s.Batch) /
+				s.Model.TrainingEnergy(spec, plans, s.Images, s.Batch, true).Total(),
+			Test: s.GPU.TestingEnergy(spec, s.Images, s.Batch) /
+				s.Model.TestingEnergy(spec, plans, s.Images, true).Total(),
+		}
+		res.Rows = append(res.Rows, row)
+		trains = append(trains, row.Train)
+		tests = append(tests, row.Test)
+		all = append(all, row.Train, row.Test)
+	}
+	res.GeoTrain = energy.GeoMean(trains)
+	res.GeoTest = energy.GeoMean(tests)
+	res.GeoOverall = energy.GeoMean(all)
+	return res
+}
+
+// Render formats the figure data.
+func (r Figure16Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 16: Energy Savings for PipeLayer (GPU = 1)\n")
+	fmt.Fprintf(&b, "  %-10s %12s %12s\n", "Network", "train", "test")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %12.2f %12.2f\n", row.Network, row.Train, row.Test)
+	}
+	fmt.Fprintf(&b, "  %-10s %12.2f %12.2f   (overall %.2fx)\n", "Gmean", r.GeoTrain, r.GeoTest, r.GeoOverall)
+	return b.String()
+}
+
+// SweepRow is one VGG variant's λ series.
+type SweepRow struct {
+	Network string
+	// Values[i] corresponds to Lambdas[i].
+	Values []float64
+}
+
+// Figure17Result reproduces Figure 17: speedup vs parallelism granularity.
+type Figure17Result struct {
+	Lambdas []float64
+	Rows    []SweepRow
+}
+
+// Figure17 sweeps λ over the five VGG variants (training speedup vs GPU,
+// matching the paper's training-configured areas of Figure 18).
+func Figure17(s Setup) Figure17Result {
+	res := Figure17Result{Lambdas: Lambdas}
+	for _, v := range networks.VGGVariants {
+		spec := networks.VGG(v)
+		gpuTrain := s.GPU.TrainingTime(spec, s.Images, s.Batch)
+		row := SweepRow{Network: spec.Name}
+		for _, lam := range Lambdas {
+			plans := s.Model.BalancedPlans(spec.Layers, s.Array, lam)
+			row.Values = append(row.Values,
+				gpuTrain/s.Model.TrainingTime(spec, plans, s.Images, s.Batch, true))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the sweep.
+func (r Figure17Result) Render() string {
+	return renderSweep("Figure 17: Speedups vs. Parallelism Granularity (GPU = 1)", r.Lambdas, r.Rows, "%9.2f")
+}
+
+// Figure18Result reproduces Figure 18: area vs parallelism granularity.
+type Figure18Result struct {
+	Lambdas []float64
+	Rows    []SweepRow // mm²
+}
+
+// Figure18 sweeps λ and reports training-configuration area.
+func Figure18(s Setup) Figure18Result {
+	res := Figure18Result{Lambdas: Lambdas}
+	for _, v := range networks.VGGVariants {
+		spec := networks.VGG(v)
+		row := SweepRow{Network: spec.Name}
+		for _, lam := range Lambdas {
+			plans := s.Model.BalancedPlans(spec.Layers, s.Array, lam)
+			row.Values = append(row.Values, s.Model.Area(spec, plans, s.Batch))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the sweep.
+func (r Figure18Result) Render() string {
+	return renderSweep("Figure 18: Area (mm²) vs. Parallelism Granularity", r.Lambdas, r.Rows, "%9.1f")
+}
+
+func renderSweep(title string, lambdas []float64, rows []SweepRow, cell string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "  %-8s", "Network")
+	for _, l := range lambdas {
+		fmt.Fprintf(&b, " %9s", LambdaLabel(l))
+	}
+	fmt.Fprintln(&b)
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-8s", row.Network)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, " "+cell, v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

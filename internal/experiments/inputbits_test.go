@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInputBitsStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training study skipped in -short mode")
+	}
+	cfg := InputBitsConfig{
+		TrainSamples: 250, TestSamples: 100, Epochs: 2, Batch: 10,
+		LearningRate: 0.05, Seed: 6,
+		Bits: []int{2, 8, 16},
+	}
+	r := InputBitsStudy(DefaultSetup(), cfg)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// 16-bit inputs must match the float network closely and beat 2-bit.
+	hi := r.Rows[2]
+	lo := r.Rows[0]
+	if hi.Accuracy < r.FloatAcc-0.05 {
+		t.Fatalf("16-bit accuracy %.3f far below float %.3f", hi.Accuracy, r.FloatAcc)
+	}
+	// The synthetic digits are nearly binary, so low input resolution loses
+	// little accuracy; allow noise-level inversion but no large gap.
+	if hi.Accuracy < lo.Accuracy-0.07 {
+		t.Fatalf("16-bit accuracy %.3f far below 2-bit %.3f", hi.Accuracy, lo.Accuracy)
+	}
+	// Cycle time must grow with spike slots.
+	if !(lo.CycleSeconds < r.Rows[1].CycleSeconds && r.Rows[1].CycleSeconds < hi.CycleSeconds) {
+		t.Fatalf("cycle time not increasing in bits: %g, %g, %g",
+			lo.CycleSeconds, r.Rows[1].CycleSeconds, hi.CycleSeconds)
+	}
+	if !strings.Contains(r.Render(), "Input Spike Resolution") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/networks"
+	"pipelayer/internal/workload"
+)
+
+// EfficiencyEntry is one accelerator's computational/power efficiency.
+type EfficiencyEntry struct {
+	Name string
+	// GOPSPerMM2 is computational efficiency (GOPS/s/mm²).
+	GOPSPerMM2 float64
+	// GOPSPerW is power efficiency (GOPS/W).
+	GOPSPerW float64
+}
+
+// Published comparator numbers the paper quotes in Section 6.6.
+var (
+	// DaDianNao published efficiency (Section 6.6).
+	DaDianNao = EfficiencyEntry{Name: "DaDianNao", GOPSPerMM2: 63.46, GOPSPerW: 286.4}
+	// ISAAC published efficiency (Section 6.6).
+	ISAAC = EfficiencyEntry{Name: "ISAAC", GOPSPerMM2: 479.0, GOPSPerW: 380.7}
+)
+
+// Section66Result reproduces the Section 6.6 efficiency comparison.
+type Section66Result struct {
+	Entries []EfficiencyEntry
+	// AreaMM2 is the PipeLayer configuration's area; the paper reports
+	// 82.63 mm².
+	AreaMM2 float64
+}
+
+// Section66 computes PipeLayer's computational and power efficiency on the
+// AlexNet training configuration (the paper's reference workload) and lines
+// it up against the published DaDianNao and ISAAC numbers. The paper's
+// expected ordering: PipeLayer wins computational efficiency (its storage
+// arrays morph into compute arrays) but loses power efficiency (it writes
+// all data to ReRAM where the others write to eDRAM).
+func Section66(s Setup) Section66Result {
+	spec := networks.AlexNet()
+	plans := s.plans(spec)
+	ops := workload.NetworkTrainingOps(spec)
+	gops := workload.GOPs(ops) * float64(s.Images)
+	seconds := s.Model.TrainingTime(spec, plans, s.Images, s.Batch, true)
+	joules := s.Model.TrainingEnergy(spec, plans, s.Images, s.Batch, true).Total()
+	area := s.Model.Area(spec, plans, s.Batch)
+
+	pl := EfficiencyEntry{
+		Name:       "PipeLayer",
+		GOPSPerMM2: gops / seconds / area,
+		GOPSPerW:   gops / joules,
+	}
+	return Section66Result{
+		Entries: []EfficiencyEntry{pl, DaDianNao, ISAAC},
+		AreaMM2: area,
+	}
+}
+
+// Render formats the comparison.
+func (r Section66Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 6.6: Computation Efficiency (PipeLayer area: %.2f mm²; paper: 82.63 mm²)\n", r.AreaMM2)
+	fmt.Fprintf(&b, "  %-10s %16s %12s\n", "Design", "GOPS/s/mm²", "GOPS/W")
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "  %-10s %16.2f %12.2f\n", e.Name, e.GOPSPerMM2, e.GOPSPerW)
+	}
+	return b.String()
+}
+
+// PipeLayer returns the computed PipeLayer entry.
+func (r Section66Result) PipeLayer() EfficiencyEntry { return r.Entries[0] }

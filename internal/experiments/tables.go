@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/pipeline"
+)
+
+// Table1Result reproduces Table 1: the break of operations in a cycle.
+type Table1Result struct {
+	Cases []arch.CycleCase
+}
+
+// Table1 regenerates the four cycle cases.
+func Table1() Table1Result { return Table1Result{Cases: arch.Table1(3)} }
+
+// Render formats the table.
+func (r Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Break of Operations in a Cycle\n")
+	for _, c := range r.Cases {
+		ops := make([]string, len(c.Ops))
+		for i, o := range c.Ops {
+			ops[i] = string(o)
+		}
+		fmt.Fprintf(&b, "  %-14s reads %-28s writes %-22s ops: %s\n",
+			c.Name, c.Reads, c.Writes, strings.Join(ops, " → "))
+	}
+	return b.String()
+}
+
+// Table2Row compares one configuration's closed-form costs against the
+// event-driven simulation.
+type Table2Row struct {
+	G, L, B, N int
+	// Formula vs simulated cycle counts.
+	NonPipelinedCycles, PipelinedCycles       int
+	SimNonPipelinedCycles, SimPipelinedCycles int
+	// Array and buffer costs.
+	NonPipelinedArrays, PipelinedArrays int
+	NonPipelinedMem, PipelinedMem       int
+}
+
+// Table2Result reproduces Table 2 over a configuration sweep.
+type Table2Result struct{ Rows []Table2Row }
+
+// Table2 evaluates the Table 2 formulas and cross-checks each against the
+// cycle-accurate simulation.
+func Table2() Table2Result {
+	var rows []Table2Row
+	for _, c := range []struct{ G, L, B, N int }{
+		{1, 3, 4, 16}, {4, 5, 16, 64}, {8, 8, 64, 128}, {16, 19, 32, 64},
+	} {
+		rows = append(rows, Table2Row{
+			G: c.G, L: c.L, B: c.B, N: c.N,
+			NonPipelinedCycles:    mapping.NonPipelinedTrainingCycles(c.L, c.B, c.N),
+			PipelinedCycles:       mapping.PipelinedTrainingCycles(c.L, c.B, c.N),
+			SimNonPipelinedCycles: pipeline.Simulate(pipeline.Config{L: c.L, B: c.B, N: c.N, Training: true}).Cycles,
+			SimPipelinedCycles:    pipeline.Simulate(pipeline.Config{L: c.L, B: c.B, N: c.N, Training: true, Pipelined: true}).Cycles,
+			NonPipelinedArrays:    mapping.NonPipelinedMorphArrays(c.G, c.L),
+			PipelinedArrays:       mapping.PipelinedMorphArrays(c.G, c.L, c.B),
+			NonPipelinedMem:       mapping.NonPipelinedMemBuffers(c.L),
+			PipelinedMem:          mapping.PipelinedMemBuffers(c.L),
+		})
+	}
+	return Table2Result{Rows: rows}
+}
+
+// Render formats the table.
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Cycle and Cost of PipeLayer Architecture (formula | simulated)\n")
+	fmt.Fprintf(&b, "  %4s %4s %4s %5s | %18s %18s | %10s %10s | %6s %6s\n",
+		"G", "L", "B", "N", "np-cycles", "pipe-cycles", "np-arrays", "p-arrays", "np-mem", "p-mem")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %4d %4d %4d %5d | %8d | %7d %8d | %7d | %10d %10d | %6d %6d\n",
+			row.G, row.L, row.B, row.N,
+			row.NonPipelinedCycles, row.SimNonPipelinedCycles,
+			row.PipelinedCycles, row.SimPipelinedCycles,
+			row.NonPipelinedArrays, row.PipelinedArrays,
+			row.NonPipelinedMem, row.PipelinedMem)
+	}
+	return b.String()
+}
+
+// Verified reports whether every simulated count matched its formula.
+func (r Table2Result) Verified() bool {
+	for _, row := range r.Rows {
+		if row.NonPipelinedCycles != row.SimNonPipelinedCycles ||
+			row.PipelinedCycles != row.SimPipelinedCycles {
+			return false
+		}
+	}
+	return true
+}
+
+// Table3Result reproduces Table 3: the MNIST network hyper-parameters.
+type Table3Result struct{ Specs []networks.Spec }
+
+// Table3 returns the four MNIST networks.
+func Table3() Table3Result {
+	return Table3Result{Specs: []networks.Spec{
+		networks.MnistA(), networks.MnistB(), networks.MnistC(), networks.Mnist0(),
+	}}
+}
+
+// Render formats the table.
+func (r Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Hyper Parameters of Networks on MNIST (reconstructed)\n")
+	for _, s := range r.Specs {
+		var parts []string
+		for _, l := range s.Layers {
+			switch l.Kind {
+			case mapping.KindConv:
+				parts = append(parts, fmt.Sprintf("conv%dx%d", l.K, l.OutC))
+			case mapping.KindPool:
+				parts = append(parts, fmt.Sprintf("pool%d", l.K))
+			case mapping.KindFC:
+				if len(parts) == 0 {
+					parts = append(parts, fmt.Sprintf("%d", l.FCIn))
+				}
+				parts = append(parts, fmt.Sprintf("%d", l.FCOut))
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s %s (%d weights, %d weighted layers)\n",
+			s.Name, strings.Join(parts, "-"), s.TotalWeights(), s.WeightedLayers())
+	}
+	return b.String()
+}
+
+// Table5Row is one convolution layer's default granularity across variants.
+type Table5Row struct {
+	Layer string
+	// G maps VGG variant letter to the default granularity (0 = the variant
+	// has no such layer).
+	G map[string]int
+}
+
+// Table5Result reproduces Table 5: default parallelism granularity of every
+// VGG convolution layer (derived by the balance rule; see DESIGN.md).
+type Table5Result struct {
+	Rows     []Table5Row
+	Variants []string
+}
+
+// Table5 computes the per-layer balanced defaults.
+func Table5(s Setup) Table5Result {
+	res := Table5Result{Variants: networks.VGGVariants}
+	byName := map[string]*Table5Row{}
+	var order []string
+	for _, v := range networks.VGGVariants {
+		spec := networks.VGG(v)
+		idx := 0
+		for _, l := range spec.Layers {
+			if l.Kind != mapping.KindConv {
+				continue
+			}
+			idx++
+			name := fmt.Sprintf("conv%d", idx)
+			row, ok := byName[name]
+			if !ok {
+				row = &Table5Row{Layer: name, G: map[string]int{}}
+				byName[name] = row
+				order = append(order, name)
+			}
+			row.G[v] = s.Model.BalancedG(l)
+		}
+	}
+	for _, name := range order {
+		res.Rows = append(res.Rows, *byName[name])
+	}
+	return res
+}
+
+// Render formats the table.
+func (r Table5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Default Parallelism Granularity G per VGG Convolution Layer\n")
+	fmt.Fprintf(&b, "  %-8s", "Layer")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, " %8s", "VGG-"+v)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8s", row.Layer)
+		for _, v := range r.Variants {
+			if g, ok := row.G[v]; ok {
+				fmt.Fprintf(&b, " %8d", g)
+			} else {
+				fmt.Fprintf(&b, " %8s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/fixed"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// VariationConfig controls the device-variation extension study.
+type VariationConfig struct {
+	TrainSamples, TestSamples int
+	Epochs, Batch             int
+	LearningRate              float64
+	Seed                      int64
+	// Sigmas are the relative conductance-variation levels evaluated.
+	Sigmas []float64
+	// Bits is the weight resolution variation is applied on top of.
+	Bits int
+}
+
+// DefaultVariationConfig mirrors typical ReRAM programming-noise studies.
+func DefaultVariationConfig() VariationConfig {
+	return VariationConfig{
+		TrainSamples: 800, TestSamples: 300, Epochs: 5, Batch: 10,
+		LearningRate: 0.08, Seed: 2,
+		Sigmas: []float64{0, 0.02, 0.05, 0.10, 0.20, 0.40},
+		Bits:   8,
+	}
+}
+
+// VariationRow is one network's accuracy-vs-σ series (normalized to the
+// noise-free quantized accuracy).
+type VariationRow struct {
+	Network    string
+	BaseAcc    float64
+	Normalized []float64
+}
+
+// VariationResult is the device-variation extension experiment: Section 5.1
+// studies resolution; real arrays additionally suffer programming variation.
+// This regenerates the analogous accuracy-degradation curves.
+type VariationResult struct {
+	Sigmas []float64
+	Rows   []VariationRow
+}
+
+// VariationStudy trains M-1 (MLP) and M-C (CNN) and evaluates them with
+// multiplicative Gaussian conductance noise applied to the quantized
+// weights, averaging over 3 noise draws per σ.
+func VariationStudy(cfg VariationConfig) VariationResult {
+	res := VariationResult{Sigmas: cfg.Sigmas}
+	for _, spec := range []networks.Spec{networks.M1(), networks.MC()} {
+		res.Rows = append(res.Rows, variationNet(spec, cfg))
+	}
+	return res
+}
+
+func variationNet(spec networks.Spec, cfg VariationConfig) VariationRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flat := spec.Layers[0].Kind == mapping.KindFC
+	train, test := dataset.TrainTest(cfg.TrainSamples, cfg.TestSamples, dataset.DefaultOptions(flat), cfg.Seed)
+	net := networks.BuildTrainable(spec, rng)
+	for e := 0; e < cfg.Epochs; e++ {
+		net.TrainEpoch(train, cfg.Batch, cfg.LearningRate)
+	}
+	// Quantize once (the deployment step), then perturb.
+	snap := net.SnapshotWeights()
+	for _, p := range net.Params() {
+		copy(p.Value.Data(), fixed.Quantize(p.Value, cfg.Bits).Data())
+	}
+	quantized := net.SnapshotWeights()
+	base := net.Accuracy(test)
+	if base == 0 {
+		base = 1e-9
+	}
+	row := VariationRow{Network: spec.Name, BaseAcc: base}
+	noise := rand.New(rand.NewSource(cfg.Seed + 1))
+	for _, sigma := range cfg.Sigmas {
+		const draws = 3
+		sum := 0.0
+		for d := 0; d < draws; d++ {
+			net.RestoreWeights(quantized)
+			if sigma > 0 {
+				for _, p := range net.Params() {
+					for i, v := range p.Value.Data() {
+						p.Value.Data()[i] = v * (1 + sigma*noise.NormFloat64())
+					}
+				}
+			}
+			sum += net.Accuracy(test)
+		}
+		row.Normalized = append(row.Normalized, sum/draws/base)
+	}
+	net.RestoreWeights(snap)
+	return row
+}
+
+// Render formats the study.
+func (r VariationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: Accuracy vs. Device Variation (normalized to noise-free quantized)\n")
+	fmt.Fprintf(&b, "  %-6s %7s", "Net", "base")
+	for _, s := range r.Sigmas {
+		fmt.Fprintf(&b, "  σ=%-5.2f", s)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-6s %7.3f", row.Network, row.BaseAcc)
+		for _, v := range row.Normalized {
+			fmt.Fprintf(&b, "  %7.3f", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

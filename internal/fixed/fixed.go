@@ -1,0 +1,149 @@
+// Package fixed implements the finite-resolution arithmetic of the paper's
+// Section 5.1: k-bit uniform weight quantization (the Figure 13
+// resolution/accuracy study), and the resolution-compensation scheme of
+// Figure 14 in which a 16-bit weight is stored as four groups of 4-bit ReRAM
+// cells whose shifted partial results are added (forwarding) and which are
+// read–modified–written during updates.
+package fixed
+
+import (
+	"fmt"
+	"math"
+
+	"pipelayer/internal/tensor"
+)
+
+// CellBits is the resolution of a single ReRAM cell in PipeLayer (the paper's
+// default, Section 5.1).
+const CellBits = 4
+
+// WeightBits is the full weight resolution, realized with WeightBits/CellBits
+// cell groups per weight (the paper's default 16-bit, same as ISAAC).
+const WeightBits = 16
+
+// Groups is the number of 4-bit cell groups composing one 16-bit weight.
+const Groups = WeightBits / CellBits
+
+// Levels returns the number of representable magnitudes for a signed uniform
+// quantizer with the given bit width (2^(bits-1) − 1 positive steps).
+func Levels(bits int) int {
+	if bits < 2 {
+		panic(fmt.Sprintf("fixed: need at least 2 bits, got %d", bits))
+	}
+	return 1<<(bits-1) - 1
+}
+
+// Quantize returns a copy of t whose elements are quantized to a symmetric
+// uniform grid of the given bit width, with the scale chosen from the
+// tensor's absolute maximum. bits ≥ 2. A zero tensor is returned unchanged.
+func Quantize(t *tensor.Tensor, bits int) *tensor.Tensor {
+	levels := Levels(bits)
+	scale := t.AbsMax()
+	out := t.Clone()
+	if scale == 0 {
+		return out
+	}
+	step := scale / float64(levels)
+	for i, v := range out.Data() {
+		q := math.Round(v / step)
+		if q > float64(levels) {
+			q = float64(levels)
+		} else if q < -float64(levels) {
+			q = -float64(levels)
+		}
+		out.Data()[i] = q * step
+	}
+	return out
+}
+
+// QuantizeError returns the RMS quantization error of quantizing t to bits.
+func QuantizeError(t *tensor.Tensor, bits int) float64 {
+	q := Quantize(t, bits)
+	s := 0.0
+	for i, v := range t.Data() {
+		d := v - q.Data()[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(t.Size()))
+}
+
+// ToFixed converts v ∈ [-1, 1]·scale to a signed integer code with the given
+// bit width, saturating at the extremes.
+func ToFixed(v, scale float64, bits int) int {
+	levels := Levels(bits)
+	if scale == 0 {
+		return 0
+	}
+	q := int(math.Round(v / scale * float64(levels)))
+	if q > levels {
+		q = levels
+	} else if q < -levels {
+		q = -levels
+	}
+	return q
+}
+
+// FromFixed converts a signed integer code back to a float value.
+func FromFixed(code int, scale float64, bits int) float64 {
+	return float64(code) * scale / float64(Levels(bits))
+}
+
+// Decompose16 splits a 16-bit unsigned magnitude into Groups 4-bit segments,
+// least significant group first — the four cell groups of Figure 14(a)
+// storing bits 3..0, 7..4, 11..8 and 15..12.
+func Decompose16(w uint16) [Groups]uint8 {
+	var segs [Groups]uint8
+	for g := 0; g < Groups; g++ {
+		segs[g] = uint8((w >> (CellBits * g)) & 0xF)
+	}
+	return segs
+}
+
+// Compose16 reassembles the segments into the original 16-bit magnitude via
+// the shift-and-add of Figure 14(a): D0<<0 + D1<<4 + D2<<8 + D3<<12.
+func Compose16(segs [Groups]uint8) uint16 {
+	var w uint16
+	for g := 0; g < Groups; g++ {
+		w |= uint16(segs[g]&0xF) << (CellBits * g)
+	}
+	return w
+}
+
+// UpdateSegments performs the training-phase read–modify–write of Figure
+// 14(b): read the old 4-bit segments, compose the old weight, subtract the
+// (scaled, rounded) gradient, and return the new segments along with the new
+// composed value. Saturates at [0, 65535].
+func UpdateSegments(old [Groups]uint8, delta int) ([Groups]uint8, uint16) {
+	w := int(Compose16(old)) - delta
+	if w < 0 {
+		w = 0
+	} else if w > math.MaxUint16 {
+		w = math.MaxUint16
+	}
+	nw := uint16(w)
+	return Decompose16(nw), nw
+}
+
+// SignedToMagnitudes maps a signed weight value onto the (positive, negative)
+// crossbar pair representation of the paper's Section 4.2.3: positive weights
+// go to the positive array, negative weights (as magnitudes) to the negative
+// array, and the subtractor computes D_P − D_N.
+func SignedToMagnitudes(v float64) (pos, neg float64) {
+	if v >= 0 {
+		return v, 0
+	}
+	return 0, -v
+}
+
+// SplitSigned splits a tensor into its positive and negative-magnitude parts
+// such that t == pos − neg elementwise with pos, neg ≥ 0.
+func SplitSigned(t *tensor.Tensor) (pos, neg *tensor.Tensor) {
+	pos = tensor.New(t.Shape()...)
+	neg = tensor.New(t.Shape()...)
+	for i, v := range t.Data() {
+		p, n := SignedToMagnitudes(v)
+		pos.Data()[i] = p
+		neg.Data()[i] = n
+	}
+	return pos, neg
+}

@@ -1,0 +1,124 @@
+// Package gpu is the analytic baseline model standing in for the paper's
+// measured GPU platform (Table 4: GTX 1080 + Caffe). The real testbed is not
+// available in this environment, so per-layer execution is modeled with a
+// roofline: time = max(compute, memory) with per-layer-kind utilization
+// factors plus a fixed per-kernel launch overhead, and energy = time × board
+// power. The constants are calibrated once, here, and shared by every
+// experiment; DESIGN.md documents the substitution.
+package gpu
+
+import (
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/workload"
+)
+
+// Platform holds the baseline hardware/software parameters (Table 4).
+type Platform struct {
+	// PeakFLOPS is the peak single-precision throughput (GTX 1080:
+	// 2560 CUDA cores × 1607 MHz × 2 ≈ 8.87 TFLOP/s).
+	PeakFLOPS float64
+	// MemBandwidth is bytes/second (GDDR5X: 320 GB/s).
+	MemBandwidth float64
+	// Power is the sustained board power in watts under Caffe load.
+	Power float64
+	// ConvUtil / FCUtil / PoolUtil are the achieved fractions of peak for
+	// each layer kind under cuDNN-era Caffe kernels.
+	ConvUtil, FCUtil, PoolUtil float64
+	// LaunchOverhead is the fixed per-kernel host latency in seconds.
+	LaunchOverhead float64
+	// HostPerBatch is the fixed per-iteration framework overhead in seconds
+	// (Caffe data layer, solver bookkeeping, host–device synchronization) —
+	// the component that dominates the tiny MNIST networks and gives them
+	// the paper's largest speedups.
+	HostPerBatch float64
+}
+
+// Default returns the GTX 1080 parameters used throughout the evaluation.
+func Default() Platform {
+	return Platform{
+		PeakFLOPS:      8.87e12,
+		MemBandwidth:   320e9,
+		Power:          180,
+		ConvUtil:       0.55,
+		FCUtil:         0.25,
+		PoolUtil:       0.10,
+		LaunchOverhead: 8e-6,
+		HostPerBatch:   1.5e-3,
+	}
+}
+
+// layerForwardTime models one layer's forward pass for one image within a
+// batch of b (weights amortize over the batch; activations do not).
+func (p Platform) layerForwardTime(l mapping.Layer, b int) float64 {
+	ops := workload.ForwardOps(l)
+	var util float64
+	switch l.Kind {
+	case mapping.KindConv:
+		util = p.ConvUtil
+	case mapping.KindFC:
+		util = p.FCUtil
+	default:
+		util = p.PoolUtil
+	}
+	compute := float64(ops.Total()) / (p.PeakFLOPS * util)
+	weightBytes := float64(l.Weights()) * 4 / float64(b)
+	actBytes := activationBytes(l)
+	memory := (weightBytes + actBytes) / p.MemBandwidth
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return t + p.LaunchOverhead/float64(b)
+}
+
+func activationBytes(l mapping.Layer) float64 {
+	var vals float64
+	switch l.Kind {
+	case mapping.KindConv, mapping.KindPool:
+		vals = float64(l.OutC) * float64(l.OutH()) * float64(l.OutW())
+	case mapping.KindFC:
+		vals = float64(l.FCOut)
+	}
+	return 2 * vals * 4 // write + read at float32
+}
+
+// TestingTime returns the wall-clock seconds to infer n images with the
+// given batch size.
+func (p Platform) TestingTime(s networks.Spec, n, batch int) float64 {
+	per := p.HostPerBatch / float64(batch)
+	for _, l := range s.Layers {
+		per += p.layerForwardTime(l, batch)
+	}
+	return per * float64(n)
+}
+
+// TrainingTime returns the wall-clock seconds to train on n images with
+// batch size b: forward + backward (2× forward volume for weighted layers)
+// + the per-batch weight update traffic (read grad, read weight, write
+// weight at float32).
+func (p Platform) TrainingTime(s networks.Spec, n, b int) float64 {
+	per := 0.0
+	for _, l := range s.Layers {
+		f := p.layerForwardTime(l, b)
+		per += f
+		if l.UsesArrays() {
+			per += 2 * f // error backward + gradient computation
+		} else {
+			per += f // routing pass
+		}
+	}
+	update := 3 * float64(s.TotalWeights()) * 4 / p.MemBandwidth / float64(b)
+	host := 2 * p.HostPerBatch / float64(b) // solver iterations cost roughly 2× a test pass
+	return (per + update + host) * float64(n)
+}
+
+// TestingEnergy returns joules for inferring n images.
+func (p Platform) TestingEnergy(s networks.Spec, n, batch int) float64 {
+	return p.TestingTime(s, n, batch) * p.Power
+}
+
+// TrainingEnergy returns joules for training on n images.
+func (p Platform) TrainingEnergy(s networks.Spec, n, b int) float64 {
+	return p.TrainingTime(s, n, b) * p.Power
+}

@@ -1,0 +1,95 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"pipelayer/internal/networks"
+)
+
+func TestTrainingSlowerThanTesting(t *testing.T) {
+	p := Default()
+	for _, s := range networks.EvaluationNetworks() {
+		te := p.TestingTime(s, 100, 64)
+		tr := p.TrainingTime(s, 100, 64)
+		if tr <= te {
+			t.Errorf("%s: training %g not > testing %g", s.Name, tr, te)
+		}
+		if tr > 10*te {
+			t.Errorf("%s: training %g implausibly slower than testing %g", s.Name, tr, te)
+		}
+	}
+}
+
+func TestDeeperNetworksAreSlower(t *testing.T) {
+	p := Default()
+	prev := 0.0
+	for _, v := range networks.VGGVariants {
+		tt := p.TestingTime(networks.VGG(v), 100, 64)
+		if tt < prev {
+			t.Fatalf("VGG-%s faster than shallower variant", v)
+		}
+		prev = tt
+	}
+}
+
+func TestTimesLinearInN(t *testing.T) {
+	p := Default()
+	s := networks.AlexNet()
+	t1 := p.TestingTime(s, 100, 64)
+	t2 := p.TestingTime(s, 200, 64)
+	if math.Abs(t2/t1-2) > 1e-9 {
+		t.Fatal("testing time must be linear in N")
+	}
+}
+
+func TestBatchAmortizesOverheads(t *testing.T) {
+	p := Default()
+	s := networks.MnistA()
+	small := p.TestingTime(s, 100, 1)
+	large := p.TestingTime(s, 100, 64)
+	if large >= small {
+		t.Fatal("larger batches must amortize host overheads")
+	}
+}
+
+func TestVGG16InferencePlausible(t *testing.T) {
+	// GTX 1080 Caffe-era VGG-16 inference is a handful of ms per image.
+	p := Default()
+	per := p.TestingTime(networks.VGG("D"), 1, 64)
+	if per < 1e-3 || per > 50e-3 {
+		t.Fatalf("VGG-D inference = %g s/image, want O(ms)", per)
+	}
+}
+
+func TestMnistInferenceDominatedByHost(t *testing.T) {
+	// MNIST MLPs are tiny: per-image time must be within 2× of the pure
+	// host overhead share, which is what PipeLayer's speedup exploits.
+	p := Default()
+	per := p.TestingTime(networks.MnistA(), 1, 64)
+	host := p.HostPerBatch / 64
+	if per < host || per > 3*host {
+		t.Fatalf("Mnist-A per-image %g not host-dominated (host share %g)", per, host)
+	}
+}
+
+func TestEnergyIsTimeTimesPower(t *testing.T) {
+	p := Default()
+	s := networks.MnistB()
+	if math.Abs(p.TestingEnergy(s, 10, 64)-p.TestingTime(s, 10, 64)*p.Power) > 1e-12 {
+		t.Fatal("testing energy must equal time × power")
+	}
+	if math.Abs(p.TrainingEnergy(s, 10, 64)-p.TrainingTime(s, 10, 64)*p.Power) > 1e-12 {
+		t.Fatal("training energy must equal time × power")
+	}
+}
+
+func TestAlexNetTrainingThroughputPlausible(t *testing.T) {
+	// GTX 1080 Caffe AlexNet training runs on the order of 400–1500 img/s.
+	p := Default()
+	per := p.TrainingTime(networks.AlexNet(), 1, 64)
+	throughput := 1 / per
+	if throughput < 100 || throughput > 5000 {
+		t.Fatalf("AlexNet training throughput = %g img/s, implausible", throughput)
+	}
+}

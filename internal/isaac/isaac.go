@@ -1,0 +1,152 @@
+// Package isaac models the ISAAC-style deep intra-layer pipeline that
+// PipeLayer argues against (paper Sections 1 and 3.2.2): a very deep
+// pipeline that computes small tiles of a layer and forwards partial
+// outputs, giving one result per cycle on long uninterrupted input streams
+// but suffering (a) long fill/drain around every batch boundary in training
+// and (b) stalls when any of a point's many upstream dependencies is
+// delayed ("one point in layer l5 depends on 340 points upstream").
+//
+// The package provides closed-form cycle counts, a Monte-Carlo stall
+// simulator, and the dependency fan-in computation behind the paper's
+// 340-point example, so the experiments can reproduce the comparison
+// quantitatively.
+package isaac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/networks"
+)
+
+// Config parameterizes the ISAAC-style pipeline model.
+type Config struct {
+	// StagesPerLayer is the number of pipeline stages one weighted layer
+	// contributes (ISAAC's IMA datapath is itself deeply pipelined; the tile
+	// forwarding adds more). PipeLayer's coarse pipeline has exactly one
+	// stage per weighted layer.
+	StagesPerLayer int
+	// StallProb is the per-stage, per-cycle probability that a tile's
+	// dependencies are not ready (pipeline imbalance / bubbles).
+	StallProb float64
+	// Seed drives the Monte-Carlo stall simulation.
+	Seed int64
+}
+
+// DefaultConfig uses a 22-stage per-layer pipeline (the depth class of
+// ISAAC's in-situ multiply-accumulate datapath) and no stalls.
+func DefaultConfig() Config {
+	return Config{StagesPerLayer: 22, StallProb: 0, Seed: 1}
+}
+
+// Depth returns the total pipeline depth for a network.
+func (c Config) Depth(s networks.Spec) int {
+	return c.StagesPerLayer * s.WeightedLayers()
+}
+
+// TestingCycles is the streaming-inference cycle count: after D−1 fill
+// cycles one result per cycle — the regime ISAAC is designed for.
+func (c Config) TestingCycles(s networks.Spec, n int) int {
+	mustPositive(n)
+	return n + c.Depth(s) - 1
+}
+
+// TrainingCycles models training on the deep pipeline: the batch boundary
+// forces the whole depth to fill and drain every batch (forward and backward
+// both traverse the pipeline, and the next batch cannot enter until the
+// update lands), so each batch costs B + 2D cycles plus the update cycle.
+func (c Config) TrainingCycles(s networks.Spec, batch, n int) int {
+	mustPositive(n)
+	if batch <= 0 || n%batch != 0 {
+		panic(fmt.Sprintf("isaac: batch %d must divide n %d", batch, n))
+	}
+	d := c.Depth(s)
+	return (n / batch) * (batch + 2*d + 1)
+}
+
+// SimulateStalls plays n items through a depth-d pipeline where every stage
+// independently stalls with probability p each cycle (a stalled stage holds
+// the whole upstream — the paper's bubble propagation). It returns the total
+// cycle count; with p = 0 it equals n + d − 1.
+func SimulateStalls(n, d int, p float64, seed int64) int {
+	mustPositive(n)
+	if d <= 0 {
+		panic("isaac: depth must be positive")
+	}
+	if p < 0 || p >= 1 {
+		panic("isaac: stall probability must be in [0,1)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// stages[i] = id of the item occupying stage i (0 = empty slot/bubble).
+	stages := make([]int, d)
+	move := make([]bool, d)
+	nextIn := 1
+	done := 0
+	cycles := 0
+	for done < n {
+		cycles++
+		// Inject at the start of the cycle: the new item occupies stage 0
+		// during this cycle.
+		if stages[0] == 0 && nextIn <= n {
+			stages[0] = nextIn
+			nextIn++
+		}
+		// A stage advances iff it holds an item, does not stall, and its
+		// downstream neighbour is empty or advancing (rigid pipeline, no
+		// skid buffers — a stall backs up everything behind it).
+		for i := d - 1; i >= 0; i-- {
+			if stages[i] == 0 {
+				move[i] = false
+				continue
+			}
+			if p > 0 && rng.Float64() < p {
+				move[i] = false
+				continue
+			}
+			if i == d-1 {
+				move[i] = true
+			} else {
+				move[i] = stages[i+1] == 0 || move[i+1]
+			}
+		}
+		if move[d-1] {
+			done++
+			stages[d-1] = 0
+		}
+		for i := d - 2; i >= 0; i-- {
+			if move[i] {
+				stages[i+1] = stages[i]
+				stages[i] = 0
+			}
+		}
+		if cycles > 1000*(n+d)+10000 {
+			panic("isaac: stall simulation diverged")
+		}
+	}
+	return cycles
+}
+
+// DependencyFanIn reproduces the paper's Section 3.2.2 count: with all
+// kernels of size k×k (stride 1, no pooling), one point in layer l+depth
+// depends on fanIn(depth) = Σ_{i=1..depth} (1+(k-1)·i)² points... the paper
+// counts the per-layer receptive fields 4, 16, 64, 256 for k=2 over four
+// upstream layers, i.e. (k²)^i, totaling 340. We implement the paper's
+// geometric counting.
+func DependencyFanIn(k, depth int) int {
+	if k <= 1 || depth <= 0 {
+		panic("isaac: DependencyFanIn requires k ≥ 2, depth ≥ 1")
+	}
+	total := 0
+	term := 1
+	for i := 0; i < depth; i++ {
+		term *= k * k
+		total += term
+	}
+	return total
+}
+
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("isaac: n must be positive")
+	}
+}

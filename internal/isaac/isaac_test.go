@@ -1,0 +1,135 @@
+package isaac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+func TestDepth(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.Depth(networks.AlexNet()); got != 22*8 {
+		t.Fatalf("AlexNet depth = %d", got)
+	}
+}
+
+func TestTestingCyclesFormula(t *testing.T) {
+	c := DefaultConfig()
+	s := networks.MnistA() // L = 2 → depth 44
+	if got := c.TestingCycles(s, 1000); got != 1000+44-1 {
+		t.Fatalf("testing cycles = %d", got)
+	}
+}
+
+func TestTrainingCyclesPenalizeDeepPipeline(t *testing.T) {
+	c := DefaultConfig()
+	s := networks.AlexNet()
+	L, B, N := s.WeightedLayers(), 64, 6400
+	isaacCycles := c.TrainingCycles(s, B, N)
+	pipeCycles := mapping.PipelinedTrainingCycles(L, B, N)
+	if isaacCycles <= pipeCycles {
+		t.Fatalf("deep pipeline (%d) must cost more training cycles than PipeLayer (%d)",
+			isaacCycles, pipeCycles)
+	}
+	// The paper's point: the gap grows as the batch shrinks.
+	gapSmallB := float64(c.TrainingCycles(s, 8, N)) / float64(mapping.PipelinedTrainingCycles(L, 8, N))
+	gapLargeB := float64(c.TrainingCycles(s, 256, N)) / float64(mapping.PipelinedTrainingCycles(L, 256, N))
+	if gapSmallB <= gapLargeB {
+		t.Fatalf("deep-pipeline penalty must grow for small batches: %g vs %g", gapSmallB, gapLargeB)
+	}
+}
+
+func TestStreamingInferenceISAACCompetitive(t *testing.T) {
+	// For long uninterrupted streams both pipelines approach 1 result/cycle;
+	// ISAAC's depth only matters in the fill phase.
+	c := DefaultConfig()
+	s := networks.VGG("E")
+	n := 1_000_000
+	isaacCycles := c.TestingCycles(s, n)
+	pipeCycles := mapping.PipelinedTestingCycles(s.WeightedLayers(), n)
+	ratio := float64(isaacCycles) / float64(pipeCycles)
+	if ratio > 1.001 {
+		t.Fatalf("streaming inference ratio %g should approach 1", ratio)
+	}
+}
+
+func TestSimulateStallsNoStallMatchesFormula(t *testing.T) {
+	f := func(rawN, rawD uint8) bool {
+		n := 1 + int(rawN)%200
+		d := 1 + int(rawD)%64
+		return SimulateStalls(n, d, 0, 1) == n+d-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateStallsSlowdownGrowsWithProbability(t *testing.T) {
+	n, d := 500, 40
+	base := SimulateStalls(n, d, 0, 7)
+	mild := SimulateStalls(n, d, 0.02, 7)
+	heavy := SimulateStalls(n, d, 0.10, 7)
+	if !(base < mild && mild < heavy) {
+		t.Fatalf("stall cycles not increasing: %d, %d, %d", base, mild, heavy)
+	}
+}
+
+func TestSimulateStallsDeepPipelineSuffersMore(t *testing.T) {
+	// At the same per-stage stall probability, the deep (ISAAC-style)
+	// pipeline loses more throughput than the shallow (PipeLayer) one.
+	n, p := 2000, 0.05
+	shallow := SimulateStalls(n, 9, p, 3) // 2L+1 for L=4
+	deep := SimulateStalls(n, 9*22, p, 3) // 22 stages per layer
+	shallowOverhead := float64(shallow) / float64(n+9-1)
+	deepOverhead := float64(deep) / float64(n+9*22-1)
+	if deepOverhead <= shallowOverhead {
+		t.Fatalf("deep pipeline overhead %.3f should exceed shallow %.3f", deepOverhead, shallowOverhead)
+	}
+}
+
+func TestDependencyFanInPaperExample(t *testing.T) {
+	// Section 3.2.2: with 2×2 kernels one point in layer l5 depends on
+	// 4 + 16 + 64 + 256 = 340 points in layers l4..l1.
+	if got := DependencyFanIn(2, 4); got != 340 {
+		t.Fatalf("fan-in = %d, want 340", got)
+	}
+}
+
+func TestDependencyFanInValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DependencyFanIn(1, 4)
+}
+
+func TestTrainingCyclesValidation(t *testing.T) {
+	c := DefaultConfig()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.TrainingCycles(networks.MnistA(), 7, 100)
+}
+
+func TestSimulateStallsValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SimulateStalls(0, 4, 0, 1) },
+		func() { SimulateStalls(4, 0, 0, 1) },
+		func() { SimulateStalls(4, 4, 1.0, 1) },
+		func() { SimulateStalls(4, 4, -0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package mapping
+
+// Table 2 of the paper: cycle counts and array/buffer costs of the
+// non-pipelined and pipelined PipeLayer architectures, as closed forms.
+// G: parallelism granularity, L: number of weighted layers, B: batch size,
+// N: total number of input images.
+
+// NonPipelinedTrainingCycles is (2L+1)·N + N/B: per image, L forward cycles
+// and L+1 backward cycles, plus one weight-update cycle per batch
+// (Figure 7a).
+func NonPipelinedTrainingCycles(L, B, N int) int {
+	mustPos(L, B, N)
+	return (2*L+1)*N + N/B
+}
+
+// PipelinedTrainingCycles is (N/B)·(2L+B+1): per batch, the first update is
+// ready after 2L+1 cycles, B−1 further inputs stream in one per cycle, and
+// one cycle applies the batched update (Figure 7b). N must be a multiple of
+// B (the paper's batches are full).
+func PipelinedTrainingCycles(L, B, N int) int {
+	mustPos(L, B, N)
+	return (N / B) * (2*L + B + 1)
+}
+
+// NonPipelinedForwardCycles is L·N (Table 2, forward row).
+func NonPipelinedForwardCycles(L, N int) int {
+	mustPos(L, 1, N)
+	return L * N
+}
+
+// NonPipelinedBackwardCycles is (L+1)·N + N/B (Table 2, backward row).
+func NonPipelinedBackwardCycles(L, B, N int) int {
+	mustPos(L, B, N)
+	return (L+1)*N + N/B
+}
+
+// PipelinedTestingCycles is N + L − 1: in testing there are no batch
+// boundaries, so after L−1 fill cycles one result emerges per cycle.
+func PipelinedTestingCycles(L, N int) int {
+	mustPos(L, 1, N)
+	return N + L - 1
+}
+
+// NonPipelinedTestingCycles is L·N: each image occupies the whole machine
+// for L cycles.
+func NonPipelinedTestingCycles(L, N int) int {
+	mustPos(L, 1, N)
+	return L * N
+}
+
+// NonPipelinedMorphArrays is the Table 2 morphable-array cost without
+// pipelining: G·L array groups hold the forward weights and G·(L−1) hold the
+// reordered kernels (W)* for error backward (no errors are propagated past
+// layer 1).
+func NonPipelinedMorphArrays(G, L int) int {
+	mustPos(G, L, 1)
+	return G*L + G*(L-1)
+}
+
+// PipelinedMorphArrays is the Table 2 morphable-array cost with pipelining:
+// the non-pipelined arrays plus B·L array groups that hold the in-flight
+// d values of the B images in the pipeline, morphed to compute partial
+// derivatives (Section 4.4.1).
+func PipelinedMorphArrays(G, L, B int) int {
+	mustPos(G, L, B)
+	return G*L + G*(L-1) + B*L
+}
+
+// NonPipelinedMemBuffers is the Table 2 memory-subarray cost without
+// pipelining: 2·L buffers (one d and one δ per layer).
+func NonPipelinedMemBuffers(L int) int {
+	mustPos(L, 1, 1)
+	return 2 * L
+}
+
+// BufferDepth is the per-layer circular-buffer depth of Section 3.3: the
+// entry layer l writes at cycle t is consumed 2(L−l) cycles later, so
+// 2(L−l)+1 entries suffice and are necessary (Figure 8). Layers are indexed
+// 1..L.
+func BufferDepth(L, l int) int {
+	if l < 1 || l > L {
+		panic("mapping: BufferDepth layer index out of range")
+	}
+	return 2*(L-l) + 1
+}
+
+// PipelinedMemBuffers sums the circular-buffer depths over all layers,
+// Σ_{l=1..L} (2(L−l)+1) = L², plus L+1 duplicated buffers for the
+// same-cycle read+write at d_L and each δ_l (Section 3.3).
+func PipelinedMemBuffers(L int) int {
+	mustPos(L, 1, 1)
+	return L*L + L + 1
+}
+
+func mustPos(vals ...int) {
+	for _, v := range vals {
+		if v <= 0 {
+			panic("mapping: parameters must be positive")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArraySpec is the physical crossbar geometry used for tiling. The default
+// matches the 128×128 arrays common to ReRAM accelerator proposals.
+type ArraySpec struct {
+	Rows, Cols int
+}
+
+// DefaultArray is the default crossbar geometry.
+var DefaultArray = ArraySpec{Rows: 128, Cols: 128}
+
+// PhysicalPerLogical is the number of physical crossbars behind one logical
+// weight array: a positive/negative pair (Section 4.2.3) for each of the
+// four 4-bit resolution groups (Section 5.1).
+const PhysicalPerLogical = 8
+
+// BalancedSteps is the per-cycle window budget the default granularity is
+// balanced against. It reproduces the paper's Figure 5 example, where the
+// 2544 windows of the 14×14→(with G=52 copies) layer are processed in
+// 49 = ⌈2544/52⌉ sequential steps per logical cycle.
+const BalancedSteps = 49
+
+// Plan is the mapping of one layer onto crossbars at a chosen granularity.
+type Plan struct {
+	Layer Layer
+	Array ArraySpec
+	// G is the parallelism granularity: copies of the weight arrays.
+	G int
+	// RowTiles × ColTiles arrays hold one weight copy (Figure 5 partition).
+	RowTiles, ColTiles int
+	// Steps is the number of sequential input vectors each copy processes
+	// per image: ⌈Windows / G⌉ (1 for FC, 0 for pooling).
+	Steps int
+}
+
+// ArraysPerCopy returns the number of logical arrays per weight copy.
+func (p Plan) ArraysPerCopy() int { return p.RowTiles * p.ColTiles }
+
+// LogicalArrays returns the number of logical arrays including replication.
+func (p Plan) LogicalArrays() int { return p.ArraysPerCopy() * p.G }
+
+// PhysicalArrays returns the number of physical crossbars (×8: pos/neg ×
+// four resolution groups).
+func (p Plan) PhysicalArrays() int { return p.LogicalArrays() * PhysicalPerLogical }
+
+// NewPlan tiles a layer onto arrays with granularity g. Pooling layers yield
+// a zero-array plan. g is clamped to [1, Windows].
+func NewPlan(l Layer, array ArraySpec, g int) Plan {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	if array.Rows <= 0 || array.Cols <= 0 {
+		panic(fmt.Sprintf("mapping: invalid array spec %+v", array))
+	}
+	p := Plan{Layer: l, Array: array}
+	if !l.UsesArrays() {
+		return p
+	}
+	w := l.Windows()
+	if g < 1 {
+		g = 1
+	}
+	if g > w {
+		g = w
+	}
+	p.G = g
+	p.RowTiles = ceilDiv(l.InputVecLen()+1, array.Rows) // +1 row for the bias
+	p.ColTiles = ceilDiv(l.OutputLen(), array.Cols)
+	p.Steps = ceilDiv(w, g)
+	return p
+}
+
+// NaivePlan is the naive scheme of Figure 4: G = 1, so all windows feed one
+// copy sequentially.
+func NaivePlan(l Layer, array ArraySpec) Plan { return NewPlan(l, array, 1) }
+
+// MaxPlan is the fully parallel extreme: G = Windows, one step per cycle.
+func MaxPlan(l Layer, array ArraySpec) Plan { return NewPlan(l, array, l.Windows()) }
+
+// DefaultG returns the paper's balanced default granularity for a layer:
+// the smallest G whose per-cycle step count does not exceed BalancedSteps
+// (Table 5's defaults are derived with this rule; see DESIGN.md).
+func DefaultG(l Layer) int {
+	if !l.UsesArrays() {
+		return 0
+	}
+	return ceilDiv(l.Windows(), BalancedSteps)
+}
+
+// ScaleG applies the paper's λ scaling of Figure 17/18 to a default
+// granularity: λ = 0 means G = 1 for every layer; λ = +Inf means the maximum
+// G = Windows; otherwise G = clamp(round(λ·G₀), 1, Windows).
+func ScaleG(l Layer, lambda float64) int {
+	return ScaleGFrom(l, DefaultG(l), lambda)
+}
+
+// ScaleGFrom is ScaleG around an arbitrary base granularity g0 (used by the
+// energy-aware balanced planner, which derives its own per-layer defaults).
+func ScaleGFrom(l Layer, g0 int, lambda float64) int {
+	if !l.UsesArrays() {
+		return 0
+	}
+	w := l.Windows()
+	switch {
+	case lambda == 0:
+		return 1
+	case math.IsInf(lambda, 1):
+		return w
+	case lambda < 0:
+		panic(fmt.Sprintf("mapping: negative λ %g", lambda))
+	}
+	g := int(math.Round(lambda * float64(g0)))
+	if g < 1 {
+		g = 1
+	}
+	if g > w {
+		g = w
+	}
+	return g
+}
+
+// PlanNetwork maps every layer of a network at λ-scaled default granularity.
+func PlanNetwork(layers []Layer, array ArraySpec, lambda float64) []Plan {
+	plans := make([]Plan, len(layers))
+	for i, l := range layers {
+		plans[i] = NewPlan(l, array, ScaleG(l, lambda))
+	}
+	return plans
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("mapping: ceilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,231 @@
+// Package mapping implements PipeLayer's data-input and kernel-mapping
+// schemes (paper Section 3.2): the naive scheme of Figure 4 (one giant array,
+// sequential window feed), the balanced scheme of Figure 5 (partitioning the
+// kernel matrix into crossbar-sized tiles), the parallelism-granularity knob
+// G (the number of replicated array copies holding the same weights), and
+// the array-count cost model of Table 2.
+//
+// The package also defines the layer-geometry description (Layer) consumed
+// by the pipeline simulator, the energy model and the network zoo.
+package mapping
+
+import (
+	"fmt"
+
+	"pipelayer/internal/tensor"
+)
+
+// LayerKind enumerates the paper's three layer types plus activation, which
+// is fused into the preceding layer's array group in hardware.
+type LayerKind int
+
+const (
+	// KindConv is a convolution layer (Equation 1).
+	KindConv LayerKind = iota
+	// KindPool is a pooling layer (Equation 2); MaxPool or AvgPool.
+	KindPool
+	// KindFC is an inner-product layer (Equation 3).
+	KindFC
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case KindConv:
+		return "conv"
+	case KindPool:
+		return "pool"
+	case KindFC:
+		return "fc"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// PoolMode distinguishes the paper's two pooling variants (Section 2.1).
+type PoolMode int
+
+const (
+	// PoolMax selects max pooling (realized by the activation component's
+	// max register, Section 4.2.3).
+	PoolMax PoolMode = iota
+	// PoolAvg selects average pooling (Equation 2; the 1/K² multiply is a
+	// shift when K² is a power of two).
+	PoolAvg
+)
+
+// Activation selects the activation function fused after a weighted layer
+// (the activation component is LUT-configurable, Section 4.2.3).
+type Activation int
+
+const (
+	// ActReLU is the rectifier (the paper's default; exact in hardware).
+	ActReLU Activation = iota
+	// ActSigmoid is the logistic function (realized by a sampled LUT).
+	ActSigmoid
+)
+
+// Layer describes the geometry of one network layer, the unit both the
+// mapper and the pipeline simulator operate on.
+type Layer struct {
+	Name string
+	Kind LayerKind
+
+	// Convolution/pooling geometry (CHW input).
+	InC, InH, InW int
+	OutC          int
+	K             int // kernel / pooling window (square)
+	Stride, Pad   int
+
+	// Pool selects max vs average pooling for KindPool layers.
+	Pool PoolMode
+
+	// Act selects the fused activation for weighted layers.
+	Act Activation
+
+	// Inner-product geometry.
+	FCIn, FCOut int
+}
+
+// Conv builds a convolution layer description.
+func Conv(name string, inC, inH, inW, outC, k, stride, pad int) Layer {
+	return Layer{Name: name, Kind: KindConv, InC: inC, InH: inH, InW: inW, OutC: outC, K: k, Stride: stride, Pad: pad}
+}
+
+// Pool builds a non-overlapping pooling layer description (window k, stride k).
+func Pool(name string, inC, inH, inW, k int) Layer {
+	return PoolStrided(name, inC, inH, inW, k, k)
+}
+
+// PoolStrided builds a pooling layer with an explicit stride (AlexNet's
+// overlapping 3×3 stride-2 pools).
+func PoolStrided(name string, inC, inH, inW, k, stride int) Layer {
+	return Layer{Name: name, Kind: KindPool, InC: inC, InH: inH, InW: inW, OutC: inC, K: k, Stride: stride}
+}
+
+// AvgPool builds a non-overlapping average-pooling layer (Equation 2).
+func AvgPool(name string, inC, inH, inW, k int) Layer {
+	l := Pool(name, inC, inH, inW, k)
+	l.Pool = PoolAvg
+	return l
+}
+
+// WithActivation returns a copy of a weighted layer with the given fused
+// activation.
+func (l Layer) WithActivation(a Activation) Layer {
+	l.Act = a
+	return l
+}
+
+// FC builds an inner-product layer description.
+func FC(name string, in, out int) Layer {
+	return Layer{Name: name, Kind: KindFC, FCIn: in, FCOut: out}
+}
+
+// OutH returns the output height of a conv/pool layer.
+func (l Layer) OutH() int {
+	switch l.Kind {
+	case KindConv:
+		return tensor.ConvOutDim(l.InH, l.K, l.Stride, l.Pad)
+	case KindPool:
+		return (l.InH-l.K)/l.Stride + 1
+	default:
+		return 1
+	}
+}
+
+// OutW returns the output width of a conv/pool layer.
+func (l Layer) OutW() int {
+	switch l.Kind {
+	case KindConv:
+		return tensor.ConvOutDim(l.InW, l.K, l.Stride, l.Pad)
+	case KindPool:
+		return (l.InW-l.K)/l.Stride + 1
+	default:
+		return 1
+	}
+}
+
+// InputVecLen is the length of one array input vector: the flattened
+// receptive field K·K·C for convolution (the paper's "yellow bar", 512 in
+// Figure 4's example), or the full input width for an inner-product layer.
+// Pooling layers do not use crossbars.
+func (l Layer) InputVecLen() int {
+	switch l.Kind {
+	case KindConv:
+		return l.K * l.K * l.InC
+	case KindFC:
+		return l.FCIn
+	default:
+		return 0
+	}
+}
+
+// OutputLen is the number of bit lines one weight copy must provide: the
+// output channel count for convolution, the neuron count for inner product.
+func (l Layer) OutputLen() int {
+	switch l.Kind {
+	case KindConv:
+		return l.OutC
+	case KindFC:
+		return l.FCOut
+	default:
+		return 0
+	}
+}
+
+// Windows is the number of sliding-window positions per image (the paper's
+// 2544-cycle sequential feed of Figure 4 comes from this count). It is 1 for
+// inner-product layers and 0 for pooling (no array pass).
+func (l Layer) Windows() int {
+	switch l.Kind {
+	case KindConv:
+		return l.OutH() * l.OutW()
+	case KindFC:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// UsesArrays reports whether the layer occupies morphable subarrays.
+func (l Layer) UsesArrays() bool { return l.Kind == KindConv || l.Kind == KindFC }
+
+// Weights returns the number of weight values in the layer.
+func (l Layer) Weights() int {
+	switch l.Kind {
+	case KindConv:
+		return l.OutC * l.InC * l.K * l.K
+	case KindFC:
+		return l.FCIn * l.FCOut
+	default:
+		return 0
+	}
+}
+
+// Validate checks internal consistency of the description.
+func (l Layer) Validate() error {
+	switch l.Kind {
+	case KindConv:
+		if l.InC <= 0 || l.InH <= 0 || l.InW <= 0 || l.OutC <= 0 || l.K <= 0 || l.Stride <= 0 {
+			return fmt.Errorf("mapping: conv layer %q has non-positive dims", l.Name)
+		}
+		if l.OutH() <= 0 || l.OutW() <= 0 {
+			return fmt.Errorf("mapping: conv layer %q produces empty output", l.Name)
+		}
+	case KindPool:
+		if l.InC <= 0 || l.K <= 0 || l.Stride <= 0 {
+			return fmt.Errorf("mapping: pool layer %q has non-positive dims", l.Name)
+		}
+		if l.InH < l.K || l.InW < l.K || (l.InH-l.K)%l.Stride != 0 || (l.InW-l.K)%l.Stride != 0 {
+			return fmt.Errorf("mapping: pool layer %q window %d stride %d does not tile %dx%d", l.Name, l.K, l.Stride, l.InH, l.InW)
+		}
+	case KindFC:
+		if l.FCIn <= 0 || l.FCOut <= 0 {
+			return fmt.Errorf("mapping: fc layer %q has non-positive dims", l.Name)
+		}
+	default:
+		return fmt.Errorf("mapping: layer %q has unknown kind %d", l.Name, l.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fig4Layer() Layer {
+	// Figure 4: layer l is 14×14×128, kernels 2×2×128×256, layer l+1 13×13×256.
+	return Conv("fig4", 128, 14, 14, 256, 2, 1, 0)
+}
+
+func TestLayerGeometryFigure4(t *testing.T) {
+	l := fig4Layer()
+	if got := l.InputVecLen(); got != 512 {
+		t.Fatalf("input vector length = %d, want 512 (2·2·128)", got)
+	}
+	if got := l.OutputLen(); got != 256 {
+		t.Fatalf("bit lines = %d, want 256", got)
+	}
+	if got := l.Windows(); got != 169 {
+		t.Fatalf("windows = %d, want 13·13 = 169", got)
+	}
+}
+
+func TestPoolLayerGeometry(t *testing.T) {
+	l := Pool("p", 64, 8, 8, 2)
+	if l.UsesArrays() {
+		t.Fatal("pooling must not use arrays")
+	}
+	if l.OutH() != 4 || l.OutW() != 4 || l.Windows() != 0 || l.InputVecLen() != 0 {
+		t.Fatalf("pool geometry wrong: %d %d %d", l.OutH(), l.Windows(), l.InputVecLen())
+	}
+}
+
+func TestFCLayerGeometry(t *testing.T) {
+	l := FC("fc", 784, 100)
+	if l.InputVecLen() != 784 || l.OutputLen() != 100 || l.Windows() != 1 {
+		t.Fatal("fc geometry wrong")
+	}
+	if l.Weights() != 78400 {
+		t.Fatalf("fc weights = %d", l.Weights())
+	}
+}
+
+func TestValidateRejectsBadLayers(t *testing.T) {
+	bad := []Layer{
+		Conv("c", 0, 8, 8, 4, 3, 1, 0),
+		Conv("c", 1, 2, 2, 4, 5, 1, 0), // kernel larger than input
+		Pool("p", 1, 5, 5, 2),
+		FC("f", 0, 10),
+		{Name: "x", Kind: LayerKind(9)},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNaivePlanMatchesPaperExample(t *testing.T) {
+	// The naive scheme of Figure 4 processes all windows sequentially.
+	p := NaivePlan(fig4Layer(), ArraySpec{Rows: 1024, Cols: 1024})
+	if p.G != 1 {
+		t.Fatalf("naive G = %d", p.G)
+	}
+	if p.Steps != 169 {
+		t.Fatalf("naive steps = %d, want 169", p.Steps)
+	}
+	if p.ArraysPerCopy() != 1 {
+		t.Fatalf("one huge array should hold the whole kernel matrix, got %d tiles", p.ArraysPerCopy())
+	}
+}
+
+func TestPlanPartitionFigure5(t *testing.T) {
+	// Figure 5 partitions the 512×256 matrix into 128-row tiles: with
+	// 128×128 arrays we need ⌈513/128⌉ = 5 row tiles × 2 col tiles.
+	p := NewPlan(fig4Layer(), DefaultArray, 1)
+	if p.RowTiles != 5 {
+		t.Fatalf("row tiles = %d, want 5 (bias row forces 513 rows)", p.RowTiles)
+	}
+	if p.ColTiles != 2 {
+		t.Fatalf("col tiles = %d, want 2", p.ColTiles)
+	}
+}
+
+func TestMaxPlanOneStep(t *testing.T) {
+	p := MaxPlan(fig4Layer(), DefaultArray)
+	if p.Steps != 1 {
+		t.Fatalf("max plan steps = %d, want 1", p.Steps)
+	}
+	if p.G != 169 {
+		t.Fatalf("max plan G = %d, want 169", p.G)
+	}
+}
+
+func TestPlanClampsG(t *testing.T) {
+	p := NewPlan(fig4Layer(), DefaultArray, 10_000)
+	if p.G != 169 {
+		t.Fatalf("G must clamp to window count, got %d", p.G)
+	}
+	p = NewPlan(fig4Layer(), DefaultArray, -3)
+	if p.G != 1 {
+		t.Fatalf("G must clamp to 1, got %d", p.G)
+	}
+}
+
+func TestPlanPoolingZeroArrays(t *testing.T) {
+	p := NewPlan(Pool("p", 16, 8, 8, 2), DefaultArray, 7)
+	if p.LogicalArrays() != 0 || p.Steps != 0 {
+		t.Fatal("pooling plan must consume no arrays")
+	}
+}
+
+func TestPhysicalArraysFactor(t *testing.T) {
+	p := NewPlan(FC("fc", 100, 10), DefaultArray, 1)
+	if p.PhysicalArrays() != p.LogicalArrays()*8 {
+		t.Fatal("physical arrays must be 8× logical (pos/neg × 4 groups)")
+	}
+}
+
+// Property: G·Steps ≥ Windows ≥ (G−1)·Steps-ish; precisely Steps = ⌈W/G⌉.
+func TestPropertyStepsCeil(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := Conv("c", 1+rng.Intn(64), 4+rng.Intn(28), 4+rng.Intn(28), 1+rng.Intn(64), 1+rng.Intn(3), 1, 0)
+		if l.Validate() != nil {
+			return true
+		}
+		g := 1 + rng.Intn(2*l.Windows())
+		p := NewPlan(l, DefaultArray, g)
+		w := l.Windows()
+		return p.Steps == (w+p.G-1)/p.G && p.G >= 1 && p.G <= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultGBalances(t *testing.T) {
+	l := fig4Layer()
+	g := DefaultG(l)
+	p := NewPlan(l, DefaultArray, g)
+	if p.Steps > BalancedSteps {
+		t.Fatalf("default G yields %d steps > budget %d", p.Steps, BalancedSteps)
+	}
+	// And G-1 would exceed the budget (minimality) unless G==1.
+	if g > 1 {
+		if q := NewPlan(l, DefaultArray, g-1); q.Steps <= BalancedSteps {
+			t.Fatalf("default G not minimal: G-1 also meets budget")
+		}
+	}
+}
+
+func TestScaleGLambdaExtremes(t *testing.T) {
+	l := fig4Layer()
+	if g := ScaleG(l, 0); g != 1 {
+		t.Fatalf("λ=0 must give G=1, got %d", g)
+	}
+	if g := ScaleG(l, math.Inf(1)); g != l.Windows() {
+		t.Fatalf("λ=∞ must give G=Windows, got %d", g)
+	}
+	if g := ScaleG(l, 1); g != DefaultG(l) {
+		t.Fatalf("λ=1 must give default G, got %d vs %d", g, DefaultG(l))
+	}
+}
+
+func TestScaleGMonotone(t *testing.T) {
+	l := Conv("c", 64, 56, 56, 128, 3, 1, 1)
+	lambdas := []float64{0, 0.25, 0.5, 1, 2, 4, math.Inf(1)}
+	prev := 0
+	for _, lam := range lambdas {
+		g := ScaleG(l, lam)
+		if g < prev {
+			t.Fatalf("G not monotone in λ: %d after %d", g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestScaleGNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScaleG(fig4Layer(), -1)
+}
+
+func TestPlanNetwork(t *testing.T) {
+	layers := []Layer{
+		Conv("c1", 1, 28, 28, 8, 5, 1, 0),
+		Pool("p1", 8, 24, 24, 2),
+		FC("fc", 8*12*12, 10),
+	}
+	plans := PlanNetwork(layers, DefaultArray, 1)
+	if len(plans) != 3 {
+		t.Fatalf("plan count = %d", len(plans))
+	}
+	if plans[1].LogicalArrays() != 0 {
+		t.Fatal("pool plan should be empty")
+	}
+	if plans[0].G != DefaultG(layers[0]) {
+		t.Fatal("λ=1 should use default G")
+	}
+}
+
+func TestTable2CycleFormulas(t *testing.T) {
+	// The worked numbers of Section 3.3: L layers, batch B, N images.
+	L, B, N := 3, 64, 64*10
+	np := NonPipelinedTrainingCycles(L, B, N)
+	if np != (2*L+1)*N+N/B {
+		t.Fatalf("non-pipelined = %d", np)
+	}
+	p := PipelinedTrainingCycles(L, B, N)
+	if p != (N/B)*(2*L+B+1) {
+		t.Fatalf("pipelined = %d", p)
+	}
+	if p >= np {
+		t.Fatal("pipelined must be faster than non-pipelined for B > 1")
+	}
+	if NonPipelinedForwardCycles(L, N)+NonPipelinedBackwardCycles(L, B, N) != np {
+		t.Fatal("forward+backward must sum to total")
+	}
+}
+
+func TestTable2BatchOneDegenerate(t *testing.T) {
+	// With B = 1 the pipeline degenerates: (2L+2) per image vs (2L+1)+1 — equal.
+	L, N := 5, 100
+	if PipelinedTrainingCycles(L, 1, N) != NonPipelinedTrainingCycles(L, 1, N) {
+		t.Fatal("B=1 pipelined and non-pipelined cycle counts must coincide")
+	}
+}
+
+func TestTestingCycleFormulas(t *testing.T) {
+	L, N := 8, 1000
+	if NonPipelinedTestingCycles(L, N) != L*N {
+		t.Fatal("non-pipelined testing")
+	}
+	if PipelinedTestingCycles(L, N) != N+L-1 {
+		t.Fatal("pipelined testing")
+	}
+}
+
+func TestArrayCostFormulas(t *testing.T) {
+	G, L, B := 4, 6, 64
+	np := NonPipelinedMorphArrays(G, L)
+	p := PipelinedMorphArrays(G, L, B)
+	if np != G*L+G*(L-1) {
+		t.Fatalf("non-pipelined arrays = %d", np)
+	}
+	if p != np+B*L {
+		t.Fatalf("pipelined arrays = %d, want np + BL", p)
+	}
+}
+
+func TestBufferDepthRule(t *testing.T) {
+	// Section 3.3 worked example: L = 3, the buffer between A1 and A2
+	// (layer 1) needs 2(3−1)+1 = 5 entries.
+	if got := BufferDepth(3, 1); got != 5 {
+		t.Fatalf("BufferDepth(3,1) = %d, want 5", got)
+	}
+	if got := BufferDepth(3, 3); got != 1 {
+		t.Fatalf("BufferDepth(3,3) = %d, want 1", got)
+	}
+}
+
+func TestBufferDepthOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BufferDepth(3, 4)
+}
+
+func TestPipelinedMemBuffersIsSumOfDepths(t *testing.T) {
+	for L := 1; L <= 12; L++ {
+		sum := 0
+		for l := 1; l <= L; l++ {
+			sum += BufferDepth(L, l)
+		}
+		if got := PipelinedMemBuffers(L); got != sum+L+1 {
+			t.Fatalf("L=%d: PipelinedMemBuffers = %d, want Σdepths(%d) + L+1", L, got, sum)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindConv.String() != "conv" || KindPool.String() != "pool" || KindFC.String() != "fc" {
+		t.Fatal("LayerKind strings broken")
+	}
+	if LayerKind(42).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}

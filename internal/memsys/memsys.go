@@ -1,0 +1,176 @@
+// Package memsys models the memory-subarray banks and the connection
+// component of Figure 9(d): the substrate behind the energy model's
+// aggregate MoveBandwidth. Memory subarrays are organized as interleaved
+// banks with open-row buffers; the connection component streams layer
+// outputs into them (and streams buffered d/δ values back out) with
+// bank-level parallelism. The package provides both closed-form peak
+// bandwidth and a request-level simulator that exposes row-buffer locality
+// and bank contention — and a consistency check ties its achievable
+// bandwidth to the constant the energy model assumes.
+package memsys
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config describes the banked memory organization.
+type Config struct {
+	// Banks is the number of independently operating memory subarrays.
+	Banks int
+	// RowSize is the number of data values per row (one activation burst).
+	RowSize int
+	// ActivateLatency is the cost of opening a row (seconds) — the ReRAM
+	// read latency class of the paper's Section 6.2 constants.
+	ActivateLatency float64
+	// BurstLatency is the per-value streaming cost once a row is open.
+	BurstLatency float64
+	// WriteActivateLatency is the cost of opening a row for writing.
+	WriteActivateLatency float64
+}
+
+// DefaultConfig matches the paper's device constants: activations at the
+// 29.31 ns read / 50.88 ns write latencies, 128-value rows (the crossbar
+// width), and 1024 banks — a mid-size PIM memory region.
+func DefaultConfig() Config {
+	return Config{
+		Banks:                1024,
+		RowSize:              128,
+		ActivateLatency:      29.31e-9,
+		BurstLatency:         0.5e-9,
+		WriteActivateLatency: 50.88e-9,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks <= 0 || c.RowSize <= 0 {
+		return fmt.Errorf("memsys: banks (%d) and row size (%d) must be positive", c.Banks, c.RowSize)
+	}
+	if c.ActivateLatency <= 0 || c.BurstLatency <= 0 || c.WriteActivateLatency <= 0 {
+		return fmt.Errorf("memsys: latencies must be positive")
+	}
+	return nil
+}
+
+// PeakReadBandwidth is the closed-form streaming read bandwidth in values
+// per second: every bank pipelines row activations with bursts.
+func (c Config) PeakReadBandwidth() float64 {
+	perRow := c.ActivateLatency + float64(c.RowSize)*c.BurstLatency
+	return float64(c.Banks) * float64(c.RowSize) / perRow
+}
+
+// PeakWriteBandwidth is the closed-form streaming write bandwidth.
+func (c Config) PeakWriteBandwidth() float64 {
+	perRow := c.WriteActivateLatency + float64(c.RowSize)*c.BurstLatency
+	return float64(c.Banks) * float64(c.RowSize) / perRow
+}
+
+// System is a request-level simulator of the banked memory.
+type System struct {
+	cfg   Config
+	banks []bank
+	now   float64
+	// Hits and Misses count row-buffer outcomes for locality accounting.
+	Hits, Misses int64
+}
+
+type bank struct {
+	openRow   int
+	hasOpen   bool
+	busyUntil float64
+}
+
+// NewSystem creates a simulator in the all-rows-closed state at time 0.
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &System{cfg: cfg, banks: make([]bank, cfg.Banks)}
+}
+
+// bankOf maps a value address to its bank (row-interleaved).
+func (s *System) bankOf(addr int) int { return (addr / s.cfg.RowSize) % s.cfg.Banks }
+
+// rowOf maps a value address to its row within the bank.
+func (s *System) rowOf(addr int) int { return addr / (s.cfg.RowSize * s.cfg.Banks) }
+
+// access issues one value access at the current time and returns its
+// completion time. write selects the write activation latency.
+func (s *System) access(addr int, write bool) float64 {
+	b := &s.banks[s.bankOf(addr)]
+	row := s.rowOf(addr)
+	start := s.now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	var lat float64
+	if b.hasOpen && b.openRow == row {
+		s.Hits++
+		lat = s.cfg.BurstLatency
+	} else {
+		s.Misses++
+		if write {
+			lat = s.cfg.WriteActivateLatency + s.cfg.BurstLatency
+		} else {
+			lat = s.cfg.ActivateLatency + s.cfg.BurstLatency
+		}
+		b.hasOpen = true
+		b.openRow = row
+	}
+	b.busyUntil = start + lat
+	return b.busyUntil
+}
+
+// StreamTransfer simulates moving count sequential values starting at base
+// (a layer output being written to its memory subarray buffer, or a
+// buffered tensor being read back) and returns the elapsed time.
+func (s *System) StreamTransfer(base, count int, write bool) float64 {
+	if count <= 0 {
+		panic("memsys: count must be positive")
+	}
+	end := s.now
+	for i := 0; i < count; i++ {
+		if t := s.access(base+i, write); t > end {
+			end = t
+		}
+	}
+	elapsed := end - s.now
+	s.now = end
+	return elapsed
+}
+
+// RandomTransfer simulates count accesses at uniformly random addresses in
+// [0, span) — the pathological no-locality pattern — and returns the
+// elapsed time.
+func (s *System) RandomTransfer(span, count int, write bool, rng *rand.Rand) float64 {
+	if count <= 0 || span <= 0 {
+		panic("memsys: count and span must be positive")
+	}
+	end := s.now
+	for i := 0; i < count; i++ {
+		if t := s.access(rng.Intn(span), write); t > end {
+			end = t
+		}
+	}
+	elapsed := end - s.now
+	s.now = end
+	return elapsed
+}
+
+// AchievedBandwidth converts (values, seconds) to values/second.
+func AchievedBandwidth(values int, seconds float64) float64 {
+	if seconds <= 0 {
+		panic("memsys: elapsed time must be positive")
+	}
+	return float64(values) / seconds
+}
+
+// Reset returns the simulator to time 0 with all rows closed.
+func (s *System) Reset() {
+	for i := range s.banks {
+		s.banks[i] = bank{}
+	}
+	s.now = 0
+	s.Hits, s.Misses = 0, 0
+}

@@ -1,0 +1,152 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipelayer/internal/energy"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Banks: 0, RowSize: 128, ActivateLatency: 1e-9, BurstLatency: 1e-9, WriteActivateLatency: 1e-9},
+		{Banks: 4, RowSize: 0, ActivateLatency: 1e-9, BurstLatency: 1e-9, WriteActivateLatency: 1e-9},
+		{Banks: 4, RowSize: 8, ActivateLatency: 0, BurstLatency: 1e-9, WriteActivateLatency: 1e-9},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestPeakBandwidthFormulas(t *testing.T) {
+	c := Config{Banks: 2, RowSize: 4, ActivateLatency: 8e-9, BurstLatency: 1e-9, WriteActivateLatency: 12e-9}
+	// Per row: 8 + 4 = 12 ns for 4 values → 1/3 value/ns per bank → 2/3 total.
+	want := 2.0 * 4 / 12e-9 / 2 // = 0.666e9 values/s... computed directly below
+	got := c.PeakReadBandwidth()
+	if diff := got - 2*4/12e-9; diff > 1 || diff < -1 {
+		t.Fatalf("read bandwidth = %g", got)
+	}
+	_ = want
+	if c.PeakWriteBandwidth() >= c.PeakReadBandwidth() {
+		t.Fatal("writes are slower than reads")
+	}
+}
+
+func TestStreamTransferApproachesPeak(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewSystem(cfg)
+	values := cfg.Banks * cfg.RowSize * 4 // four full rows per bank
+	elapsed := s.StreamTransfer(0, values, false)
+	achieved := AchievedBandwidth(values, elapsed)
+	peak := cfg.PeakReadBandwidth()
+	if achieved > peak*1.001 {
+		t.Fatalf("achieved %g exceeds peak %g", achieved, peak)
+	}
+	if achieved < peak*0.9 {
+		t.Fatalf("streaming achieved only %g of peak %g", achieved, peak)
+	}
+}
+
+func TestRowBufferLocality(t *testing.T) {
+	cfg := Config{Banks: 4, RowSize: 16, ActivateLatency: 10e-9, BurstLatency: 1e-9, WriteActivateLatency: 10e-9}
+	s := NewSystem(cfg)
+	s.StreamTransfer(0, 4*16, false) // one row per bank
+	if s.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (one activation per bank)", s.Misses)
+	}
+	if s.Hits != 4*15 {
+		t.Fatalf("hits = %d, want 60", s.Hits)
+	}
+}
+
+func TestRandomSlowerThanSequential(t *testing.T) {
+	cfg := DefaultConfig()
+	span := cfg.Banks * cfg.RowSize * 64
+	count := 50_000
+	seq := NewSystem(cfg)
+	tSeq := seq.StreamTransfer(0, count, false)
+	rnd := NewSystem(cfg)
+	tRnd := rnd.RandomTransfer(span, count, false, rand.New(rand.NewSource(1)))
+	if tRnd <= tSeq {
+		t.Fatalf("random (%g) must be slower than sequential (%g)", tRnd, tSeq)
+	}
+}
+
+func TestMoreBanksMoreBandwidth(t *testing.T) {
+	small := DefaultConfig()
+	small.Banks = 64
+	big := DefaultConfig()
+	big.Banks = 2048
+	if big.PeakReadBandwidth() <= small.PeakReadBandwidth() {
+		t.Fatal("bandwidth must grow with banks")
+	}
+}
+
+func TestEnergyModelBandwidthIsAchievable(t *testing.T) {
+	// The energy model assumes an aggregate MoveBandwidth; the default
+	// memory organization must be able to deliver it (with headroom, since
+	// the model's number is a sustained, contention-inclusive figure).
+	cfg := DefaultConfig()
+	assumed := energy.DefaultModel().MoveBandwidth
+	// The binding constraint is the write side (layer outputs are written
+	// every cycle).
+	if cfg.PeakWriteBandwidth() < assumed {
+		t.Fatalf("memory system peak write bandwidth %g below the energy model's assumed %g",
+			cfg.PeakWriteBandwidth(), assumed)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s := NewSystem(DefaultConfig())
+	s.StreamTransfer(0, 1000, true)
+	s.Reset()
+	if s.Hits != 0 || s.Misses != 0 || s.now != 0 {
+		t.Fatal("Reset must clear state")
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	s := NewSystem(DefaultConfig())
+	for _, fn := range []func(){
+		func() { s.StreamTransfer(0, 0, false) },
+		func() { s.RandomTransfer(0, 5, false, rand.New(rand.NewSource(1))) },
+		func() { AchievedBandwidth(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: elapsed time is monotone in the transfer size.
+func TestPropertyTransferMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 1 + rng.Intn(5000)
+		n2 := n1 + 1 + rng.Intn(5000)
+		a := NewSystem(DefaultConfig())
+		t1 := a.StreamTransfer(0, n1, false)
+		b := NewSystem(DefaultConfig())
+		t2 := b.StreamTransfer(0, n2, false)
+		// Non-strict: bank parallelism can finish a slightly larger
+		// transfer in the same max-over-banks time.
+		return t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package networks
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipelayer/internal/mapping"
+)
+
+// JSON topology descriptions let users simulate custom networks without
+// recompiling. Example:
+//
+//	{
+//	  "name": "my-net",
+//	  "input": {"channels": 1, "height": 28, "width": 28},
+//	  "classes": 10,
+//	  "layers": [
+//	    {"type": "conv", "out": 8, "kernel": 3, "stride": 1, "pad": 1},
+//	    {"type": "pool", "window": 2, "mode": "max"},
+//	    {"type": "fc", "out": 10}
+//	  ]
+//	}
+//
+// Layer input shapes chain automatically from the input volume; conv/fc
+// activations default to ReLU ("activation": "sigmoid" overrides).
+
+// jsonSpec mirrors the document structure.
+type jsonSpec struct {
+	Name  string `json:"name"`
+	Input struct {
+		Channels int `json:"channels"`
+		Height   int `json:"height"`
+		Width    int `json:"width"`
+	} `json:"input"`
+	Classes int         `json:"classes"`
+	Layers  []jsonLayer `json:"layers"`
+}
+
+type jsonLayer struct {
+	Type       string `json:"type"`
+	Out        int    `json:"out"`
+	Kernel     int    `json:"kernel"`
+	Stride     int    `json:"stride"`
+	Pad        int    `json:"pad"`
+	Window     int    `json:"window"`
+	Mode       string `json:"mode"`
+	Activation string `json:"activation"`
+}
+
+// SpecFromJSON parses a topology document and returns a validated Spec.
+func SpecFromJSON(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc jsonSpec
+	if err := dec.Decode(&doc); err != nil {
+		return Spec{}, fmt.Errorf("networks: parsing topology: %w", err)
+	}
+	if doc.Name == "" {
+		return Spec{}, fmt.Errorf("networks: topology needs a name")
+	}
+	if doc.Input.Channels <= 0 || doc.Input.Height <= 0 || doc.Input.Width <= 0 {
+		return Spec{}, fmt.Errorf("networks: %s: input volume must be positive", doc.Name)
+	}
+	if doc.Classes <= 0 {
+		return Spec{}, fmt.Errorf("networks: %s: classes must be positive", doc.Name)
+	}
+	if len(doc.Layers) == 0 {
+		return Spec{}, fmt.Errorf("networks: %s: no layers", doc.Name)
+	}
+
+	s := Spec{
+		Name: doc.Name,
+		InC:  doc.Input.Channels, InH: doc.Input.Height, InW: doc.Input.Width,
+		Classes: doc.Classes,
+	}
+	c, h, w := s.InC, s.InH, s.InW
+	flatWidth := 0
+	flat := false
+	for i, jl := range doc.Layers {
+		name := fmt.Sprintf("%s%d", jl.Type, i+1)
+		switch jl.Type {
+		case "conv":
+			if flat {
+				return Spec{}, fmt.Errorf("networks: %s layer %d: conv after fc", doc.Name, i+1)
+			}
+			stride := jl.Stride
+			if stride == 0 {
+				stride = 1
+			}
+			l := mapping.Conv(name, c, h, w, jl.Out, jl.Kernel, stride, jl.Pad)
+			if act, err := parseActivation(jl.Activation); err != nil {
+				return Spec{}, fmt.Errorf("networks: %s layer %d: %w", doc.Name, i+1, err)
+			} else {
+				l = l.WithActivation(act)
+			}
+			s.Layers = append(s.Layers, l)
+			c, h, w = l.OutC, l.OutH(), l.OutW()
+		case "pool":
+			if flat {
+				return Spec{}, fmt.Errorf("networks: %s layer %d: pool after fc", doc.Name, i+1)
+			}
+			var l mapping.Layer
+			switch jl.Mode {
+			case "", "max":
+				l = mapping.Pool(name, c, h, w, jl.Window)
+			case "avg":
+				l = mapping.AvgPool(name, c, h, w, jl.Window)
+			default:
+				return Spec{}, fmt.Errorf("networks: %s layer %d: unknown pool mode %q", doc.Name, i+1, jl.Mode)
+			}
+			s.Layers = append(s.Layers, l)
+			h, w = l.OutH(), l.OutW()
+		case "fc":
+			in := flatWidth
+			if !flat {
+				in = c * h * w
+				flat = true
+			}
+			l := mapping.FC(name, in, jl.Out)
+			if act, err := parseActivation(jl.Activation); err != nil {
+				return Spec{}, fmt.Errorf("networks: %s layer %d: %w", doc.Name, i+1, err)
+			} else {
+				l = l.WithActivation(act)
+			}
+			s.Layers = append(s.Layers, l)
+			flatWidth = jl.Out
+		default:
+			return Spec{}, fmt.Errorf("networks: %s layer %d: unknown type %q", doc.Name, i+1, jl.Type)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+func parseActivation(s string) (mapping.Activation, error) {
+	switch s {
+	case "", "relu":
+		return mapping.ActReLU, nil
+	case "sigmoid":
+		return mapping.ActSigmoid, nil
+	default:
+		return 0, fmt.Errorf("unknown activation %q", s)
+	}
+}

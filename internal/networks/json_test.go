@@ -1,0 +1,99 @@
+package networks
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/tensor"
+)
+
+const lenetJSON = `{
+  "name": "lenet-ish",
+  "input": {"channels": 1, "height": 28, "width": 28},
+  "classes": 10,
+  "layers": [
+    {"type": "conv", "out": 20, "kernel": 5},
+    {"type": "pool", "window": 2},
+    {"type": "conv", "out": 50, "kernel": 5},
+    {"type": "pool", "window": 2, "mode": "avg"},
+    {"type": "fc", "out": 500},
+    {"type": "fc", "out": 10}
+  ]
+}`
+
+func TestSpecFromJSONParsesAndChains(t *testing.T) {
+	s, err := SpecFromJSON(strings.NewReader(lenetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "lenet-ish" || s.WeightedLayers() != 4 {
+		t.Fatalf("spec: %s, %d weighted layers", s.Name, s.WeightedLayers())
+	}
+	// The fc input must have chained from the flattened 50×4×4 volume.
+	var fc mapping.Layer
+	for _, l := range s.Layers {
+		if l.Kind == mapping.KindFC {
+			fc = l
+			break
+		}
+	}
+	if fc.FCIn != 50*4*4 {
+		t.Fatalf("fc input = %d, want 800", fc.FCIn)
+	}
+	// Avg pooling mode must be carried.
+	if s.Layers[3].Pool != mapping.PoolAvg {
+		t.Fatal("avg pool mode lost")
+	}
+}
+
+func TestSpecFromJSONTrainable(t *testing.T) {
+	s, err := SpecFromJSON(strings.NewReader(lenetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := BuildTrainable(s, rand.New(rand.NewSource(1)))
+	if got := net.Forward(tensor.New(1, 28, 28)).Size(); got != 10 {
+		t.Fatalf("output size = %d", got)
+	}
+}
+
+func TestSpecFromJSONActivation(t *testing.T) {
+	in := `{
+	  "name": "sig",
+	  "input": {"channels": 1, "height": 28, "width": 28},
+	  "classes": 10,
+	  "layers": [
+	    {"type": "fc", "out": 32, "activation": "sigmoid"},
+	    {"type": "fc", "out": 10}
+	  ]
+	}`
+	s, err := SpecFromJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Layers[0].Act != mapping.ActSigmoid {
+		t.Fatal("sigmoid activation lost")
+	}
+}
+
+func TestSpecFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"unknown field":  `{"name":"x","inptu":{}}`,
+		"no name":        `{"input":{"channels":1,"height":4,"width":4},"classes":2,"layers":[{"type":"fc","out":2}]}`,
+		"no layers":      `{"name":"x","input":{"channels":1,"height":4,"width":4},"classes":2,"layers":[]}`,
+		"bad type":       `{"name":"x","input":{"channels":1,"height":4,"width":4},"classes":2,"layers":[{"type":"zap"}]}`,
+		"bad pool mode":  `{"name":"x","input":{"channels":1,"height":4,"width":4},"classes":2,"layers":[{"type":"pool","window":2,"mode":"median"},{"type":"fc","out":2}]}`,
+		"bad activation": `{"name":"x","input":{"channels":1,"height":4,"width":4},"classes":2,"layers":[{"type":"fc","out":2,"activation":"tanh"}]}`,
+		"conv after fc":  `{"name":"x","input":{"channels":1,"height":4,"width":4},"classes":2,"layers":[{"type":"fc","out":8},{"type":"conv","out":2,"kernel":1}]}`,
+		"wrong classes":  `{"name":"x","input":{"channels":1,"height":4,"width":4},"classes":3,"layers":[{"type":"fc","out":2}]}`,
+		"bad input":      `{"name":"x","input":{"channels":0,"height":4,"width":4},"classes":2,"layers":[{"type":"fc","out":2}]}`,
+	}
+	for label, in := range cases {
+		if _, err := SpecFromJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}

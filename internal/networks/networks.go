@@ -1,0 +1,171 @@
+// Package networks is the benchmark network zoo of the paper's Section 6.1:
+// the four MNIST networks of Table 3 (Mnist-A/B/C/0, reconstructed — see
+// DESIGN.md), AlexNet, and the five VGG configurations A–E, plus the five
+// resolution-study networks of Figure 13 (M-1, M-2, M-3, M-C, C-4).
+//
+// Each network is described as a geometry Spec (consumed by the mapper, the
+// pipeline simulator, and the energy/GPU models); the MNIST-scale networks
+// additionally have trainable nn.Network builders used by the accuracy
+// experiments.
+package networks
+
+import (
+	"fmt"
+
+	"pipelayer/internal/mapping"
+)
+
+// Spec describes one benchmark network's geometry.
+type Spec struct {
+	Name string
+	// Layers is the full layer sequence (conv/pool/fc).
+	Layers []mapping.Layer
+	// InC/InH/InW is the input volume.
+	InC, InH, InW int
+	// Classes is the output width.
+	Classes int
+}
+
+// WeightedLayers returns the number of layers holding weights (conv + fc) —
+// the L of the paper's cycle formulas. Pooling and activation are fused into
+// the preceding weighted layer's logical pipeline stage.
+func (s Spec) WeightedLayers() int {
+	n := 0
+	for _, l := range s.Layers {
+		if l.UsesArrays() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWeights returns the number of weight values in the network.
+func (s Spec) TotalWeights() int {
+	n := 0
+	for _, l := range s.Layers {
+		n += l.Weights()
+	}
+	return n
+}
+
+// ConvLayers returns the conv layers in order (for Table 5).
+func (s Spec) ConvLayers() []mapping.Layer {
+	var out []mapping.Layer
+	for _, l := range s.Layers {
+		if l.Kind == mapping.KindConv {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Validate checks that every layer is self-consistent and that the layer
+// shapes chain (conv/pool volumes feed the next layer; the first FC layer's
+// input width matches the flattened preceding volume).
+func (s Spec) Validate() error {
+	c, h, w := s.InC, s.InH, s.InW
+	flat := false
+	for i, l := range s.Layers {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+		switch l.Kind {
+		case mapping.KindConv, mapping.KindPool:
+			if flat {
+				return fmt.Errorf("networks: %s layer %d (%s): conv/pool after fc", s.Name, i, l.Name)
+			}
+			if l.InC != c || l.InH != h || l.InW != w {
+				return fmt.Errorf("networks: %s layer %d (%s): input (%d,%d,%d) does not chain from (%d,%d,%d)",
+					s.Name, i, l.Name, l.InC, l.InH, l.InW, c, h, w)
+			}
+			c, h, w = l.OutC, l.OutH(), l.OutW()
+		case mapping.KindFC:
+			in := l.FCIn
+			if !flat {
+				if in != c*h*w {
+					return fmt.Errorf("networks: %s layer %d (%s): fc input %d != flattened volume %d",
+						s.Name, i, l.Name, in, c*h*w)
+				}
+				flat = true
+			} else if in != c {
+				return fmt.Errorf("networks: %s layer %d (%s): fc input %d != previous width %d",
+					s.Name, i, l.Name, in, c)
+			}
+			c, h, w = l.FCOut, 1, 1
+		}
+	}
+	if c != s.Classes {
+		return fmt.Errorf("networks: %s: final width %d != %d classes", s.Name, c, s.Classes)
+	}
+	return nil
+}
+
+// MnistA is the reconstructed Table 3 MLP 784–100–10.
+func MnistA() Spec {
+	return Spec{
+		Name: "Mnist-A", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.FC("fc1", 784, 100),
+			mapping.FC("fc2", 100, 10),
+		},
+	}
+}
+
+// MnistB is the reconstructed Table 3 MLP 784–300–10.
+func MnistB() Spec {
+	return Spec{
+		Name: "Mnist-B", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.FC("fc1", 784, 300),
+			mapping.FC("fc2", 300, 10),
+		},
+	}
+}
+
+// MnistC is the reconstructed Table 3 MLP 784–500–250–10.
+func MnistC() Spec {
+	return Spec{
+		Name: "Mnist-C", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.FC("fc1", 784, 500),
+			mapping.FC("fc2", 500, 250),
+			mapping.FC("fc3", 250, 10),
+		},
+	}
+}
+
+// Mnist0 is the reconstructed Table 3 CNN (LeNet-like, consistent with the
+// "conv5x…" fragment): conv5×20 → pool2 → conv5×50 → pool2 → fc500 → fc10.
+func Mnist0() Spec {
+	return Spec{
+		Name: "Mnist-0", InC: 1, InH: 28, InW: 28, Classes: 10,
+		Layers: []mapping.Layer{
+			mapping.Conv("conv1", 1, 28, 28, 20, 5, 1, 0),  // -> 20×24×24
+			mapping.Pool("pool1", 20, 24, 24, 2),           // -> 20×12×12
+			mapping.Conv("conv2", 20, 12, 12, 50, 5, 1, 0), // -> 50×8×8
+			mapping.Pool("pool2", 50, 8, 8, 2),             // -> 50×4×4
+			mapping.FC("fc1", 50*4*4, 500),
+			mapping.FC("fc2", 500, 10),
+		},
+	}
+}
+
+// AlexNet is the single-tower AlexNet topology on 3×227×227 ImageNet input.
+func AlexNet() Spec {
+	return Spec{
+		Name: "AlexNet", InC: 3, InH: 227, InW: 227, Classes: 1000,
+		Layers: []mapping.Layer{
+			mapping.Conv("conv1", 3, 227, 227, 96, 11, 4, 0), // -> 96×55×55
+			mapping.PoolStrided("pool1", 96, 55, 55, 3, 2),   // -> 96×27×27
+			mapping.Conv("conv2", 96, 27, 27, 256, 5, 1, 2),  // -> 256×27×27
+			mapping.PoolStrided("pool2", 256, 27, 27, 3, 2),  // -> 256×13×13
+			mapping.Conv("conv3", 256, 13, 13, 384, 3, 1, 1), // -> 384×13×13
+			mapping.Conv("conv4", 384, 13, 13, 384, 3, 1, 1), // -> 384×13×13
+			mapping.Conv("conv5", 384, 13, 13, 256, 3, 1, 1), // -> 256×13×13
+			mapping.PoolStrided("pool5", 256, 13, 13, 3, 2),  // -> 256×6×6
+			mapping.FC("fc6", 256*6*6, 4096),
+			mapping.FC("fc7", 4096, 4096),
+			mapping.FC("fc8", 4096, 1000),
+		},
+	}
+}

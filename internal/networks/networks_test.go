@@ -1,0 +1,166 @@
+package networks
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/tensor"
+)
+
+func TestAllEvaluationNetworksValidate(t *testing.T) {
+	for _, s := range EvaluationNetworks() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestAllResolutionNetworksValidate(t *testing.T) {
+	for _, s := range ResolutionStudyNetworks() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestWeightedLayerCounts(t *testing.T) {
+	cases := map[string]int{
+		"Mnist-A": 2, "Mnist-B": 2, "Mnist-C": 3, "Mnist-0": 4,
+		"AlexNet": 8,
+		"VGG-A":   11, "VGG-B": 13, "VGG-C": 16, "VGG-D": 16, "VGG-E": 19,
+	}
+	for _, s := range EvaluationNetworks() {
+		want := cases[s.Name]
+		if got := s.WeightedLayers(); got != want {
+			t.Errorf("%s: %d weighted layers, want %d", s.Name, got, want)
+		}
+	}
+}
+
+func TestAlexNetGeometry(t *testing.T) {
+	s := AlexNet()
+	conv1 := s.Layers[0]
+	if conv1.OutH() != 55 || conv1.OutW() != 55 {
+		t.Fatalf("conv1 output %dx%d, want 55x55", conv1.OutH(), conv1.OutW())
+	}
+	pool1 := s.Layers[1]
+	if pool1.OutH() != 27 {
+		t.Fatalf("pool1 output %d, want 27 (overlapping 3x3 s2)", pool1.OutH())
+	}
+}
+
+func TestAlexNetParameterCount(t *testing.T) {
+	// AlexNet has ≈ 60M weights (excluding biases); check the well-known
+	// ballpark to validate the topology transcription.
+	n := AlexNet().TotalWeights()
+	if n < 55_000_000 || n > 65_000_000 {
+		t.Fatalf("AlexNet weights = %d, expected ≈ 60M", n)
+	}
+}
+
+func TestVGGParameterCounts(t *testing.T) {
+	// VGG-D (VGG-16) has ≈ 138M parameters.
+	n := VGG("D").TotalWeights()
+	if n < 130_000_000 || n > 145_000_000 {
+		t.Fatalf("VGG-D weights = %d, expected ≈ 138M", n)
+	}
+	// Deeper variants have more weights.
+	if VGG("E").TotalWeights() <= VGG("D").TotalWeights() {
+		t.Fatal("VGG-E must have more weights than VGG-D")
+	}
+	if VGG("B").TotalWeights() <= VGG("A").TotalWeights() {
+		t.Fatal("VGG-B must have more weights than VGG-A")
+	}
+}
+
+func TestVGGConvLayerCounts(t *testing.T) {
+	wants := map[string]int{"A": 8, "B": 10, "C": 13, "D": 13, "E": 16}
+	for v, want := range wants {
+		if got := len(VGG(v).ConvLayers()); got != want {
+			t.Errorf("VGG-%s: %d conv layers, want %d", v, got, want)
+		}
+	}
+}
+
+func TestVGGUnknownVariantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VGG("Z")
+}
+
+func TestValidateCatchesBrokenChain(t *testing.T) {
+	s := MnistA()
+	s.Layers[1] = mapping.FC("fc2", 99, 10) // wrong input width
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected chain error")
+	}
+}
+
+func TestValidateCatchesWrongClassCount(t *testing.T) {
+	s := MnistA()
+	s.Classes = 11
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected class-count error")
+	}
+}
+
+func TestBuildTrainableMnistNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, spec := range []Spec{MnistA(), MnistB(), MnistC(), Mnist0(), C4()} {
+		net := BuildTrainable(spec, rng)
+		var x *tensor.Tensor
+		if spec.Layers[0].Kind == mapping.KindFC {
+			x = tensor.New(784)
+		} else {
+			x = tensor.New(1, 28, 28)
+		}
+		y := net.Forward(x)
+		if y.Size() != 10 {
+			t.Errorf("%s: output size %d", spec.Name, y.Size())
+		}
+	}
+}
+
+func TestTrainableMnistALearnsSyntheticDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2))
+	net := BuildTrainable(MnistA(), rng)
+	train, test := dataset.TrainTest(600, 200, dataset.DefaultOptions(true), 7)
+	for epoch := 0; epoch < 8; epoch++ {
+		net.TrainEpoch(train, 10, 0.1)
+	}
+	if acc := net.Accuracy(test); acc < 0.9 {
+		t.Fatalf("Mnist-A accuracy on synthetic digits = %g, want ≥ 0.9", acc)
+	}
+}
+
+func TestResolutionNetworkNames(t *testing.T) {
+	names := []string{"M-1", "M-2", "M-3", "M-C", "C-4"}
+	nets := ResolutionStudyNetworks()
+	for i, want := range names {
+		if nets[i].Name != want {
+			t.Errorf("network %d = %s, want %s", i, nets[i].Name, want)
+		}
+	}
+}
+
+func TestEvaluationNetworkOrder(t *testing.T) {
+	names := []string{"Mnist-A", "Mnist-B", "Mnist-C", "Mnist-0", "AlexNet",
+		"VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E"}
+	nets := EvaluationNetworks()
+	if len(nets) != 10 {
+		t.Fatalf("want 10 networks, got %d", len(nets))
+	}
+	for i, want := range names {
+		if nets[i].Name != want {
+			t.Errorf("network %d = %s, want %s", i, nets[i].Name, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package networks
+
+import (
+	"fmt"
+
+	"pipelayer/internal/mapping"
+)
+
+// vggConv describes one conv of a VGG block: output channels and kernel size
+// (3 with pad 1, or VGG-C's 1×1 with pad 0).
+type vggConv struct {
+	outC, k int
+}
+
+// vggBlocks returns the five block definitions of a VGG variant
+// (Simonyan & Zisserman, Table 1 of the VGG paper).
+func vggBlocks(variant string) [5][]vggConv {
+	c3 := func(n int) vggConv { return vggConv{n, 3} }
+	c1 := func(n int) vggConv { return vggConv{n, 1} }
+	switch variant {
+	case "A": // 11 weight layers
+		return [5][]vggConv{
+			{c3(64)}, {c3(128)}, {c3(256), c3(256)}, {c3(512), c3(512)}, {c3(512), c3(512)},
+		}
+	case "B": // 13
+		return [5][]vggConv{
+			{c3(64), c3(64)}, {c3(128), c3(128)}, {c3(256), c3(256)}, {c3(512), c3(512)}, {c3(512), c3(512)},
+		}
+	case "C": // 16, with 1×1 convs
+		return [5][]vggConv{
+			{c3(64), c3(64)}, {c3(128), c3(128)},
+			{c3(256), c3(256), c1(256)}, {c3(512), c3(512), c1(512)}, {c3(512), c3(512), c1(512)},
+		}
+	case "D": // 16
+		return [5][]vggConv{
+			{c3(64), c3(64)}, {c3(128), c3(128)},
+			{c3(256), c3(256), c3(256)}, {c3(512), c3(512), c3(512)}, {c3(512), c3(512), c3(512)},
+		}
+	case "E": // 19
+		return [5][]vggConv{
+			{c3(64), c3(64)}, {c3(128), c3(128)},
+			{c3(256), c3(256), c3(256), c3(256)}, {c3(512), c3(512), c3(512), c3(512)}, {c3(512), c3(512), c3(512), c3(512)},
+		}
+	default:
+		panic(fmt.Sprintf("networks: unknown VGG variant %q", variant))
+	}
+}
+
+// VGG builds the geometry Spec of VGG-A, -B, -C, -D or -E on 3×224×224 input.
+func VGG(variant string) Spec {
+	blocks := vggBlocks(variant)
+	s := Spec{Name: "VGG-" + variant, InC: 3, InH: 224, InW: 224, Classes: 1000}
+	c, h, w := 3, 224, 224
+	convIdx := 0
+	for bi, block := range blocks {
+		for _, conv := range block {
+			convIdx++
+			pad := 0
+			if conv.k == 3 {
+				pad = 1
+			}
+			s.Layers = append(s.Layers,
+				mapping.Conv(fmt.Sprintf("conv%d", convIdx), c, h, w, conv.outC, conv.k, 1, pad))
+			c = conv.outC
+		}
+		s.Layers = append(s.Layers, mapping.Pool(fmt.Sprintf("pool%d", bi+1), c, h, w, 2))
+		h, w = h/2, w/2
+	}
+	s.Layers = append(s.Layers,
+		mapping.FC("fc1", c*h*w, 4096),
+		mapping.FC("fc2", 4096, 4096),
+		mapping.FC("fc3", 4096, 1000),
+	)
+	return s
+}
+
+// VGGVariants lists the five evaluated configurations in paper order.
+var VGGVariants = []string{"A", "B", "C", "D", "E"}
+
+// EvaluationNetworks returns the ten benchmark networks of Figure 15/16 in
+// paper order: the four MNIST networks, AlexNet, then VGG-A…E.
+func EvaluationNetworks() []Spec {
+	specs := []Spec{MnistA(), MnistB(), MnistC(), Mnist0(), AlexNet()}
+	for _, v := range VGGVariants {
+		specs = append(specs, VGG(v))
+	}
+	return specs
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pipelayer/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x). Its backward pass ANDs
+// the incoming error with f'(u) ∈ {0, 1}; because f'(u_l) = f'(d_l) for ReLU
+// (the paper's Section 4.3 observation), only the sign mask of the forward
+// output needs to be stored — PipeLayer exploits this to avoid buffering u_l.
+type ReLU struct {
+	name string
+	mask []bool
+	n    int
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.n = x.Size()
+	if cap(r.mask) < r.n {
+		r.mask = make([]bool, r.n)
+	}
+	r.mask = r.mask[:r.n]
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data() {
+		if v > 0 {
+			out.Data()[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if grad.Size() != r.n {
+		panic(fmt.Sprintf("nn: %s: grad size %d, want %d", r.name, grad.Size(), r.n))
+	}
+	dx := tensor.New(grad.Shape()...)
+	for i, v := range grad.Data() {
+		if r.mask[i] {
+			dx.Data()[i] = v
+		}
+	}
+	return dx
+}
+
+// Sigmoid is the logistic activation 1/(1+e^{-x}). PipeLayer realizes it with
+// a configurable LUT in the activation component (Section 4.2.3); here it is
+// exact, with an optional LUT-quantized variant in internal/reram.
+type Sigmoid struct {
+	name string
+	out  *tensor.Tensor
+}
+
+// NewSigmoid creates a sigmoid activation layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Sigmoid) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	s.out = x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.out.Clone()
+}
+
+// Backward implements Layer: f'(u) = f(u)(1-f(u)).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.out == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", s.name))
+	}
+	dx := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data() {
+		y := s.out.Data()[i]
+		dx.Data()[i] = g * y * (1 - y)
+	}
+	return dx
+}

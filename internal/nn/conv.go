@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/tensor"
+)
+
+// Conv is a convolution layer implementing Equation (1) of the paper:
+//
+//	d_{l}[x,y,c] = Σ_{c'} Σ_{kx} Σ_{ky} K[kx,ky,c',c] · d_{l-1}[x+kx, y+ky, c']
+//
+// with optional stride and zero padding. The forward pass is computed with
+// im2col + matmul — the same data layout PipeLayer maps onto ReRAM crossbars
+// (each im2col column is one spike-coded input vector, each kernel one
+// bit-line of the array; Section 3.2.1).
+type Conv struct {
+	name            string
+	inC, inH, inW   int
+	outC            int
+	kernel          int
+	stride, pad     int
+	weights         *Param // (OutC, InC, K, K)
+	bias            *Param // (OutC)
+	lastCols        *tensor.Tensor
+	lastInputShape  []int
+	lastOutputShape []int
+}
+
+// NewConv creates a convolution layer for (inC,inH,inW) inputs with outC
+// output channels, square kernel size k, the given stride and padding, and
+// Xavier-initialized weights drawn from rng.
+func NewConv(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv {
+	if inC <= 0 || outC <= 0 || k <= 0 {
+		panic(fmt.Sprintf("nn: NewConv(%s): invalid dims inC=%d outC=%d k=%d", name, inC, outC, k))
+	}
+	oh := tensor.ConvOutDim(inH, k, stride, pad)
+	ow := tensor.ConvOutDim(inW, k, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: NewConv(%s): empty output for input %dx%d kernel %d stride %d pad %d", name, inH, inW, k, stride, pad))
+	}
+	w := tensor.New(outC, inC, k, k)
+	fanIn := inC * k * k
+	fanOut := outC * k * k
+	w.XavierInit(rng, fanIn, fanOut)
+	return &Conv{
+		name: name, inC: inC, inH: inH, inW: inW, outC: outC,
+		kernel: k, stride: stride, pad: pad,
+		weights: newParam(name+".W", w),
+		bias:    newParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv) Params() []*Param { return []*Param{c.weights, c.bias} }
+
+// Kernel returns the kernel size.
+func (c *Conv) Kernel() int { return c.kernel }
+
+// Geometry returns (inC, inH, inW, outC, kernel, stride, pad) for mappers
+// that rebuild the layer on ReRAM arrays.
+func (c *Conv) Geometry() (inC, inH, inW, outC, k, stride, pad int) {
+	return c.inC, c.inH, c.inW, c.outC, c.kernel, c.stride, c.pad
+}
+
+// Weights returns the kernel parameter (OutC, InC, K, K).
+func (c *Conv) Weights() *Param { return c.weights }
+
+// Bias returns the bias parameter (OutC).
+func (c *Conv) Bias() *Param { return c.bias }
+
+// OutShape implements Layer.
+func (c *Conv) OutShape(in []int) []int {
+	mustShape(c.name, "input", in, []int{c.inC, c.inH, c.inW})
+	oh := tensor.ConvOutDim(c.inH, c.kernel, c.stride, c.pad)
+	ow := tensor.ConvOutDim(c.inW, c.kernel, c.stride, c.pad)
+	return []int{c.outC, oh, ow}
+}
+
+// Forward implements Layer.
+func (c *Conv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustShape(c.name, "input", x.Shape(), []int{c.inC, c.inH, c.inW})
+	cols := tensor.Im2Col(x, c.kernel, c.kernel, c.stride, c.pad)
+	c.lastCols = cols
+	c.lastInputShape = x.Shape()
+	oh := tensor.ConvOutDim(c.inH, c.kernel, c.stride, c.pad)
+	ow := tensor.ConvOutDim(c.inW, c.kernel, c.stride, c.pad)
+	wmat := c.weights.Value.Reshape(c.outC, c.inC*c.kernel*c.kernel)
+	out := tensor.MatMul(wmat, cols).Reshape(c.outC, oh, ow)
+	plane := oh * ow
+	for o := 0; o < c.outC; o++ {
+		b := c.bias.Value.At(o)
+		seg := out.Data()[o*plane : (o+1)*plane]
+		for i := range seg {
+			seg[i] += b
+		}
+	}
+	c.lastOutputShape = out.Shape()
+	return out
+}
+
+// Backward implements Layer. Given δ_l of shape (OutC,OH,OW) it accumulates
+// ∂W (computed as the convolution of stored inputs with the errors — the
+// paper's Figure 12 datapath) and ∂b (the error sum per channel), and returns
+// δ_{l-1}, which the paper computes as conv2(δ_l, rot180(K), 'full')
+// (Figure 11); here both are realized through the im2col adjoint.
+func (c *Conv) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", c.name))
+	}
+	mustShape(c.name, "grad", grad.Shape(), c.lastOutputShape)
+	oh, ow := c.lastOutputShape[1], c.lastOutputShape[2]
+	n := oh * ow
+	gmat := grad.Reshape(c.outC, n)
+
+	// ∂b[o] = Σ_{x,y} δ[o,x,y]
+	for o := 0; o < c.outC; o++ {
+		s := 0.0
+		row := gmat.Data()[o*n : (o+1)*n]
+		for _, v := range row {
+			s += v
+		}
+		c.bias.Grad.Data()[o] += s
+	}
+
+	// ∂W = δ_mat · colsᵀ  (OC, C·K·K)
+	dW := tensor.MatMulTransB(gmat, c.lastCols)
+	c.weights.Grad.AddInPlace(dW.Reshape(c.weights.Grad.Shape()...))
+
+	// δ_{l-1} = col2im(Wᵀ · δ_mat)
+	wmat := c.weights.Value.Reshape(c.outC, c.inC*c.kernel*c.kernel)
+	dcols := tensor.MatMulTransA(wmat, gmat)
+	return tensor.Col2Im(dcols, c.inC, c.inH, c.inW, c.kernel, c.kernel, c.stride, c.pad)
+}

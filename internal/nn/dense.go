@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipelayer/internal/tensor"
+)
+
+// Dense is an inner-product (fully connected) layer implementing Equation (3)
+// of the paper: d_{l} = W·d_{l-1} + b, where W is (n×m). The input tensor is
+// flattened, so a Dense layer can directly follow a convolution or pooling
+// layer (size m = X·Y·C) or another inner-product layer.
+type Dense struct {
+	name    string
+	in, out int
+	weights *Param // (out, in)
+	bias    *Param // (out)
+	lastIn  *tensor.Tensor
+	inShape []int
+}
+
+// NewDense creates a fully connected layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: NewDense(%s): invalid dims in=%d out=%d", name, in, out))
+	}
+	w := tensor.New(out, in).XavierInit(rng, in, out)
+	return &Dense{
+		name: name, in: in, out: out,
+		weights: newParam(name+".W", w),
+		bias:    newParam(name+".b", tensor.New(out)),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.weights, d.bias} }
+
+// In returns the input width m; Out returns the output width n.
+func (d *Dense) In() int { return d.in }
+
+// Out returns the number of output neurons.
+func (d *Dense) Out() int { return d.out }
+
+// Weights returns the weight parameter (out, in).
+func (d *Dense) Weights() *Param { return d.weights }
+
+// Bias returns the bias parameter (out).
+func (d *Dense) Bias() *Param { return d.bias }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int {
+	n := 1
+	for _, v := range in {
+		n *= v
+	}
+	if n != d.in {
+		panic(fmt.Sprintf("nn: %s: input shape %v has %d elems, want %d", d.name, in, n, d.in))
+	}
+	return []int{d.out}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Size() != d.in {
+		panic(fmt.Sprintf("nn: %s: input has %d elems, want %d", d.name, x.Size(), d.in))
+	}
+	d.inShape = x.Shape()
+	flat := x.Reshape(d.in)
+	d.lastIn = flat.Clone()
+	y := tensor.MatVec(d.weights.Value, flat)
+	y.AddInPlace(d.bias.Value)
+	return y
+}
+
+// Backward implements Layer. It accumulates ∂W = δ·d_{l-1}ᵀ (outer product,
+// as in the paper's Figure 2) and ∂b = δ, and returns δ_{l-1} = Wᵀ·δ shaped
+// like the original input.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", d.name))
+	}
+	if grad.Size() != d.out {
+		panic(fmt.Sprintf("nn: %s: grad has %d elems, want %d", d.name, grad.Size(), d.out))
+	}
+	g := grad.Reshape(d.out)
+
+	d.bias.Grad.AddInPlace(g)
+	d.weights.Grad.AddInPlace(tensor.Outer(g, d.lastIn))
+
+	// δ_{l-1} = Wᵀ δ
+	dx := tensor.New(d.in)
+	w := d.weights.Value.Data()
+	for i := 0; i < d.out; i++ {
+		gv := g.At(i)
+		if gv == 0 {
+			continue
+		}
+		row := w[i*d.in : (i+1)*d.in]
+		for j, wv := range row {
+			dx.Data()[j] += wv * gv
+		}
+	}
+	return dx.Reshape(d.inShape...)
+}

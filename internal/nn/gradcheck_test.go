@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/tensor"
+)
+
+// numericalGrad estimates ∂loss/∂θ for one parameter element by central
+// difference, re-running the full forward pass.
+func numericalGrad(n *Network, s Sample, p *Param, idx int) float64 {
+	const h = 1e-5
+	orig := p.Value.Data()[idx]
+	t := OneHot(s.Label, n.Classes)
+
+	p.Value.Data()[idx] = orig + h
+	lp := n.LossFn.Loss(n.Forward(s.Input), t)
+	p.Value.Data()[idx] = orig - h
+	lm := n.LossFn.Loss(n.Forward(s.Input), t)
+	p.Value.Data()[idx] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkGradients verifies analytic vs numerical gradients on a handful of
+// randomly chosen parameter elements.
+func checkGradients(t *testing.T, n *Network, s Sample, rng *rand.Rand, probes int, tol float64) {
+	t.Helper()
+	n.ZeroGrads()
+	n.TrainStep(s)
+	for _, p := range n.Params() {
+		for k := 0; k < probes; k++ {
+			idx := rng.Intn(p.Value.Size())
+			got := p.Grad.Data()[idx]
+			want := numericalGrad(n, s, p, idx)
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %g vs numerical %g", p.Name, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	net := NewNetwork("mlp", []int{6}, 3, SoftmaxLoss{},
+		NewDense("fc1", 6, 8, rng),
+		NewReLU("relu1"),
+		NewDense("fc2", 8, 3, rng),
+	)
+	x := tensor.New(6).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 1}, rng, 10, 1e-4)
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	net := NewNetwork("cnn", []int{2, 6, 6}, 4, SoftmaxLoss{},
+		NewConv("conv1", 2, 6, 6, 3, 3, 1, 0, rng), // -> (3,4,4)
+		NewReLU("relu1"),
+		NewDense("fc", 3*4*4, 4, rng),
+	)
+	x := tensor.New(2, 6, 6).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 2}, rng, 8, 1e-4)
+}
+
+func TestConvWithPadStrideGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	net := NewNetwork("cnn-ps", []int{1, 8, 8}, 2, SoftmaxLoss{},
+		NewConv("conv1", 1, 8, 8, 2, 3, 2, 1, rng), // -> (2,4,4)
+		NewReLU("relu1"),
+		NewDense("fc", 2*4*4, 2, rng),
+	)
+	x := tensor.New(1, 8, 8).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 0}, rng, 8, 1e-4)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	net := NewNetwork("cnn-mp", []int{1, 8, 8}, 3, SoftmaxLoss{},
+		NewConv("conv1", 1, 8, 8, 2, 3, 1, 1, rng), // -> (2,8,8)
+		NewReLU("relu1"),
+		NewMaxPool("pool1", 2, 8, 8, 2), // -> (2,4,4)
+		NewDense("fc", 2*4*4, 3, rng),
+	)
+	x := tensor.New(1, 8, 8).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 1}, rng, 6, 1e-3)
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	net := NewNetwork("cnn-ap", []int{1, 4, 4}, 2, L2Loss{},
+		NewAvgPool("pool", 1, 4, 4, 2), // -> (1,2,2)
+		NewDense("fc", 4, 2, rng),
+	)
+	x := tensor.New(1, 4, 4).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 0}, rng, 8, 1e-4)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	net := NewNetwork("mlp-sig", []int{5}, 2, L2Loss{},
+		NewDense("fc1", 5, 6, rng),
+		NewSigmoid("sig1"),
+		NewDense("fc2", 6, 2, rng),
+	)
+	x := tensor.New(5).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 1}, rng, 10, 1e-4)
+}
+
+func TestDeepStackGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	net := NewNetwork("deep", []int{1, 8, 8}, 3, SoftmaxLoss{},
+		NewConv("c1", 1, 8, 8, 4, 3, 1, 1, rng),
+		NewReLU("r1"),
+		NewMaxPool("p1", 4, 8, 8, 2),
+		NewConv("c2", 4, 4, 4, 6, 3, 1, 1, rng),
+		NewReLU("r2"),
+		NewMaxPool("p2", 6, 4, 4, 2),
+		NewDense("fc1", 6*2*2, 10, rng),
+		NewReLU("r3"),
+		NewDense("fc2", 10, 3, rng),
+	)
+	x := tensor.New(1, 8, 8).RandNormal(rng, 0, 1)
+	checkGradients(t, net, Sample{Input: x, Label: 2}, rng, 4, 1e-3)
+}

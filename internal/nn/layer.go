@@ -1,0 +1,78 @@
+// Package nn is the from-scratch CNN training/inference framework the
+// PipeLayer reproduction is built on. It implements the three layer kinds of
+// the paper's Section 2.1 (convolution, pooling, inner product), the ReLU and
+// sigmoid activation functions, the L2 and softmax loss functions of Section
+// 2.2, and the exact forward/backward data flow of Figure 2:
+//
+//	forward:  u_l = W_l d_{l-1} + b_l ;  d_l = f(u_l)
+//	backward: δ_{l-1} = (W_l)ᵀ δ_l ∘ f'(u_{l-1}) ;  ∂W_l = d_{l-1} δ_lᵀ ;  ∂b_l = δ_l
+//
+// Training uses the paper's batch semantics: all images in a batch are
+// processed with the weights frozen at the start of the batch, per-image
+// partial derivatives are accumulated, and the averaged update is applied
+// once at the end of the batch — the property PipeLayer's inter-layer
+// pipeline exploits (Section 3.3).
+package nn
+
+import (
+	"fmt"
+
+	"pipelayer/internal/tensor"
+)
+
+// Param is a learnable tensor together with its accumulated gradient.
+// Gradients accumulate across the images of a batch and are averaged by the
+// trainer when the update is applied, mirroring the paper's ∂W buffers.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a parameter with a zeroed gradient of matching shape.
+func newParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one stage of a network. Forward consumes the previous layer's
+// output d_{l-1} and produces d_l; Backward consumes δ_l (the gradient of the
+// loss with respect to this layer's output) and produces δ_{l-1}, adding any
+// parameter gradients into Params().Grad.
+//
+// Layers are stateful between Forward and Backward (they retain the
+// activations needed for the backward pass), exactly as PipeLayer retains
+// intermediate d_l values in its memory subarrays.
+type Layer interface {
+	// Name identifies the layer for diagnostics and the architecture mapper.
+	Name() string
+	// Forward computes d_l from d_{l-1}.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward computes δ_{l-1} from δ_l and accumulates parameter grads.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters (possibly empty).
+	Params() []*Param
+	// OutShape reports the output shape for a given input shape, enabling
+	// static shape checking when a network is assembled.
+	OutShape(in []int) []int
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustShape(layer, what string, got, want []int) {
+	if !shapeEq(got, want) {
+		panic(fmt.Sprintf("nn: %s: %s shape %v, want %v", layer, what, got, want))
+	}
+}

@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipelayer/internal/tensor"
+)
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU("relu")
+	x := tensor.FromSlice([]float64{-2, 0, 3, -0.5}, 4)
+	y := r.Forward(x)
+	want := []float64{0, 0, 3, 0}
+	for i, v := range want {
+		if y.Data()[i] != v {
+			t.Fatalf("relu forward[%d] = %g, want %g", i, y.Data()[i], v)
+		}
+	}
+	g := tensor.FromSlice([]float64{1, 1, 1, 1}, 4)
+	dx := r.Backward(g)
+	wantdx := []float64{0, 0, 1, 0}
+	for i, v := range wantdx {
+		if dx.Data()[i] != v {
+			t.Fatalf("relu backward[%d] = %g, want %g", i, dx.Data()[i], v)
+		}
+	}
+}
+
+func TestReLUBackwardBeforeForwardSizeMismatch(t *testing.T) {
+	r := NewReLU("relu")
+	r.Forward(tensor.New(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	r.Backward(tensor.New(5))
+}
+
+func TestSigmoidRange(t *testing.T) {
+	s := NewSigmoid("sig")
+	x := tensor.FromSlice([]float64{-100, 0, 100}, 3)
+	y := s.Forward(x)
+	if y.At(0) > 1e-10 || math.Abs(y.At(1)-0.5) > 1e-12 || y.At(2) < 1-1e-10 {
+		t.Fatalf("sigmoid values: %v", y.Data())
+	}
+}
+
+func TestMaxPoolForwardKnown(t *testing.T) {
+	p := NewMaxPool("pool", 1, 4, 4, 2)
+	x := tensor.FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 4, 4)
+	y := p.Forward(x)
+	want := []float64{4, 8, 12, 16}
+	for i, v := range want {
+		if y.Data()[i] != v {
+			t.Fatalf("maxpool[%d] = %g, want %g", i, y.Data()[i], v)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRouting(t *testing.T) {
+	// The error must be copied to the argmax position only — paper Fig 10(b).
+	p := NewMaxPool("pool", 1, 2, 2, 2)
+	x := tensor.FromSlice([]float64{1, 9, 2, 3}, 1, 2, 2)
+	p.Forward(x)
+	dx := p.Backward(tensor.FromSlice([]float64{5}, 1, 1, 1))
+	want := []float64{0, 5, 0, 0}
+	for i, v := range want {
+		if dx.Data()[i] != v {
+			t.Fatalf("maxpool backward[%d] = %g, want %g", i, dx.Data()[i], v)
+		}
+	}
+}
+
+func TestAvgPoolForwardKnown(t *testing.T) {
+	p := NewAvgPool("pool", 1, 2, 2, 2)
+	x := tensor.FromSlice([]float64{1, 2, 3, 6}, 1, 2, 2)
+	y := p.Forward(x)
+	if y.At(0, 0, 0) != 3 {
+		t.Fatalf("avgpool = %g, want 3", y.At(0, 0, 0))
+	}
+}
+
+func TestAvgPoolBackwardUniform(t *testing.T) {
+	p := NewAvgPool("pool", 1, 2, 2, 2)
+	p.Forward(tensor.New(1, 2, 2))
+	dx := p.Backward(tensor.FromSlice([]float64{8}, 1, 1, 1))
+	for i := 0; i < 4; i++ {
+		if dx.Data()[i] != 2 {
+			t.Fatalf("avgpool backward[%d] = %g, want 2", i, dx.Data()[i])
+		}
+	}
+}
+
+func TestPoolIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMaxPool("bad", 1, 5, 5, 2)
+}
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("fc", 2, 2, rng)
+	copy(d.weights.Value.Data(), []float64{1, 2, 3, 4})
+	copy(d.bias.Value.Data(), []float64{0.5, -0.5})
+	y := d.Forward(tensor.FromSlice([]float64{1, 1}, 2))
+	if y.At(0) != 3.5 || y.At(1) != 6.5 {
+		t.Fatalf("dense forward = %v", y.Data())
+	}
+}
+
+func TestDenseFlattensConvInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense("fc", 12, 3, rng)
+	y := d.Forward(tensor.New(3, 2, 2))
+	if y.Size() != 3 {
+		t.Fatalf("dense output size = %d", y.Size())
+	}
+	// Backward must restore the original input shape for upstream layers.
+	dx := d.Backward(tensor.New(3))
+	sh := dx.Shape()
+	if len(sh) != 3 || sh[0] != 3 || sh[1] != 2 || sh[2] != 2 {
+		t.Fatalf("dense backward shape = %v", sh)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		y := tensor.New(n).RandNormal(rng, 0, 5)
+		p := Softmax(y)
+		s := p.Sum()
+		if math.Abs(s-1) > 1e-9 {
+			return false
+		}
+		for _, v := range p.Data() {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	y := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	y2 := y.Map(func(v float64) float64 { return v + 1000 })
+	if !tensor.Equal(Softmax(y), Softmax(y2), 1e-9) {
+		t.Fatal("softmax must be shift-invariant")
+	}
+}
+
+func TestL2LossKnown(t *testing.T) {
+	y := tensor.FromSlice([]float64{1, 2}, 2)
+	tt := tensor.FromSlice([]float64{0, 0}, 2)
+	if got := (L2Loss{}).Loss(y, tt); got != 2.5 {
+		t.Fatalf("L2 loss = %g, want 2.5", got)
+	}
+	g := (L2Loss{}).Grad(y, tt)
+	if g.At(0) != 1 || g.At(1) != 2 {
+		t.Fatalf("L2 grad = %v", g.Data())
+	}
+}
+
+func TestSoftmaxLossGradMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	y := tensor.New(5).RandNormal(rng, 0, 1)
+	tt := OneHot(3, 5)
+	g := (SoftmaxLoss{}).Grad(y, tt)
+	const h = 1e-6
+	for i := 0; i < 5; i++ {
+		y.Data()[i] += h
+		lp := (SoftmaxLoss{}).Loss(y, tt)
+		y.Data()[i] -= 2 * h
+		lm := (SoftmaxLoss{}).Loss(y, tt)
+		y.Data()[i] += h
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-g.At(i)) > 1e-5 {
+			t.Fatalf("softmax grad[%d]: analytic %g vs numerical %g", i, g.At(i), num)
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	v := OneHot(2, 4)
+	if v.At(2) != 1 || v.Sum() != 1 {
+		t.Fatalf("OneHot = %v", v.Data())
+	}
+}
+
+func TestOneHotOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHot(4, 4)
+}
+
+func TestConvOutShapeChecksInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv("c", 3, 8, 8, 4, 3, 1, 1, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input shape")
+		}
+	}()
+	c.OutShape([]int{3, 9, 9})
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pipelayer/internal/tensor"
+)
+
+// Loss is a cost function J(y, t) together with its gradient δ_L = ∂J/∂y.
+// The paper defines two (Section 2.2): the L2 norm loss and softmax loss.
+type Loss interface {
+	// Name identifies the loss for diagnostics.
+	Name() string
+	// Loss evaluates J for network output y and target t.
+	Loss(y, t *tensor.Tensor) float64
+	// Grad returns ∂J/∂y for the same pair.
+	Grad(y, t *tensor.Tensor) *tensor.Tensor
+}
+
+// L2Loss is J(W,b) = ½‖y − t‖₂², with gradient (y − t).
+type L2Loss struct{}
+
+// Name implements Loss.
+func (L2Loss) Name() string { return "l2" }
+
+// Loss implements Loss.
+func (L2Loss) Loss(y, t *tensor.Tensor) float64 {
+	mustSame(y, t)
+	s := 0.0
+	for i, v := range y.Data() {
+		d := v - t.Data()[i]
+		s += d * d
+	}
+	return 0.5 * s
+}
+
+// Grad implements Loss.
+func (L2Loss) Grad(y, t *tensor.Tensor) *tensor.Tensor {
+	mustSame(y, t)
+	return tensor.Sub(y, t)
+}
+
+// SoftmaxLoss is the softmax cross-entropy loss
+// J = −Σ_i t_i log p_i with p = softmax(y); its gradient with respect to the
+// pre-softmax scores is the numerically convenient (p − t).
+type SoftmaxLoss struct{}
+
+// Name implements Loss.
+func (SoftmaxLoss) Name() string { return "softmax" }
+
+// Softmax returns the softmax distribution of a score vector, computed with
+// the max-subtraction trick for numerical stability.
+func Softmax(y *tensor.Tensor) *tensor.Tensor {
+	m, _ := y.Max()
+	p := tensor.New(y.Shape()...)
+	sum := 0.0
+	for i, v := range y.Data() {
+		e := math.Exp(v - m)
+		p.Data()[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range p.Data() {
+		p.Data()[i] *= inv
+	}
+	return p
+}
+
+// Loss implements Loss.
+func (SoftmaxLoss) Loss(y, t *tensor.Tensor) float64 {
+	mustSame(y, t)
+	p := Softmax(y)
+	s := 0.0
+	for i, ti := range t.Data() {
+		if ti != 0 {
+			s -= ti * math.Log(math.Max(p.Data()[i], 1e-300))
+		}
+	}
+	return s
+}
+
+// Grad implements Loss: ∂J/∂y = p − t.
+func (SoftmaxLoss) Grad(y, t *tensor.Tensor) *tensor.Tensor {
+	mustSame(y, t)
+	return Softmax(y).SubInPlace(t)
+}
+
+func mustSame(y, t *tensor.Tensor) {
+	if y.Size() != t.Size() {
+		panic(fmt.Sprintf("nn: loss operands differ in size: %d vs %d", y.Size(), t.Size()))
+	}
+}
+
+// OneHot builds a one-hot target vector of length n with class set.
+func OneHot(class, n int) *tensor.Tensor {
+	if class < 0 || class >= n {
+		panic(fmt.Sprintf("nn: OneHot class %d out of [0,%d)", class, n))
+	}
+	t := tensor.New(n)
+	t.Set(1, class)
+	return t
+}

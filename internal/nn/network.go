@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+
+	"pipelayer/internal/tensor"
+)
+
+// Sample is one labeled training/testing example.
+type Sample struct {
+	Input *tensor.Tensor
+	Label int
+}
+
+// Network is an ordered stack of layers with a loss function.
+// It executes the exact forward/backward flow of the paper's Figure 2 and
+// the batch-update discipline of Section 3.3: within a batch the weights are
+// frozen, gradients accumulate per image, and ApplyUpdate applies the
+// averaged gradient once.
+type Network struct {
+	Name    string
+	Layers  []Layer
+	LossFn  Loss
+	Classes int
+}
+
+// NewNetwork assembles a network and statically checks that the layer shapes
+// chain correctly from inShape to a vector of `classes` scores.
+func NewNetwork(name string, inShape []int, classes int, loss Loss, layers ...Layer) *Network {
+	shape := append([]int(nil), inShape...)
+	for _, l := range layers {
+		shape = l.OutShape(shape)
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != classes {
+		panic(fmt.Sprintf("nn: network %s: final shape %v (%d elems) does not match %d classes", name, shape, n, classes))
+	}
+	return &Network{Name: name, Layers: layers, LossFn: loss, Classes: classes}
+}
+
+// Forward runs the testing-phase data flow and returns the raw output scores.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates δ_L backward through every layer, accumulating
+// parameter gradients. It must follow a Forward with the same input.
+func (n *Network) Backward(lossGrad *tensor.Tensor) {
+	g := lossGrad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// Params returns every learnable parameter in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all accumulated gradients (start of a batch).
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ApplyUpdate performs the end-of-batch weight update
+// W ← W − lr · (accumulated ∂W)/batch, the paper's Section 4.4.2 step where
+// the averaged partial derivatives (averaging realized by 1/B input spikes)
+// are subtracted from the old weights.
+func (n *Network) ApplyUpdate(lr float64, batch int) {
+	if batch <= 0 {
+		panic("nn: ApplyUpdate: batch must be positive")
+	}
+	scale := -lr / float64(batch)
+	for _, p := range n.Params() {
+		p.Value.AxpyInPlace(scale, p.Grad)
+	}
+}
+
+// TrainStep processes one image: forward, loss, backward. Gradients
+// accumulate; the caller applies the update at the batch boundary.
+// It returns the loss value for the sample.
+func (n *Network) TrainStep(s Sample) float64 {
+	y := n.Forward(s.Input)
+	t := OneHot(s.Label, n.Classes)
+	loss := n.LossFn.Loss(y, t)
+	n.Backward(n.LossFn.Grad(y, t))
+	return loss
+}
+
+// TrainBatch runs one full batch (zero grads, accumulate over every sample,
+// apply the averaged update) and returns the mean loss.
+func (n *Network) TrainBatch(batch []Sample, lr float64) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	n.ZeroGrads()
+	total := 0.0
+	for _, s := range batch {
+		total += n.TrainStep(s)
+	}
+	n.ApplyUpdate(lr, len(batch))
+	return total / float64(len(batch))
+}
+
+// TrainEpoch trains over all samples in order, in batches of size batch, and
+// returns the mean loss across the epoch. A trailing partial batch is
+// processed with its own (smaller) averaging divisor.
+func (n *Network) TrainEpoch(samples []Sample, batch int, lr float64) float64 {
+	if batch <= 0 {
+		panic("nn: TrainEpoch: batch must be positive")
+	}
+	total := 0.0
+	count := 0
+	for i := 0; i < len(samples); i += batch {
+		j := i + batch
+		if j > len(samples) {
+			j = len(samples)
+		}
+		total += n.TrainBatch(samples[i:j], lr) * float64(j-i)
+		count += j - i
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Predict returns the argmax class for one input.
+func (n *Network) Predict(x *tensor.Tensor) int {
+	y := n.Forward(x)
+	_, idx := y.Max()
+	return idx
+}
+
+// Accuracy evaluates top-1 accuracy over a sample set.
+func (n *Network) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.Input) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// SnapshotWeights returns deep copies of every parameter value, for
+// save/restore around quantization experiments.
+func (n *Network) SnapshotWeights() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, p := range n.Params() {
+		out = append(out, p.Value.Clone())
+	}
+	return out
+}
+
+// RestoreWeights restores a snapshot taken with SnapshotWeights.
+func (n *Network) RestoreWeights(snap []*tensor.Tensor) {
+	ps := n.Params()
+	if len(snap) != len(ps) {
+		panic(fmt.Sprintf("nn: RestoreWeights: %d tensors for %d params", len(snap), len(ps)))
+	}
+	for i, p := range ps {
+		copy(p.Value.Data(), snap[i].Data())
+	}
+}

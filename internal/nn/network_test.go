@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/tensor"
+)
+
+// xorSamples is a classic non-linearly-separable task: a network that learns
+// it must be doing real backpropagation through the hidden layer.
+func xorSamples() []Sample {
+	mk := func(a, b float64, label int) Sample {
+		return Sample{Input: tensor.FromSlice([]float64{a, b}, 2), Label: label}
+	}
+	return []Sample{mk(0, 0, 0), mk(0, 1, 1), mk(1, 0, 1), mk(1, 1, 0)}
+}
+
+func TestNetworkLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork("xor", []int{2}, 2, SoftmaxLoss{},
+		NewDense("fc1", 2, 8, rng),
+		NewReLU("r1"),
+		NewDense("fc2", 8, 2, rng),
+	)
+	samples := xorSamples()
+	for epoch := 0; epoch < 2000; epoch++ {
+		net.TrainEpoch(samples, 4, 0.5)
+	}
+	if acc := net.Accuracy(samples); acc != 1.0 {
+		t.Fatalf("XOR accuracy = %g, want 1.0", acc)
+	}
+}
+
+func TestTrainBatchReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork("toy", []int{4}, 2, SoftmaxLoss{},
+		NewDense("fc", 4, 2, rng),
+	)
+	s := Sample{Input: tensor.New(4).RandNormal(rng, 0, 1), Label: 1}
+	first := net.TrainBatch([]Sample{s}, 0.1)
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = net.TrainBatch([]Sample{s}, 0.1)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %g, last %g", first, last)
+	}
+}
+
+func TestBatchSemanticsFrozenWeights(t *testing.T) {
+	// Within a batch, every image must be processed with the same weights:
+	// processing [a, b] as one batch of 2 must give the same accumulated
+	// gradient as processing a then b without an intermediate update.
+	rng := rand.New(rand.NewSource(9))
+	mkNet := func() *Network {
+		r := rand.New(rand.NewSource(77))
+		return NewNetwork("toy", []int{3}, 2, SoftmaxLoss{},
+			NewDense("fc", 3, 2, r),
+		)
+	}
+	a := Sample{Input: tensor.New(3).RandNormal(rng, 0, 1), Label: 0}
+	b := Sample{Input: tensor.New(3).RandNormal(rng, 0, 1), Label: 1}
+
+	n1 := mkNet()
+	n1.ZeroGrads()
+	n1.TrainStep(a)
+	n1.TrainStep(b)
+	g1 := n1.Params()[0].Grad.Clone()
+
+	n2 := mkNet()
+	n2.ZeroGrads()
+	n2.TrainStep(b)
+	n2.TrainStep(a)
+	g2 := n2.Params()[0].Grad.Clone()
+
+	if !tensor.Equal(g1, g2, 1e-12) {
+		t.Fatal("batch gradient must be order-independent when weights are frozen")
+	}
+}
+
+func TestApplyUpdateAverages(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := NewNetwork("toy", []int{2}, 2, L2Loss{}, NewDense("fc", 2, 2, rng))
+	p := net.Params()[0]
+	before := p.Value.Clone()
+	p.Grad.Fill(4) // pretend batch of 4 accumulated gradient 4 everywhere
+	net.ApplyUpdate(0.5, 4)
+	// update = -0.5 * 4/4 = -0.5 per element
+	diff := tensor.Sub(p.Value, before)
+	for _, v := range diff.Data() {
+		if math.Abs(v+0.5) > 1e-12 {
+			t.Fatalf("update per element = %g, want -0.5", v)
+		}
+	}
+}
+
+func TestApplyUpdateZeroBatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewNetwork("toy", []int{2}, 2, L2Loss{}, NewDense("fc", 2, 2, rng))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.ApplyUpdate(0.1, 0)
+}
+
+func TestNewNetworkShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: output size != classes")
+		}
+	}()
+	NewNetwork("bad", []int{4}, 3, SoftmaxLoss{}, NewDense("fc", 4, 2, rng))
+}
+
+func TestSnapshotRestoreWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := NewNetwork("toy", []int{3}, 2, SoftmaxLoss{}, NewDense("fc", 3, 2, rng))
+	snap := net.SnapshotWeights()
+	s := Sample{Input: tensor.New(3).RandNormal(rng, 0, 1), Label: 0}
+	net.TrainBatch([]Sample{s}, 1.0)
+	changed := false
+	for i, p := range net.Params() {
+		if !tensor.Equal(p.Value, snap[i], 0) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("training should change weights")
+	}
+	net.RestoreWeights(snap)
+	for i, p := range net.Params() {
+		if !tensor.Equal(p.Value, snap[i], 0) {
+			t.Fatal("RestoreWeights did not restore")
+		}
+	}
+}
+
+func TestTrainEpochPartialBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	net := NewNetwork("toy", []int{2}, 2, SoftmaxLoss{}, NewDense("fc", 2, 2, rng))
+	samples := make([]Sample, 5) // 5 samples with batch 2 => trailing batch of 1
+	for i := range samples {
+		samples[i] = Sample{Input: tensor.New(2).RandNormal(rng, 0, 1), Label: i % 2}
+	}
+	loss := net.TrainEpoch(samples, 2, 0.1)
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("epoch loss = %g", loss)
+	}
+}
+
+func TestAccuracyEmptySet(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	net := NewNetwork("toy", []int{2}, 2, SoftmaxLoss{}, NewDense("fc", 2, 2, rng))
+	if acc := net.Accuracy(nil); acc != 0 {
+		t.Fatalf("Accuracy(nil) = %g", acc)
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	net := NewNetwork("toy", []int{4}, 3, SoftmaxLoss{}, NewDense("fc", 4, 3, rng))
+	x := tensor.New(4).RandNormal(rng, 0, 1)
+	a := net.Predict(x)
+	b := net.Predict(x)
+	if a != b {
+		t.Fatal("Predict must be deterministic")
+	}
+}

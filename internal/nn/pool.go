@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+
+	"pipelayer/internal/tensor"
+)
+
+// MaxPool implements max pooling over non-overlapping KxK windows.
+// Forward records the argmax position of every window; Backward copies each
+// error element to that position and zeroes the rest — exactly the error
+// backward of the paper's Figure 10(b), realized in PipeLayer's activation
+// component using the stored d_{l-1} to locate the window maximum.
+type MaxPool struct {
+	name          string
+	inC, inH, inW int
+	k             int
+	argmax        []int // flat input index of the max for each output element
+	outShape      []int
+}
+
+// NewMaxPool creates a max-pooling layer with window and stride k.
+func NewMaxPool(name string, inC, inH, inW, k int) *MaxPool {
+	if inH%k != 0 || inW%k != 0 {
+		panic(fmt.Sprintf("nn: NewMaxPool(%s): input %dx%d not divisible by window %d", name, inH, inW, k))
+	}
+	return &MaxPool{name: name, inC: inC, inH: inH, inW: inW, k: k}
+}
+
+// Name implements Layer.
+func (p *MaxPool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool) Params() []*Param { return nil }
+
+// Window returns the pooling window size.
+func (p *MaxPool) Window() int { return p.k }
+
+// Geometry returns (inC, inH, inW, window).
+func (p *MaxPool) Geometry() (inC, inH, inW, k int) { return p.inC, p.inH, p.inW, p.k }
+
+// OutShape implements Layer.
+func (p *MaxPool) OutShape(in []int) []int {
+	mustShape(p.name, "input", in, []int{p.inC, p.inH, p.inW})
+	return []int{p.inC, p.inH / p.k, p.inW / p.k}
+}
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustShape(p.name, "input", x.Shape(), []int{p.inC, p.inH, p.inW})
+	oh, ow := p.inH/p.k, p.inW/p.k
+	out := tensor.New(p.inC, oh, ow)
+	p.argmax = make([]int, p.inC*oh*ow)
+	for c := 0; c < p.inC; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := 0.0
+				bestIdx := -1
+				for ky := 0; ky < p.k; ky++ {
+					for kx := 0; kx < p.k; kx++ {
+						iy, ix := oy*p.k+ky, ox*p.k+kx
+						idx := c*p.inH*p.inW + iy*p.inW + ix
+						v := x.Data()[idx]
+						if bestIdx < 0 || v > best {
+							best, bestIdx = v, idx
+						}
+					}
+				}
+				oidx := c*oh*ow + oy*ow + ox
+				out.Data()[oidx] = best
+				p.argmax[oidx] = bestIdx
+			}
+		}
+	}
+	p.outShape = out.Shape()
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", p.name))
+	}
+	mustShape(p.name, "grad", grad.Shape(), p.outShape)
+	dx := tensor.New(p.inC, p.inH, p.inW)
+	for oidx, iidx := range p.argmax {
+		dx.Data()[iidx] += grad.Data()[oidx]
+	}
+	return dx
+}
+
+// AvgPool implements average pooling (Equation (2) of the paper) over
+// non-overlapping KxK windows. When K·K is a power of two the division is a
+// shift in hardware, as the paper notes.
+type AvgPool struct {
+	name          string
+	inC, inH, inW int
+	k             int
+	outShape      []int
+	did           bool
+}
+
+// NewAvgPool creates an average-pooling layer with window and stride k.
+func NewAvgPool(name string, inC, inH, inW, k int) *AvgPool {
+	if inH%k != 0 || inW%k != 0 {
+		panic(fmt.Sprintf("nn: NewAvgPool(%s): input %dx%d not divisible by window %d", name, inH, inW, k))
+	}
+	return &AvgPool{name: name, inC: inC, inH: inH, inW: inW, k: k}
+}
+
+// Name implements Layer.
+func (p *AvgPool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *AvgPool) Params() []*Param { return nil }
+
+// Window returns the pooling window size.
+func (p *AvgPool) Window() int { return p.k }
+
+// Geometry returns (inC, inH, inW, window).
+func (p *AvgPool) Geometry() (inC, inH, inW, k int) { return p.inC, p.inH, p.inW, p.k }
+
+// OutShape implements Layer.
+func (p *AvgPool) OutShape(in []int) []int {
+	mustShape(p.name, "input", in, []int{p.inC, p.inH, p.inW})
+	return []int{p.inC, p.inH / p.k, p.inW / p.k}
+}
+
+// Forward implements Layer.
+func (p *AvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustShape(p.name, "input", x.Shape(), []int{p.inC, p.inH, p.inW})
+	oh, ow := p.inH/p.k, p.inW/p.k
+	out := tensor.New(p.inC, oh, ow)
+	inv := 1.0 / float64(p.k*p.k)
+	for c := 0; c < p.inC; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				for ky := 0; ky < p.k; ky++ {
+					for kx := 0; kx < p.k; kx++ {
+						s += x.At(c, oy*p.k+ky, ox*p.k+kx)
+					}
+				}
+				out.Set(s*inv, c, oy, ox)
+			}
+		}
+	}
+	p.outShape = out.Shape()
+	p.did = true
+	return out
+}
+
+// Backward implements Layer: the error is distributed uniformly over the
+// window, scaled by 1/K².
+func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !p.did {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", p.name))
+	}
+	mustShape(p.name, "grad", grad.Shape(), p.outShape)
+	dx := tensor.New(p.inC, p.inH, p.inW)
+	oh, ow := p.inH/p.k, p.inW/p.k
+	inv := 1.0 / float64(p.k*p.k)
+	for c := 0; c < p.inC; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.At(c, oy, ox) * inv
+				for ky := 0; ky < p.k; ky++ {
+					for kx := 0; kx < p.k; kx++ {
+						dx.Set(dx.At(c, oy*p.k+ky, ox*p.k+kx)+g, c, oy*p.k+ky, ox*p.k+kx)
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

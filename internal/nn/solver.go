@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"fmt"
+
+	"pipelayer/internal/tensor"
+)
+
+// Solver implements the stochastic-gradient-descent family the paper's GPU
+// baseline (Caffe) trains with: plain SGD, classical momentum, and L2
+// weight decay. PipeLayer's hardware update realizes the plain-SGD case
+// (Section 4.4.2); the solver exists so software baselines can be trained
+// with the full Caffe recipe.
+type Solver struct {
+	// LearningRate is the base step size.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient μ (0 disables).
+	Momentum float64
+	// WeightDecay is the L2 regularization coefficient (0 disables).
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSolver creates a solver with the given hyper-parameters.
+func NewSolver(lr, momentum, weightDecay float64) *Solver {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: learning rate must be positive, got %g", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("nn: momentum must be in [0,1), got %g", momentum))
+	}
+	if weightDecay < 0 {
+		panic(fmt.Sprintf("nn: weight decay must be non-negative, got %g", weightDecay))
+	}
+	return &Solver{
+		LearningRate: lr,
+		Momentum:     momentum,
+		WeightDecay:  weightDecay,
+		velocity:     make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one update using the gradients accumulated over a batch:
+//
+//	g       = ∂J/∂θ / batch + λ·θ
+//	v       = μ·v − lr·g
+//	θ       = θ + v
+//
+// With μ = λ = 0 this is exactly Network.ApplyUpdate.
+func (s *Solver) Step(net *Network, batch int) {
+	if batch <= 0 {
+		panic("nn: Step batch must be positive")
+	}
+	inv := 1.0 / float64(batch)
+	for _, p := range net.Params() {
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		for i := range p.Value.Data() {
+			g := p.Grad.Data()[i]*inv + s.WeightDecay*p.Value.Data()[i]
+			v.Data()[i] = s.Momentum*v.Data()[i] - s.LearningRate*g
+			p.Value.Data()[i] += v.Data()[i]
+		}
+	}
+}
+
+// TrainBatch runs one batch through the network and applies a solver step,
+// returning the mean loss.
+func (s *Solver) TrainBatch(net *Network, batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	net.ZeroGrads()
+	total := 0.0
+	for _, sample := range batch {
+		total += net.TrainStep(sample)
+	}
+	s.Step(net, len(batch))
+	return total / float64(len(batch))
+}
+
+// TrainEpoch trains over all samples in batches, returning the mean loss.
+func (s *Solver) TrainEpoch(net *Network, samples []Sample, batch int) float64 {
+	if batch <= 0 {
+		panic("nn: TrainEpoch batch must be positive")
+	}
+	total := 0.0
+	count := 0
+	for i := 0; i < len(samples); i += batch {
+		j := i + batch
+		if j > len(samples) {
+			j = len(samples)
+		}
+		total += s.TrainBatch(net, samples[i:j]) * float64(j-i)
+		count += j - i
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Reset clears accumulated velocity (e.g. between restarts).
+func (s *Solver) Reset() { s.velocity = make(map[*Param]*tensor.Tensor) }

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipelayer/internal/tensor"
+)
+
+func solverToyNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork("toy", []int{2}, 2, SoftmaxLoss{},
+		NewDense("fc1", 2, 8, rng),
+		NewReLU("r"),
+		NewDense("fc2", 8, 2, rng),
+	)
+}
+
+func TestSolverPlainSGDMatchesApplyUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Sample{Input: tensor.New(2).RandNormal(rng, 0, 1), Label: 1}
+
+	a := solverToyNet(9)
+	a.ZeroGrads()
+	a.TrainStep(s)
+	a.ApplyUpdate(0.1, 1)
+
+	b := solverToyNet(9)
+	solver := NewSolver(0.1, 0, 0)
+	solver.TrainBatch(b, []Sample{s})
+
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !tensor.Equal(pa[i].Value, pb[i].Value, 1e-15) {
+			t.Fatalf("param %s differs between ApplyUpdate and zero-momentum solver", pa[i].Name)
+		}
+	}
+}
+
+func TestSolverMomentumAccelerates(t *testing.T) {
+	// On a fixed quadratic-ish objective, momentum should reduce the loss
+	// faster than plain SGD over the same number of steps.
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]Sample, 8)
+	for i := range samples {
+		samples[i] = Sample{Input: tensor.New(2).RandNormal(rng, 0, 1), Label: i % 2}
+	}
+	plain := solverToyNet(4)
+	mom := solverToyNet(4)
+	sp := NewSolver(0.02, 0, 0)
+	sm := NewSolver(0.02, 0.9, 0)
+	var lp, lm float64
+	for i := 0; i < 60; i++ {
+		lp = sp.TrainEpoch(plain, samples, 8)
+		lm = sm.TrainEpoch(mom, samples, 8)
+	}
+	if lm >= lp {
+		t.Fatalf("momentum loss %g not below plain SGD loss %g", lm, lp)
+	}
+}
+
+func TestSolverWeightDecayShrinksWeights(t *testing.T) {
+	// With zero gradients, weight decay alone must shrink the weights.
+	net := solverToyNet(5)
+	s := NewSolver(0.1, 0, 0.5)
+	before := net.Params()[0].Value.Norm2()
+	net.ZeroGrads()
+	s.Step(net, 1)
+	after := net.Params()[0].Value.Norm2()
+	if after >= before {
+		t.Fatalf("weight decay did not shrink weights: %g -> %g", before, after)
+	}
+}
+
+func TestSolverVelocityPersistence(t *testing.T) {
+	net := solverToyNet(6)
+	s := NewSolver(0.1, 0.9, 0)
+	p := net.Params()[0]
+	p.Grad.Fill(1)
+	s.Step(net, 1)
+	first := p.Value.Clone()
+	p.Grad.Fill(0) // no new gradient: velocity alone should keep moving θ
+	s.Step(net, 1)
+	moved := tensor.Sub(p.Value, first).Norm2()
+	if moved == 0 {
+		t.Fatal("velocity must persist across steps")
+	}
+	s.Reset()
+	p.Grad.Fill(0)
+	before := p.Value.Clone()
+	s.Step(net, 1)
+	if !tensor.Equal(p.Value, before, 0) {
+		t.Fatal("after Reset with zero grads, weights must not move")
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSolver(0, 0, 0) },
+		func() { NewSolver(0.1, 1.0, 0) },
+		func() { NewSolver(0.1, -0.1, 0) },
+		func() { NewSolver(0.1, 0, -1) },
+		func() { NewSolver(0.1, 0, 0).Step(solverToyNet(1), 0) },
+		func() { NewSolver(0.1, 0, 0).TrainEpoch(solverToyNet(1), nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSolverTrainEpochLearnsXOR(t *testing.T) {
+	net := solverToyNet(7)
+	s := NewSolver(0.3, 0.9, 0)
+	samples := xorSamples()
+	for epoch := 0; epoch < 800; epoch++ {
+		s.TrainEpoch(net, samples, 4)
+	}
+	if acc := net.Accuracy(samples); acc != 1.0 {
+		t.Fatalf("XOR accuracy with momentum solver = %g", acc)
+	}
+}
+
+func TestSolverEmptyBatchNoop(t *testing.T) {
+	net := solverToyNet(8)
+	s := NewSolver(0.1, 0.5, 0)
+	if loss := s.TrainBatch(net, nil); loss != 0 {
+		t.Fatalf("empty batch loss = %g", loss)
+	}
+	if l := s.TrainEpoch(net, nil, 4); !(l == 0 || math.IsNaN(l) == false && l == 0) {
+		t.Fatalf("empty epoch loss = %g", l)
+	}
+}

@@ -1,0 +1,84 @@
+// Package pipeline is the cycle-level simulator of PipeLayer's intra- and
+// inter-layer pipelined execution (paper Sections 3.1 and 3.3): it plays out
+// the training schedule of Figure 6 cycle by cycle, models the circular
+// inter-layer buffers of Figure 8 with liveness checking, and validates the
+// closed-form cycle counts of Table 2 (implemented in internal/mapping).
+package pipeline
+
+import "fmt"
+
+// entry is one slot of a circular buffer.
+type entry struct {
+	valid bool
+	image int  // which image's data occupies the slot
+	live  bool // not yet consumed by its final reader
+}
+
+// CircularBuffer models one inter-layer memory-subarray buffer (Figure 8):
+// a fixed ring of entries with a write pointer that wraps. Writing over an
+// entry that is still live (its reader has not consumed it) is a scheduling
+// bug; the buffer panics, which is how the simulator enforces the
+// 2(L−l)+1 depth rule of Section 3.3.
+type CircularBuffer struct {
+	name    string
+	entries []entry
+	wp      int
+	// MaxOccupancy tracks the peak number of simultaneously-live entries.
+	MaxOccupancy int
+}
+
+// NewCircularBuffer creates a buffer with the given depth.
+func NewCircularBuffer(name string, depth int) *CircularBuffer {
+	if depth <= 0 {
+		panic(fmt.Sprintf("pipeline: buffer %q depth must be positive", name))
+	}
+	return &CircularBuffer{name: name, entries: make([]entry, depth)}
+}
+
+// Depth returns the number of slots.
+func (b *CircularBuffer) Depth() int { return len(b.entries) }
+
+// Write stores image's data in the next slot, advancing the pointer. It
+// panics if the slot it would overwrite is still live.
+func (b *CircularBuffer) Write(image int) {
+	e := &b.entries[b.wp]
+	if e.valid && e.live {
+		panic(fmt.Sprintf("pipeline: buffer %q overwrites live data of image %d with image %d (depth %d too small)",
+			b.name, e.image, image, len(b.entries)))
+	}
+	*e = entry{valid: true, image: image, live: true}
+	b.wp = (b.wp + 1) % len(b.entries)
+	occ := 0
+	for _, x := range b.entries {
+		if x.valid && x.live {
+			occ++
+		}
+	}
+	if occ > b.MaxOccupancy {
+		b.MaxOccupancy = occ
+	}
+}
+
+// Consume marks image's entry as dead (its final reader has used it). It
+// panics if the image's data is not present — reading data that was never
+// written or already overwritten.
+func (b *CircularBuffer) Consume(image int) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.live && e.image == image {
+			e.live = false
+			return
+		}
+	}
+	panic(fmt.Sprintf("pipeline: buffer %q has no live entry for image %d", b.name, image))
+}
+
+// Peek reports whether image's data is currently live in the buffer.
+func (b *CircularBuffer) Peek(image int) bool {
+	for _, e := range b.entries {
+		if e.valid && e.live && e.image == image {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"pipelayer/internal/mapping"
+)
+
+// Config describes one simulated run.
+type Config struct {
+	// L is the number of weighted layers.
+	L int
+	// B is the batch size (training only; must divide N).
+	B int
+	// N is the total number of input images.
+	N int
+	// Pipelined selects the inter-layer pipelined schedule (Figure 6) or the
+	// sequential baseline (Figure 7a).
+	Pipelined bool
+	// Training selects the full forward+backward+update flow; false
+	// simulates testing (forward only).
+	Training bool
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Cycles is the total number of logical cycles.
+	Cycles int
+	// BufferDepth maps buffer names to their configured depth.
+	BufferDepth map[string]int
+	// PeakOccupancy maps buffer names to the peak number of live entries.
+	PeakOccupancy map[string]int
+	// MaxUnitUsePerCycle is the maximum number of times any single hardware
+	// unit was used in one cycle (must be 1 for a legal schedule).
+	MaxUnitUsePerCycle int
+}
+
+// event is one scheduled hardware operation.
+type event struct {
+	cycle int
+	unit  string // hardware unit, used ≤ 1×/cycle
+	// consume lists (buffer, image) pairs read-and-retired this cycle.
+	consume []bufRef
+	// write lists (buffer, image) pairs written this cycle.
+	write []bufRef
+}
+
+type bufRef struct {
+	buf   string
+	image int
+}
+
+// Simulate plays the schedule cycle by cycle through liveness-checked
+// circular buffers, panicking on any overwrite of live data or double-booked
+// unit, and returns the cycle count and buffer statistics.
+//
+// The returned cycle counts are validated against the Table 2 closed forms
+// by the package tests (see mapping.NonPipelinedTrainingCycles etc.).
+func Simulate(cfg Config) Result {
+	if cfg.L <= 0 || cfg.N <= 0 {
+		panic("pipeline: L and N must be positive")
+	}
+	if cfg.Training {
+		if cfg.B <= 0 || cfg.N%cfg.B != 0 {
+			panic(fmt.Sprintf("pipeline: batch %d must divide N %d", cfg.B, cfg.N))
+		}
+	}
+
+	events := buildSchedule(cfg)
+
+	// Build buffers with the Section 3.3 depths.
+	buffers := map[string]*CircularBuffer{}
+	mkbuf := func(name string, depth int) {
+		buffers[name] = NewCircularBuffer(name, depth)
+	}
+	L := cfg.L
+	if cfg.Training {
+		for l := 1; l < L; l++ {
+			depth := mapping.BufferDepth(L, l)
+			if !cfg.Pipelined {
+				depth = 1 // sequential processing reuses a single entry
+			}
+			mkbuf(fmt.Sprintf("d%d", l), depth)
+		}
+		mkbuf(fmt.Sprintf("d%d", L), 2) // duplicated: same-cycle read+write
+		for l := 1; l <= L; l++ {
+			mkbuf(fmt.Sprintf("delta%d", l), 2)
+		}
+	} else {
+		for l := 1; l < L; l++ {
+			depth := 2
+			if !cfg.Pipelined {
+				depth = 1
+			}
+			mkbuf(fmt.Sprintf("d%d", l), depth)
+		}
+	}
+
+	// Bucket events by cycle.
+	byCycle := map[int][]event{}
+	last := 0
+	for _, e := range events {
+		byCycle[e.cycle] = append(byCycle[e.cycle], e)
+		if e.cycle > last {
+			last = e.cycle
+		}
+	}
+
+	maxUnitUse := 0
+	for c := 1; c <= last; c++ {
+		evs := byCycle[c]
+		// Consumes happen before writes within a cycle: the reader drains
+		// the slot the writer may immediately reuse (Section 3.3).
+		units := map[string]int{}
+		for _, e := range evs {
+			units[e.unit]++
+			for _, r := range e.consume {
+				buffers[r.buf].Consume(r.image)
+			}
+		}
+		for _, e := range evs {
+			for _, w := range e.write {
+				buffers[w.buf].Write(w.image)
+			}
+		}
+		for u, n := range units {
+			if n > maxUnitUse {
+				maxUnitUse = n
+			}
+			if n > 1 {
+				panic(fmt.Sprintf("pipeline: unit %s double-booked at cycle %d (%d uses)", u, c, n))
+			}
+		}
+	}
+
+	res := Result{
+		Cycles:             last,
+		BufferDepth:        map[string]int{},
+		PeakOccupancy:      map[string]int{},
+		MaxUnitUsePerCycle: maxUnitUse,
+	}
+	for name, b := range buffers {
+		res.BufferDepth[name] = b.Depth()
+		res.PeakOccupancy[name] = b.MaxOccupancy
+	}
+	return res
+}
+
+// buildSchedule expands the Figure 6 (pipelined) or Figure 7a (sequential)
+// schedule into per-image events.
+//
+// Per-image offsets within the training flow (entry cycle e, layers 1..L):
+//
+//	forward layer l:   e + l − 1        (writes d_l)
+//	error δ_L:         e + L            (reads d_L, writes δ_L)
+//	error δ_l:         e + 2L − l       (reads δ_{l+1}, writes δ_l), l < L
+//	derivative ∂W_l:   e + 2L − l + 1   (reads d_{l−1} and δ_l)
+//
+// so an image occupies cycles e .. e+2L, i.e. 2L+1 cycles, matching
+// Figure 3's T1..T7 for L = 3.
+func buildSchedule(cfg Config) []event {
+	var events []event
+	L := cfg.L
+
+	entryCycle := func(g int) int {
+		if cfg.Training {
+			if cfg.Pipelined {
+				b, i := g/cfg.B, g%cfg.B
+				return b*(2*L+cfg.B+1) + i + 1
+			}
+			return g*(2*L+1) + g/cfg.B + 1
+		}
+		if cfg.Pipelined {
+			return g + 1
+		}
+		return g*L + 1
+	}
+
+	for g := 0; g < cfg.N; g++ {
+		e := entryCycle(g)
+		// Forward pass.
+		for l := 1; l <= L; l++ {
+			ev := event{cycle: e + l - 1, unit: fmt.Sprintf("A%d", l)}
+			if l > 1 {
+				// Reads d_{l-1}; in testing this is the final consumption,
+				// in training the derivative unit consumes it later.
+				if !cfg.Training {
+					ev.consume = append(ev.consume, bufRef{fmt.Sprintf("d%d", l-1), g})
+				}
+			}
+			if l < L || cfg.Training {
+				ev.write = append(ev.write, bufRef{fmt.Sprintf("d%d", l), g})
+			}
+			events = append(events, ev)
+		}
+		if !cfg.Training {
+			continue
+		}
+		// Error for the output layer: δ_L = f'(u_L) ∘ (y − t) — consumes d_L.
+		events = append(events, event{
+			cycle:   e + L,
+			unit:    "ErrL",
+			consume: []bufRef{{fmt.Sprintf("d%d", L), g}},
+			write:   []bufRef{{fmt.Sprintf("delta%d", L), g}},
+		})
+		// Errors for inner layers: δ_l from δ_{l+1} via (W^{l+1})*.
+		for l := L - 1; l >= 1; l-- {
+			events = append(events, event{
+				cycle: e + 2*L - l,
+				unit:  fmt.Sprintf("A%dE", l+1),
+				write: []bufRef{{fmt.Sprintf("delta%d", l), g}},
+			})
+		}
+		// Partial derivatives: ∂W_l from d_{l−1} and δ_l, one cycle after
+		// δ_l is available; this is the final consumer of both.
+		for l := L; l >= 1; l-- {
+			ev := event{
+				cycle:   e + 2*L - l + 1,
+				unit:    fmt.Sprintf("A%dD", l),
+				consume: []bufRef{{fmt.Sprintf("delta%d", l), g}},
+			}
+			if l > 1 {
+				ev.consume = append(ev.consume, bufRef{fmt.Sprintf("d%d", l-1), g})
+			}
+			events = append(events, ev)
+		}
+		// The weight-update cycle at the end of each batch.
+		if (g+1)%cfg.B == 0 {
+			events = append(events, event{cycle: e + 2*L + 1, unit: "Update"})
+		}
+	}
+	return events
+}

@@ -1,0 +1,109 @@
+// Package planner is the granularity compiler of the paper's Section 5.2:
+// "G can be set by programmer or automatically optimized by compiler". It
+// chooses a per-layer parallelism granularity that minimizes the logical
+// cycle time subject to an area budget — the balance the paper's Section
+// 6.5 sweeps by hand with the λ knob.
+//
+// The algorithm is greedy critical-path relief: starting from G = 1
+// everywhere, it repeatedly doubles the granularity of the layer that
+// currently bounds the cycle time, as long as the training-configuration
+// area stays within budget and the increase still helps. Because each
+// layer's cycle time is convex non-increasing in G and the area is linear
+// in G, the greedy schedule is within one doubling of the optimum on the
+// critical layer.
+package planner
+
+import (
+	"errors"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// Result is an optimized mapping with its cost summary.
+type Result struct {
+	Plans []mapping.Plan
+	// CycleTime is the achieved logical cycle duration (seconds).
+	CycleTime float64
+	// AreaMM2 is the training-configuration area of the mapping.
+	AreaMM2 float64
+	// Iterations counts greedy steps taken.
+	Iterations int
+}
+
+// Optimize chooses per-layer granularities for the network under the given
+// area budget (mm², training configuration with the given batch). It
+// returns an error only if even the all-G=1 mapping exceeds the budget.
+func Optimize(model energy.Model, spec networks.Spec, array mapping.ArraySpec, batch int, areaBudget float64) (Result, error) {
+	gs := make([]int, len(spec.Layers))
+	for i, l := range spec.Layers {
+		if l.UsesArrays() {
+			gs[i] = 1
+		}
+	}
+	build := func() []mapping.Plan {
+		plans := make([]mapping.Plan, len(spec.Layers))
+		for i, l := range spec.Layers {
+			plans[i] = mapping.NewPlan(l, array, gs[i])
+		}
+		return plans
+	}
+	plans := build()
+	area := model.Area(spec, plans, batch)
+	if area > areaBudget {
+		return Result{}, errors.New("planner: area budget below the minimum G=1 mapping")
+	}
+
+	iterations := 0
+	for {
+		// Find the critical layer.
+		crit, worst := -1, model.CycleTime(nil) // floor: one array pass
+		for i, p := range plans {
+			if !p.Layer.UsesArrays() {
+				continue
+			}
+			if t := model.LayerCycleTime(p); t > worst {
+				worst, crit = t, i
+			}
+		}
+		if crit < 0 {
+			break // cycle time already at the non-array floor
+		}
+		l := spec.Layers[crit]
+		if gs[crit] >= l.Windows() {
+			break // critical layer fully replicated; cannot improve
+		}
+		// Double the critical layer's granularity (clamped).
+		candidate := gs[crit] * 2
+		if candidate > l.Windows() {
+			candidate = l.Windows()
+		}
+		old := gs[crit]
+		gs[crit] = candidate
+		newPlans := build()
+		newArea := model.Area(spec, newPlans, batch)
+		if newArea > areaBudget {
+			gs[crit] = old
+			break
+		}
+		// Accept only if it actually helps the critical layer (Steps can
+		// plateau when already 1).
+		if model.LayerCycleTime(newPlans[crit]) >= worst {
+			gs[crit] = old
+			break
+		}
+		plans = newPlans
+		area = newArea
+		iterations++
+		if iterations > 10000 {
+			break // safety against pathological configs
+		}
+	}
+	return Result{
+		Plans:      plans,
+		CycleTime:  model.CycleTime(plans),
+		AreaMM2:    area,
+		Iterations: iterations,
+	}, nil
+}

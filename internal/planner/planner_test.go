@@ -1,0 +1,102 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"pipelayer/internal/energy"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+func TestOptimizeRespectsBudget(t *testing.T) {
+	m := energy.DefaultModel()
+	spec := networks.VGG("A")
+	for _, budget := range []float64{220, 240, 300, 500} {
+		res, err := Optimize(m, spec, mapping.DefaultArray, 64, budget)
+		if err != nil {
+			t.Fatalf("budget %g: %v", budget, err)
+		}
+		if res.AreaMM2 > budget {
+			t.Fatalf("budget %g: area %g exceeds it", budget, res.AreaMM2)
+		}
+	}
+}
+
+func TestOptimizeMonotoneInBudget(t *testing.T) {
+	m := energy.DefaultModel()
+	spec := networks.VGG("A")
+	prev := math.Inf(1)
+	for _, budget := range []float64{220, 260, 320, 500, 1500} {
+		res, err := Optimize(m, spec, mapping.DefaultArray, 64, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CycleTime > prev*1.0001 {
+			t.Fatalf("budget %g: cycle time %g worse than smaller budget's %g", budget, res.CycleTime, prev)
+		}
+		prev = res.CycleTime
+	}
+}
+
+func TestOptimizeBeatsUniformLambdaAtSameArea(t *testing.T) {
+	// Give the optimizer exactly the area the uniform λ=1 mapping uses; it
+	// must achieve a cycle time at least as good.
+	m := energy.DefaultModel()
+	spec := networks.AlexNet()
+	uniform := m.BalancedPlans(spec.Layers, mapping.DefaultArray, 1)
+	budget := m.Area(spec, uniform, 64)
+	res, err := Optimize(m, spec, mapping.DefaultArray, 64, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CycleTime > m.CycleTime(uniform)*1.05 {
+		t.Fatalf("optimizer cycle %g much worse than uniform λ=1 %g at equal area",
+			res.CycleTime, m.CycleTime(uniform))
+	}
+}
+
+func TestOptimizeLargeBudgetApproachesFloor(t *testing.T) {
+	m := energy.DefaultModel()
+	spec := networks.MnistC() // tiny: fully replicable cheaply
+	res, err := Optimize(m, spec, mapping.DefaultArray, 64, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-FC network with windows=1: the floor is one array pass + moves.
+	maxG := m.BalancedPlans(spec.Layers, mapping.DefaultArray, math.Inf(1))
+	if res.CycleTime > m.CycleTime(maxG)*1.001 {
+		t.Fatalf("unbounded budget cycle %g above the λ=∞ floor %g", res.CycleTime, m.CycleTime(maxG))
+	}
+}
+
+func TestOptimizeTightBudgetFails(t *testing.T) {
+	m := energy.DefaultModel()
+	if _, err := Optimize(m, networks.VGG("E"), mapping.DefaultArray, 64, 1.0); err == nil {
+		t.Fatal("impossible budget must error")
+	}
+}
+
+func TestOptimizeSpreadsGByCriticality(t *testing.T) {
+	// The optimizer should give the big early conv layers (huge window
+	// counts) much larger G than the small late ones.
+	m := energy.DefaultModel()
+	spec := networks.VGG("A")
+	res, err := Optimize(m, spec, mapping.DefaultArray, 64, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstConvG, lastConvG int
+	for _, p := range res.Plans {
+		if p.Layer.Kind != mapping.KindConv {
+			continue
+		}
+		if firstConvG == 0 {
+			firstConvG = p.G
+		}
+		lastConvG = p.G
+	}
+	if firstConvG <= lastConvG {
+		t.Fatalf("conv1 G (%d) should exceed the last conv's G (%d)", firstConvG, lastConvG)
+	}
+}

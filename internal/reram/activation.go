@@ -1,0 +1,130 @@
+package reram
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActivationUnit models the activation component of Figure 9(c): a
+// subtractor combining the positive-array result D_P and negative-array
+// result D_N, a configurable look-up table realizing the algorithm's
+// activation function, and a register that keeps the running maximum of a
+// sequence to realize max pooling.
+type ActivationUnit struct {
+	lut    *LUT
+	maxReg float64
+	maxSet bool
+}
+
+// NewActivationUnit creates an activation unit with the given LUT.
+// A nil LUT bypasses the function (used when subarrays are read as plain
+// memory, and during the weight-update read path of Section 4.4.2).
+func NewActivationUnit(lut *LUT) *ActivationUnit { return &ActivationUnit{lut: lut} }
+
+// Subtract is the subtractor stage: D_P − D_N.
+func (a *ActivationUnit) Subtract(dp, dn float64) float64 { return dp - dn }
+
+// Activate applies the configured LUT (or identity when bypassed).
+func (a *ActivationUnit) Activate(x float64) float64 {
+	if a.lut == nil {
+		return x
+	}
+	return a.lut.Lookup(x)
+}
+
+// Process runs the full path: subtract, activate, and update the max
+// register. It returns the activated value.
+func (a *ActivationUnit) Process(dp, dn float64) float64 {
+	v := a.Activate(a.Subtract(dp, dn))
+	if !a.maxSet || v > a.maxReg {
+		a.maxReg = v
+		a.maxSet = true
+	}
+	return v
+}
+
+// MaxAndReset returns the running maximum (for max pooling) and clears the
+// register for the next window.
+func (a *ActivationUnit) MaxAndReset() float64 {
+	v := a.maxReg
+	a.maxReg = 0
+	a.maxSet = false
+	return v
+}
+
+// LUT is a sampled look-up table over a bounded input domain, the hardware
+// realization of the activation function. Inputs outside [Lo, Hi] clamp to
+// the boundary entries.
+type LUT struct {
+	Lo, Hi    float64
+	entries   []float64
+	exactReLU bool
+}
+
+// NewLUT samples f at n uniformly spaced points on [lo, hi].
+func NewLUT(f func(float64) float64, lo, hi float64, n int) *LUT {
+	if n < 2 {
+		panic(fmt.Sprintf("reram: LUT needs at least 2 entries, got %d", n))
+	}
+	if hi <= lo {
+		panic("reram: LUT requires hi > lo")
+	}
+	l := &LUT{Lo: lo, Hi: hi, entries: make([]float64, n)}
+	for i := range l.entries {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		l.entries[i] = f(x)
+	}
+	return l
+}
+
+// Lookup returns the nearest-entry approximation of the sampled function.
+// The rectifier (ReLULUT) is exact: hardware realizes it as a sign check.
+func (l *LUT) Lookup(x float64) float64 {
+	if v, ok := l.lookupExact(x); ok {
+		return v
+	}
+	if x <= l.Lo {
+		return l.entries[0]
+	}
+	if x >= l.Hi {
+		return l.entries[len(l.entries)-1]
+	}
+	i := int(math.Round((x - l.Lo) / (l.Hi - l.Lo) * float64(len(l.entries)-1)))
+	return l.entries[i]
+}
+
+// Size returns the number of LUT entries.
+func (l *LUT) Size() int { return len(l.entries) }
+
+// ReLULUT builds the rectifier LUT used by default in PipeLayer. Because
+// ReLU is piecewise linear, the LUT realizes it exactly on its grid; the
+// implementation special-cases it to be exact everywhere.
+func ReLULUT() *LUT {
+	// ReLU is exact: represent it with a two-entry marker LUT and handle it
+	// in Lookup via the exactReLU flag.
+	l := NewLUT(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	}, -1, 1, 2)
+	l.exactReLU = true
+	return l
+}
+
+// exactReLU marks the hardware rectifier, which is exact (a sign check)
+// rather than table-sampled.
+func (l *LUT) lookupExact(x float64) (float64, bool) {
+	if l.exactReLU {
+		if x > 0 {
+			return x, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// SigmoidLUT builds a sampled sigmoid over [-8, 8] with n entries.
+func SigmoidLUT(n int) *LUT {
+	return NewLUT(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }, -8, 8, n)
+}

@@ -1,0 +1,103 @@
+package reram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Iterative program-and-verify: real ReRAM cells cannot be set to a target
+// conductance in one pulse — the spike driver (doubling as write driver,
+// Section 4.2.1) applies a pulse, the readout path verifies, and the loop
+// repeats until the conductance lands within tolerance. The pulse count
+// feeds the energy model (each pulse costs one write-spike energy).
+
+// ProgramVerifyResult summarizes one program-and-verify operation.
+type ProgramVerifyResult struct {
+	// Pulses is the number of write pulses applied.
+	Pulses int
+	// FinalError is the remaining |conductance − target| in level units.
+	FinalError float64
+	// Converged reports whether the tolerance was met within the budget.
+	Converged bool
+}
+
+// ProgramVerify programs the cell to the target code using the iterative
+// write-verify loop: each pulse moves the conductance toward the target
+// with multiplicative noise of the given relative sigma; the loop stops
+// when the error is within tolerance (in level units) or maxPulses is
+// exhausted. rng may be nil when sigma is 0 (then one pulse suffices).
+func (c *Cell) ProgramVerify(code uint8, tolerance float64, maxPulses int, sigma float64, rng *rand.Rand) ProgramVerifyResult {
+	if code > MaxCellCode {
+		panic(fmt.Sprintf("reram: cell code %d exceeds %d", code, MaxCellCode))
+	}
+	if tolerance <= 0 || maxPulses <= 0 {
+		panic("reram: ProgramVerify needs positive tolerance and pulse budget")
+	}
+	if sigma > 0 && rng == nil {
+		panic("reram: ProgramVerify with noise requires rng")
+	}
+	target := float64(code)
+	res := ProgramVerifyResult{}
+	for res.Pulses < maxPulses {
+		res.Pulses++
+		// One pulse moves the conductance most of the way to the target,
+		// with per-pulse multiplicative noise (SET/RESET asymmetry and
+		// cycle-to-cycle variation folded into one sigma).
+		step := target - c.conductance
+		noise := 0.0
+		if sigma > 0 {
+			noise = sigma * target * rng.NormFloat64()
+		}
+		c.conductance += step + noise
+		if c.conductance < 0 {
+			c.conductance = 0
+		}
+		res.FinalError = math.Abs(c.conductance - target)
+		if res.FinalError <= tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	c.code = code
+	return res
+}
+
+// ProgramVerifyCodes programs a whole crossbar with the verify loop and
+// returns the total pulse count (for write-energy accounting) and the
+// number of cells that failed to converge within the budget.
+func (x *Crossbar) ProgramVerifyCodes(codes []uint8, tolerance float64, maxPulses int, sigma float64, rng *rand.Rand) (pulses, failures int) {
+	if len(codes) != x.Rows*x.Cols {
+		panic(fmt.Sprintf("reram: ProgramVerifyCodes got %d codes for %dx%d array", len(codes), x.Rows, x.Cols))
+	}
+	for i, code := range codes {
+		res := x.cells[i].ProgramVerify(code, tolerance, maxPulses, sigma, rng)
+		pulses += res.Pulses
+		if !res.Converged {
+			failures++
+		}
+	}
+	x.stats.CellWrites += pulses
+	return pulses, failures
+}
+
+// ExpectedPulses estimates the mean pulses per cell for a given noise level
+// and tolerance by Monte-Carlo over all 16 codes — the constant a deployment
+// would fold into its write-energy budget.
+func ExpectedPulses(tolerance float64, maxPulses int, sigma float64, trials int, seed int64) float64 {
+	if trials <= 0 {
+		panic("reram: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	n := 0
+	for t := 0; t < trials; t++ {
+		for code := 0; code <= MaxCellCode; code++ {
+			var c Cell
+			res := c.ProgramVerify(uint8(code), tolerance, maxPulses, sigma, rng)
+			total += res.Pulses
+			n++
+		}
+	}
+	return float64(total) / float64(n)
+}

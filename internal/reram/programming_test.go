@@ -1,0 +1,94 @@
+package reram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProgramVerifyIdealOnePulse(t *testing.T) {
+	var c Cell
+	res := c.ProgramVerify(9, 0.1, 10, 0, nil)
+	if res.Pulses != 1 || !res.Converged {
+		t.Fatalf("ideal device should converge in one pulse: %+v", res)
+	}
+	if c.Code() != 9 || c.Conductance() != 9 {
+		t.Fatalf("cell state: code=%d g=%g", c.Code(), c.Conductance())
+	}
+}
+
+func TestProgramVerifyNoisyConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c Cell
+	res := c.ProgramVerify(15, 0.25, 100, 0.05, rng)
+	if !res.Converged {
+		t.Fatalf("noisy programming did not converge: %+v", res)
+	}
+	if res.FinalError > 0.25 {
+		t.Fatalf("final error %g above tolerance", res.FinalError)
+	}
+}
+
+func TestProgramVerifyMorePulsesWithNoise(t *testing.T) {
+	// Mean pulses must grow with noise and shrink with looser tolerance.
+	tight := ExpectedPulses(0.05, 200, 0.08, 30, 2)
+	loose := ExpectedPulses(0.5, 200, 0.08, 30, 2)
+	ideal := ExpectedPulses(0.05, 200, 0, 1, 2)
+	if ideal != 1 {
+		t.Fatalf("ideal expected pulses = %g, want 1", ideal)
+	}
+	if tight <= loose {
+		t.Fatalf("tight tolerance (%g pulses) should need more than loose (%g)", tight, loose)
+	}
+	if tight <= 1 {
+		t.Fatalf("noisy tight programming should need > 1 pulse, got %g", tight)
+	}
+}
+
+func TestProgramVerifyBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var c Cell
+	// Impossible tolerance with heavy noise and tiny budget.
+	res := c.ProgramVerify(15, 1e-9, 3, 0.3, rng)
+	if res.Converged {
+		t.Fatal("should not converge under these conditions")
+	}
+	if res.Pulses != 3 {
+		t.Fatalf("pulses = %d, want budget 3", res.Pulses)
+	}
+}
+
+func TestProgramVerifyCodesAccounting(t *testing.T) {
+	x := NewCrossbar(2, 2)
+	pulses, failures := x.ProgramVerifyCodes([]uint8{1, 5, 9, 15}, 0.1, 10, 0, nil)
+	if pulses != 4 || failures != 0 {
+		t.Fatalf("ideal array: pulses=%d failures=%d", pulses, failures)
+	}
+	if x.Stats().CellWrites != 4 {
+		t.Fatalf("stats writes = %d", x.Stats().CellWrites)
+	}
+	// Programmed values must be exact for ideal devices.
+	out := x.MatVecSpike([]uint64{1, 1}, 1)
+	if out[0] != 1+9 || out[1] != 5+15 {
+		t.Fatalf("post-program readout = %v", out)
+	}
+}
+
+func TestProgramVerifyValidation(t *testing.T) {
+	var c Cell
+	for _, fn := range []func(){
+		func() { c.ProgramVerify(16, 0.1, 10, 0, nil) },
+		func() { c.ProgramVerify(3, 0, 10, 0, nil) },
+		func() { c.ProgramVerify(3, 0.1, 0, 0, nil) },
+		func() { c.ProgramVerify(3, 0.1, 10, 0.1, nil) }, // noise without rng
+		func() { ExpectedPulses(0.1, 10, 0, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,139 @@
+package reram
+
+import (
+	"fmt"
+
+	"pipelayer/internal/tensor"
+)
+
+// Mode distinguishes the two configurations of a morphable subarray
+// (Section 3): computation (analog matrix–vector multiplication) and memory
+// (conventional data storage).
+type Mode int
+
+const (
+	// ModeCompute configures the subarray for in-situ computation.
+	ModeCompute Mode = iota
+	// ModeMemory configures the subarray as conventional storage.
+	ModeMemory
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCompute:
+		return "compute"
+	case ModeMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Morphable is a morphable subarray: it can be configured either as a
+// compute array (holding weights and performing multiplications) or as plain
+// memory. PipeLayer morphs storage arrays into compute arrays during
+// training (Section 6.6) to compute partial derivatives from buffered d
+// values.
+type Morphable struct {
+	mode  Mode
+	array *ResolutionArray
+	store *tensor.Tensor
+}
+
+// NewMorphable creates a subarray in memory mode.
+func NewMorphable() *Morphable { return &Morphable{mode: ModeMemory} }
+
+// Mode returns the current configuration.
+func (m *Morphable) Mode() Mode { return m.mode }
+
+// ConfigureCompute morphs the subarray into compute mode with the given
+// programmed array. Any stored memory contents are released.
+func (m *Morphable) ConfigureCompute(array *ResolutionArray) {
+	if array == nil {
+		panic("reram: ConfigureCompute requires an array")
+	}
+	m.mode = ModeCompute
+	m.array = array
+	m.store = nil
+}
+
+// ConfigureMemory morphs the subarray into memory mode.
+func (m *Morphable) ConfigureMemory() {
+	m.mode = ModeMemory
+	m.array = nil
+}
+
+// Array returns the compute array; it panics in memory mode.
+func (m *Morphable) Array() *ResolutionArray {
+	if m.mode != ModeCompute {
+		panic("reram: subarray is not in compute mode")
+	}
+	return m.array
+}
+
+// Store writes a tensor into the subarray; it panics in compute mode.
+func (m *Morphable) Store(t *tensor.Tensor) {
+	if m.mode != ModeMemory {
+		panic("reram: cannot store into a compute-mode subarray")
+	}
+	m.store = t.Clone()
+}
+
+// Load reads back the stored tensor (nil if nothing stored).
+func (m *Morphable) Load() *tensor.Tensor {
+	if m.mode != ModeMemory {
+		panic("reram: cannot load from a compute-mode subarray")
+	}
+	if m.store == nil {
+		return nil
+	}
+	return m.store.Clone()
+}
+
+// MemoryBank is a set of memory subarrays addressed by name — the circles of
+// the paper's Figure 3 that hold intermediate d and δ values between layers.
+type MemoryBank struct {
+	slots map[string]*tensor.Tensor
+	// Writes and Reads count accesses for the energy model.
+	Writes, Reads int
+}
+
+// NewMemoryBank creates an empty bank.
+func NewMemoryBank() *MemoryBank {
+	return &MemoryBank{slots: make(map[string]*tensor.Tensor)}
+}
+
+// Write stores a copy of t under key.
+func (b *MemoryBank) Write(key string, t *tensor.Tensor) {
+	b.slots[key] = t.Clone()
+	b.Writes++
+}
+
+// Read returns a copy of the tensor under key, or an error if absent.
+func (b *MemoryBank) Read(key string) (*tensor.Tensor, error) {
+	t, ok := b.slots[key]
+	if !ok {
+		return nil, fmt.Errorf("reram: memory bank has no entry %q", key)
+	}
+	b.Reads++
+	return t.Clone(), nil
+}
+
+// MustRead is Read that panics on a missing key (programming error).
+func (b *MemoryBank) MustRead(key string) *tensor.Tensor {
+	t, err := b.Read(key)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Has reports whether key is present.
+func (b *MemoryBank) Has(key string) bool {
+	_, ok := b.slots[key]
+	return ok
+}
+
+// Len returns the number of stored entries.
+func (b *MemoryBank) Len() int { return len(b.slots) }

@@ -1,0 +1,68 @@
+package spike
+
+import "fmt"
+
+// Unary (rate) coding — the alternative PipeLayer's weighted scheme is
+// implicitly compared against: an N-bit value v is sent as v equal-weight
+// spikes over 2^N − 1 time slots. It needs no per-slot reference voltages
+// but exponentially more slots, which is why the weighted LSBF scheme wins
+// (N slots for the same resolution). Exposed for the coding ablation.
+
+// RateEncode converts an unsigned code into a unary spike train: code
+// spikes in the first code slots of a 2^bits − 1 slot window.
+func RateEncode(code uint64, bits int) Train {
+	if bits <= 0 || bits > 20 {
+		panic(fmt.Sprintf("spike: rate-coding bits %d out of range (1..20)", bits))
+	}
+	slots := uint64(1)<<uint(bits) - 1
+	if code > slots {
+		panic(fmt.Sprintf("spike: code %d does not fit in %d unary slots", code, slots))
+	}
+	t := Train{Bits: bits, Slots: make([]bool, slots)}
+	for k := uint64(0); k < code; k++ {
+		t.Slots[k] = true
+	}
+	return t
+}
+
+// RateDecode counts the spikes of a unary train back into the code.
+func RateDecode(t Train) uint64 {
+	return uint64(CountSpikes(t))
+}
+
+// DotProductUnary runs the unary-coded dot product: every slot's spikes
+// carry unit weight, so the integrated charge is Σ code_i·g_i directly.
+// Returns the output count and input spikes consumed (for the energy
+// comparison: unary needs ≈ value spikes per input versus ≤ bits for the
+// weighted scheme).
+func DotProductUnary(trains []Train, conductance []float64, f *IntegrateFire) (count, inputSpikes int) {
+	if len(trains) != len(conductance) {
+		panic(fmt.Sprintf("spike: %d trains vs %d conductances", len(trains), len(conductance)))
+	}
+	slots := 0
+	for _, t := range trains {
+		if len(t.Slots) > slots {
+			slots = len(t.Slots)
+		}
+	}
+	for k := 0; k < slots; k++ {
+		slotCurrent := 0.0
+		for i, t := range trains {
+			if k < len(t.Slots) && t.Slots[k] {
+				slotCurrent += conductance[i]
+				inputSpikes++
+			}
+		}
+		f.Inject(slotCurrent)
+	}
+	return f.Count(), inputSpikes
+}
+
+// RateSlots returns the slot count unary coding needs for a bit width —
+// 2^bits − 1, versus the weighted scheme's `bits`.
+func RateSlots(bits int) int {
+	if bits <= 0 || bits > 62 {
+		panic("spike: bits out of range")
+	}
+	return 1<<uint(bits) - 1
+}

@@ -1,0 +1,97 @@
+package spike
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		code := uint64(raw) % 256
+		return RateDecode(RateEncode(code, 8)) == code
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateEncodeSlotCount(t *testing.T) {
+	tr := RateEncode(5, 4)
+	if len(tr.Slots) != 15 {
+		t.Fatalf("unary 4-bit train has %d slots, want 15", len(tr.Slots))
+	}
+	if CountSpikes(tr) != 5 {
+		t.Fatalf("spikes = %d, want 5 (the value itself)", CountSpikes(tr))
+	}
+}
+
+func TestRateEncodeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RateEncode(16, 4)
+}
+
+// Property: the unary dot product computes the same exact integer result as
+// the weighted scheme — the ablation is purely about slot/spike cost.
+func TestPropertyUnaryMatchesWeighted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		bits := 1 + rng.Intn(6)
+		codes := make([]uint64, n)
+		cond := make([]float64, n)
+		for i := range codes {
+			codes[i] = uint64(rng.Intn(1 << uint(bits)))
+			cond[i] = float64(rng.Intn(16))
+		}
+		unary := make([]Train, n)
+		weighted := make([]Train, n)
+		for i, c := range codes {
+			unary[i] = RateEncode(c, bits)
+			weighted[i] = Encode(c, bits)
+		}
+		a, _ := DotProductUnary(unary, cond, NewIntegrateFire(1))
+		b, _ := DotProduct(weighted, cond, NewIntegrateFire(1))
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnaryCostsMoreSpikes(t *testing.T) {
+	// For the worst-case value (all ones), weighted needs `bits` spikes and
+	// unary needs 2^bits − 1.
+	bits := 8
+	v := uint64(255)
+	w := CountSpikes(Encode(v, bits))
+	u := CountSpikes(RateEncode(v, bits))
+	if w != 8 || u != 255 {
+		t.Fatalf("spike counts: weighted %d (want 8), unary %d (want 255)", w, u)
+	}
+	if RateSlots(bits) != 255 {
+		t.Fatalf("RateSlots(8) = %d", RateSlots(bits))
+	}
+}
+
+func TestDotProductUnaryLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DotProductUnary([]Train{RateEncode(1, 2)}, []float64{1, 2}, NewIntegrateFire(1))
+}
+
+func TestRateSlotsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RateSlots(0)
+}

@@ -1,0 +1,186 @@
+// Package spike implements PipeLayer's spike-based data input and output
+// scheme (paper Section 4.2): the weighted spike coding of the spike driver
+// (N time slots per N-bit value, Least-Significant-Bit-First, non-decreasing
+// reference voltages V0/2^N … V0/2), and the Integration-and-Fire circuit
+// that converts the accumulated bit-line current into a digital spike count,
+// eliminating both DACs (input side) and ADCs (output side).
+package spike
+
+import (
+	"fmt"
+	"math"
+)
+
+// Train is the spike train for one input value: Slots[k] is true when a
+// spike is emitted in time slot k. Slot 0 is the least significant (lowest
+// reference voltage) slot, per the paper's LSBF ordering.
+type Train struct {
+	Bits  int
+	Slots []bool
+}
+
+// Encode converts an unsigned integer code into its weighted spike train.
+// code must fit in bits.
+func Encode(code uint64, bits int) Train {
+	if bits <= 0 || bits > 63 {
+		panic(fmt.Sprintf("spike: bits %d out of range", bits))
+	}
+	if code >= 1<<uint(bits) {
+		panic(fmt.Sprintf("spike: code %d does not fit in %d bits", code, bits))
+	}
+	t := Train{Bits: bits, Slots: make([]bool, bits)}
+	for k := 0; k < bits; k++ {
+		t.Slots[k] = code&(1<<uint(k)) != 0
+	}
+	return t
+}
+
+// Decode reconstructs the integer code from a spike train.
+func Decode(t Train) uint64 {
+	var code uint64
+	for k, s := range t.Slots {
+		if s {
+			code |= 1 << uint(k)
+		}
+	}
+	return code
+}
+
+// SlotWeight returns the relative weight of a spike in slot k (2^k). The
+// physical reference voltage is V0·2^k/2^bits; the normalization constant
+// cancels in the Integration-and-Fire threshold, so relative weights are
+// used throughout the functional model.
+func SlotWeight(k int) float64 { return float64(uint64(1) << uint(k)) }
+
+// CountSpikes returns the number of spikes (1-bits) in the train — the
+// quantity the energy model charges per-spike read energy for.
+func CountSpikes(t Train) int {
+	n := 0
+	for _, s := range t.Slots {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// EncodeVector encodes every element of a code vector.
+func EncodeVector(codes []uint64, bits int) []Train {
+	out := make([]Train, len(codes))
+	for i, c := range codes {
+		out[i] = Encode(c, bits)
+	}
+	return out
+}
+
+// TotalSpikes counts spikes across a whole encoded vector.
+func TotalSpikes(trains []Train) int {
+	n := 0
+	for _, t := range trains {
+		n += CountSpikes(t)
+	}
+	return n
+}
+
+// IntegrateFire models the Integration-and-Fire circuit of Figure 9(b): a
+// controlled current source mirrors the bit-line current onto a capacitor;
+// every time the capacitor voltage crosses the comparator threshold a spike
+// is emitted (and counted) and the capacitor resets. A K-times stronger
+// charge yields K-times more output spikes, so the final count is the
+// integer part of the accumulated charge divided by the threshold quantum.
+type IntegrateFire struct {
+	// Threshold is the charge quantum per output spike. With relative slot
+	// weights and integer conductance codes, Threshold = 1 makes the count
+	// exactly equal the integer dot product.
+	Threshold float64
+	charge    float64
+	count     int
+}
+
+// NewIntegrateFire creates an IF unit with the given threshold (> 0).
+func NewIntegrateFire(threshold float64) *IntegrateFire {
+	if threshold <= 0 {
+		panic("spike: IntegrateFire threshold must be positive")
+	}
+	return &IntegrateFire{Threshold: threshold}
+}
+
+// Inject accumulates charge q (current × slot duration) and fires as many
+// spikes as full thresholds have been crossed, returning the number fired.
+func (f *IntegrateFire) Inject(q float64) int {
+	if q < 0 {
+		panic("spike: negative charge injected (currents are magnitudes; signs are handled by the positive/negative array pair)")
+	}
+	f.charge += q
+	fired := 0
+	for f.charge >= f.Threshold-1e-12 {
+		f.charge -= f.Threshold
+		fired++
+	}
+	f.count += fired
+	return fired
+}
+
+// Count returns the total output spike count so far (the counter register).
+func (f *IntegrateFire) Count() int { return f.count }
+
+// Residual returns the sub-threshold charge remaining on the capacitor.
+func (f *IntegrateFire) Residual() float64 { return f.charge }
+
+// Reset clears the capacitor and the counter for the next logical cycle.
+func (f *IntegrateFire) Reset() {
+	f.charge = 0
+	f.count = 0
+}
+
+// DotProduct runs the full spike-domain dot-product of one bit line: for
+// every time slot, every input whose train has a spike in that slot drives a
+// current proportional to SlotWeight(slot)×conductance into the IF unit.
+// With integer conductances and Threshold 1 the result equals the exact
+// integer dot product Σ codes[i]·conductance[i].
+//
+// It returns the output spike count and the total number of input spikes
+// consumed (for energy accounting).
+func DotProduct(trains []Train, conductance []float64, f *IntegrateFire) (count, inputSpikes int) {
+	if len(trains) != len(conductance) {
+		panic(fmt.Sprintf("spike: %d trains vs %d conductances", len(trains), len(conductance)))
+	}
+	bits := 0
+	for _, t := range trains {
+		if t.Bits > bits {
+			bits = t.Bits
+		}
+	}
+	for k := 0; k < bits; k++ {
+		w := SlotWeight(k)
+		slotCurrent := 0.0
+		for i, t := range trains {
+			if k < len(t.Slots) && t.Slots[k] {
+				slotCurrent += conductance[i]
+				inputSpikes++
+			}
+		}
+		f.Inject(w * slotCurrent)
+	}
+	return f.Count(), inputSpikes
+}
+
+// UpdateAverageCode returns the input code that realizes the paper's
+// batch-averaging trick (Section 4.4.2): during weight update the input
+// spikes represent 1/B so that the bit-line current accumulation yields the
+// averaged partial derivative. The value 1/B is quantized to `bits` bits of
+// fraction; the returned code is round(2^bits / B), clamped to at least 1.
+func UpdateAverageCode(batch, bits int) uint64 {
+	if batch <= 0 {
+		panic("spike: batch must be positive")
+	}
+	c := uint64(math.Round(float64(uint64(1)<<uint(bits)) / float64(batch)))
+	if c == 0 {
+		c = 1
+	}
+	max := uint64(1)<<uint(bits) - 1
+	if c > max {
+		c = max
+	}
+	return c
+}

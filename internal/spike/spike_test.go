@@ -1,0 +1,200 @@
+package spike
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		code := uint64(raw)
+		return Decode(Encode(code, 16)) == code
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeLSBF(t *testing.T) {
+	// 0b0110 = 6: slot0 (LSB) empty, slots 1 and 2 spike, slot 3 empty.
+	tr := Encode(6, 4)
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if tr.Slots[i] != w {
+			t.Fatalf("slot %d = %v, want %v", i, tr.Slots[i], w)
+		}
+	}
+}
+
+func TestEncodeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(16, 4)
+}
+
+func TestSlotWeightNondecreasing(t *testing.T) {
+	// The paper: "the voltage of output spike increases as time slot
+	// progresses" — LSBF means weight 2^k grows with k.
+	for k := 1; k < 16; k++ {
+		if SlotWeight(k) <= SlotWeight(k-1) {
+			t.Fatalf("slot weight not increasing at %d", k)
+		}
+		if SlotWeight(k) != 2*SlotWeight(k-1) {
+			t.Fatalf("slot weight not doubling at %d", k)
+		}
+	}
+}
+
+func TestCountSpikesIsPopcount(t *testing.T) {
+	f := func(raw uint16) bool {
+		pop := 0
+		for v := raw; v != 0; v &= v - 1 {
+			pop++
+		}
+		return CountSpikes(Encode(uint64(raw), 16)) == pop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrateFireExactQuanta(t *testing.T) {
+	f := NewIntegrateFire(1)
+	if fired := f.Inject(3); fired != 3 {
+		t.Fatalf("Inject(3) fired %d", fired)
+	}
+	if fired := f.Inject(0.5); fired != 0 {
+		t.Fatalf("Inject(0.5) fired %d", fired)
+	}
+	if fired := f.Inject(0.5); fired != 1 {
+		t.Fatalf("second Inject(0.5) fired %d, residual should have accumulated", fired)
+	}
+	if f.Count() != 4 {
+		t.Fatalf("total count = %d, want 4", f.Count())
+	}
+}
+
+func TestIntegrateFireKTimesCurrent(t *testing.T) {
+	// "a K times stronger current will make the comparator generate K times
+	// of output spikes" (Section 4.2.2).
+	a := NewIntegrateFire(1)
+	a.Inject(7)
+	b := NewIntegrateFire(1)
+	b.Inject(7 * 5)
+	if b.Count() != 5*a.Count() {
+		t.Fatalf("K-times property violated: %d vs %d", b.Count(), a.Count())
+	}
+}
+
+func TestIntegrateFireReset(t *testing.T) {
+	f := NewIntegrateFire(1)
+	f.Inject(2.7)
+	f.Reset()
+	if f.Count() != 0 || f.Residual() != 0 {
+		t.Fatal("Reset must clear count and residual")
+	}
+}
+
+func TestIntegrateFireNegativePanics(t *testing.T) {
+	f := NewIntegrateFire(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Inject(-1)
+}
+
+func TestIntegrateFireBadThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIntegrateFire(0)
+}
+
+func TestDotProductExact(t *testing.T) {
+	// Integer dot product must be exact with threshold 1.
+	codes := []uint64{3, 0, 7, 12}
+	cond := []float64{2, 5, 1, 3}
+	want := 3*2 + 0*5 + 7*1 + 12*3
+	trains := EncodeVector(codes, 4)
+	count, _ := DotProduct(trains, cond, NewIntegrateFire(1))
+	if count != want {
+		t.Fatalf("DotProduct = %d, want %d", count, want)
+	}
+}
+
+// Property: spike-domain dot product equals the arithmetic dot product for
+// random integer inputs and conductances.
+func TestPropertyDotProductMatchesArithmetic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		bits := 1 + rng.Intn(8)
+		codes := make([]uint64, n)
+		cond := make([]float64, n)
+		want := 0
+		for i := range codes {
+			codes[i] = uint64(rng.Intn(1 << uint(bits)))
+			c := rng.Intn(16) // 4-bit conductance codes
+			cond[i] = float64(c)
+			want += int(codes[i]) * c
+		}
+		got, _ := DotProduct(EncodeVector(codes, bits), cond, NewIntegrateFire(1))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotProductInputSpikeCount(t *testing.T) {
+	codes := []uint64{0b101, 0b011}
+	trains := EncodeVector(codes, 3)
+	_, spikes := DotProduct(trains, []float64{1, 1}, NewIntegrateFire(1))
+	if spikes != 4 {
+		t.Fatalf("input spikes = %d, want 4", spikes)
+	}
+}
+
+func TestDotProductLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DotProduct(EncodeVector([]uint64{1}, 2), []float64{1, 2}, NewIntegrateFire(1))
+}
+
+func TestUpdateAverageCode(t *testing.T) {
+	// With 16 fraction bits, 1/B should be represented to within one LSB.
+	for _, b := range []int{1, 2, 4, 8, 64, 100} {
+		code := UpdateAverageCode(b, 16)
+		got := float64(code) / 65536.0
+		want := 1.0 / float64(b)
+		if diff := got - want; diff > 1.0/65536 || diff < -1.0/65536 {
+			t.Fatalf("B=%d: code %d encodes %g, want %g", b, code, got, want)
+		}
+	}
+}
+
+func TestUpdateAverageCodeNeverZero(t *testing.T) {
+	if UpdateAverageCode(1<<20, 8) == 0 {
+		t.Fatal("average code must be clamped to ≥ 1")
+	}
+}
+
+func TestUpdateAverageCodeBadBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UpdateAverageCode(0, 8)
+}

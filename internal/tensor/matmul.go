@@ -1,0 +1,146 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes the matrix product C = A·B for rank-2 tensors.
+// A is (m×k), B is (k×n); the result is (m×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v vs %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	matmulInto(c.data, a.data, b.data, m, k, n)
+	return c
+}
+
+// matmulInto computes dst = A·B with the ikj loop ordering, which keeps the
+// inner loop streaming over contiguous rows of B and dst.
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatVec computes y = A·x for a rank-2 A (m×k) and rank-1 x (k).
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: MatVec requires (matrix, vector), got %v and %v", a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec dims differ: %v vs %v", a.shape, x.shape))
+	}
+	y := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		y.data[i] = s
+	}
+	return y
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k×m) and B is (k×n).
+// Useful for weight-gradient computation without materializing Aᵀ.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: %v vs %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is (m×k) and B is (n×k).
+// Useful for error backpropagation δ_{l-1} = Wᵀ δ_l expressed row-wise.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v vs %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// Transpose returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires rank-2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t
+}
+
+// Outer computes the outer product x·yᵀ of two vectors as an (len(x)×len(y))
+// matrix. It is the shape of the inner-product weight gradient ∂J/∂W = d δᵀ.
+func Outer(x, y *Tensor) *Tensor {
+	if x.Rank() != 1 || y.Rank() != 1 {
+		panic("tensor: Outer requires rank-1 operands")
+	}
+	m, n := x.shape[0], y.shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		xv := x.data[i]
+		row := c.data[i*n : (i+1)*n]
+		for j, yv := range y.data {
+			row[j] = xv * yv
+		}
+	}
+	return c
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !Equal(c, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(5, 5).RandNormal(rng, 0, 1)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	if !Equal(MatMul(a, id), a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !Equal(MatMul(id, a), a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float64{1, 0, -1}, 3)
+	y := MatVec(a, x)
+	if y.At(0) != -2 || y.At(1) != -2 {
+		t.Fatalf("MatVec = %v", y.Data())
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(3, 7).RandNormal(rng, 0, 1)
+	if !Equal(Transpose(Transpose(a)), a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMatMulTransAMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(4, 3).RandNormal(rng, 0, 1)
+	b := New(4, 5).RandNormal(rng, 0, 1)
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	if !Equal(got, want, 1e-10) {
+		t.Fatal("MatMulTransA mismatch vs explicit transpose")
+	}
+}
+
+func TestMatMulTransBMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := New(4, 3).RandNormal(rng, 0, 1)
+	b := New(5, 3).RandNormal(rng, 0, 1)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose(b))
+	if !Equal(got, want, 1e-10) {
+		t.Fatal("MatMulTransB mismatch vs explicit transpose")
+	}
+}
+
+func TestOuter(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := FromSlice([]float64{3, 4, 5}, 3)
+	c := Outer(x, y)
+	want := FromSlice([]float64{3, 4, 5, 6, 8, 10}, 2, 3)
+	if !Equal(c, want, 0) {
+		t.Fatalf("Outer = %v", c)
+	}
+}
+
+// Property: matmul distributes over addition, A(B+C) == AB + AC.
+func TestPropertyMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(m, k).RandNormal(rng, 0, 1)
+		b := New(k, n).RandNormal(rng, 0, 1)
+		c := New(k, n).RandNormal(rng, 0, 1)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		return Equal(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ.
+func TestPropertyMatMulTransposeRule(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := New(m, k).RandNormal(rng, 0, 1)
+		b := New(k, n).RandNormal(rng, 0, 1)
+		lhs := Transpose(MatMul(a, b))
+		rhs := MatMul(Transpose(b), Transpose(a))
+		return Equal(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatVec agrees with MatMul against a column matrix.
+func TestPropertyMatVecConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := New(m, k).RandNormal(rng, 0, 1)
+		x := New(k).RandNormal(rng, 0, 1)
+		y := MatVec(a, x)
+		y2 := MatMul(a, x.Reshape(k, 1)).Reshape(m)
+		return Equal(y, y2, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOuterIsGradientShape(t *testing.T) {
+	// ∂J/∂W for y = W d with J = δᵀy has dW[i][j] = δ[i]*d[j]; Outer(δ, d)
+	// must match a finite-difference probe on one coordinate.
+	d := FromSlice([]float64{0.5, -1.5, 2}, 3)
+	delta := FromSlice([]float64{1, -2}, 2)
+	g := Outer(delta, d)
+	if math.Abs(g.At(1, 2)-(-2*2)) > 1e-12 {
+		t.Fatalf("Outer gradient wrong: %g", g.At(1, 2))
+	}
+}

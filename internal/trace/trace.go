@@ -1,0 +1,93 @@
+// Package trace renders the PipeLayer training schedule as an ASCII Gantt
+// chart — the paper's Figure 6 visualization, generated from the same
+// per-image cycle offsets the pipeline simulator validates. Each row is one
+// hardware unit (forward arrays A_l, the output-error unit ErrL, error
+// arrays A_lE, derivative arrays A_lD and the update unit); each column is
+// one logical cycle; the glyph is the image index occupying the unit.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the pipelined training schedule of L weighted layers for
+// the first `cycles` logical cycles of a run with batch size B. Image
+// indices print modulo 10 so the chart stays aligned.
+func Gantt(L, B, cycles int) string {
+	if L <= 0 || B <= 0 || cycles <= 0 {
+		panic("trace: L, B and cycles must be positive")
+	}
+	type unit struct {
+		name string
+		row  []byte
+	}
+	var units []unit
+	mk := func(name string) *unit {
+		units = append(units, unit{name: name, row: bytes(cycles)})
+		return &units[len(units)-1]
+	}
+	forward := make([]*unit, L+1)
+	for l := 1; l <= L; l++ {
+		forward[l] = mk(fmt.Sprintf("A%d", l))
+	}
+	errL := mk("ErrL")
+	errU := make([]*unit, L+1)
+	for l := L; l >= 2; l-- {
+		errU[l] = mk(fmt.Sprintf("A%dE", l))
+	}
+	derivU := make([]*unit, L+1)
+	for l := L; l >= 1; l-- {
+		derivU[l] = mk(fmt.Sprintf("A%dD", l))
+	}
+	update := mk("Upd")
+
+	put := func(u *unit, cycle, img int) {
+		if cycle >= 1 && cycle <= cycles {
+			u.row[cycle-1] = byte('0' + img%10)
+		}
+	}
+
+	period := 2*L + B + 1
+	for img := 0; ; img++ {
+		b, i := img/B, img%B
+		e := b*period + i + 1
+		if e > cycles {
+			break
+		}
+		for l := 1; l <= L; l++ {
+			put(forward[l], e+l-1, img)
+		}
+		put(errL, e+L, img)
+		for l := L - 1; l >= 1; l-- {
+			put(errU[l+1], e+2*L-l, img)
+		}
+		for l := L; l >= 1; l-- {
+			put(derivU[l], e+2*L-l+1, img)
+		}
+		if (img+1)%B == 0 {
+			if c := e + 2*L + 1; c >= 1 && c <= cycles {
+				update.row[c-1] = '#'
+			}
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("      cycle ")
+	for c := 1; c <= cycles; c++ {
+		sb.WriteByte(byte('0' + c%10))
+	}
+	sb.WriteByte('\n')
+	for _, u := range units {
+		fmt.Fprintf(&sb, "%11s %s\n", u.name, string(u.row))
+	}
+	return sb.String()
+}
+
+func bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '.'
+	}
+	return b
+}

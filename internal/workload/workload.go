@@ -1,0 +1,109 @@
+// Package workload counts the arithmetic operations of each network layer —
+// the multiply/add counts of the paper's Section 2.1 (Equations 1–3) — and
+// aggregates them into per-image forward and training operation totals.
+// These feed both the GPU baseline model and the GOPS/s/mm² efficiency
+// numbers of Section 6.6.
+package workload
+
+import (
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+// Ops is a multiply/add operation count.
+type Ops struct {
+	Muls, Adds int64
+}
+
+// Total returns muls + adds (the "operations" of GOPS metrics).
+func (o Ops) Total() int64 { return o.Muls + o.Adds }
+
+// Add accumulates another count.
+func (o *Ops) Add(p Ops) {
+	o.Muls += p.Muls
+	o.Adds += p.Adds
+}
+
+// Scale returns the count multiplied by k.
+func (o Ops) Scale(k int64) Ops { return Ops{Muls: o.Muls * k, Adds: o.Adds * k} }
+
+// ForwardOps counts the forward-pass operations of one layer for one image.
+//
+//	conv (Eq. 1): X·Y·C_out multiplications and additions per kernel window
+//	pool (Eq. 2): K·K−1 additions + 1 multiplication per window (average);
+//	              max pooling is counted identically (comparisons as adds)
+//	fc  (Eq. 3): n·m multiplications, n·(m−1)+n additions (bias)
+func ForwardOps(l mapping.Layer) Ops {
+	switch l.Kind {
+	case mapping.KindConv:
+		outs := int64(l.OutH()) * int64(l.OutW()) * int64(l.OutC)
+		k := int64(l.InC) * int64(l.K) * int64(l.K)
+		return Ops{Muls: outs * k, Adds: outs * k} // k−1 sums + 1 bias add ≈ k
+	case mapping.KindPool:
+		outs := int64(l.OutH()) * int64(l.OutW()) * int64(l.OutC)
+		kk := int64(l.K) * int64(l.K)
+		return Ops{Muls: outs, Adds: outs * (kk - 1)}
+	case mapping.KindFC:
+		n, m := int64(l.FCOut), int64(l.FCIn)
+		return Ops{Muls: n * m, Adds: n*(m-1) + n}
+	default:
+		return Ops{}
+	}
+}
+
+// BackwardOps counts the backward-pass operations of one layer for one
+// image: the error propagation (δ_{l-1} = Wᵀδ_l, same cost as forward) plus
+// the gradient computation (∂W = d·δᵀ, again the same matrix volume). Layers
+// without weights only route errors.
+func BackwardOps(l mapping.Layer) Ops {
+	f := ForwardOps(l)
+	if !l.UsesArrays() {
+		return f // pooling error routing ≈ one pass over the data
+	}
+	return Ops{Muls: 2 * f.Muls, Adds: 2 * f.Adds}
+}
+
+// NetworkForwardOps sums the forward op counts over every layer.
+func NetworkForwardOps(s networks.Spec) Ops {
+	var total Ops
+	for _, l := range s.Layers {
+		total.Add(ForwardOps(l))
+	}
+	return total
+}
+
+// NetworkTrainingOps sums forward plus backward op counts per image (the
+// weight-update itself is one additional pass over the weights per batch and
+// is charged separately by the timing models).
+func NetworkTrainingOps(s networks.Spec) Ops {
+	var total Ops
+	for _, l := range s.Layers {
+		total.Add(ForwardOps(l))
+		total.Add(BackwardOps(l))
+	}
+	return total
+}
+
+// GOPs converts an op count to giga-operations.
+func GOPs(o Ops) float64 { return float64(o.Total()) / 1e9 }
+
+// WeightBytes returns the parameter footprint in bytes at the given
+// per-weight width (4 for the GPU's float32 weights).
+func WeightBytes(s networks.Spec, bytesPerWeight int) int64 {
+	return int64(s.TotalWeights()) * int64(bytesPerWeight)
+}
+
+// ActivationBytes estimates the per-image activation traffic in bytes: every
+// layer output is written once and read once at the given element width.
+func ActivationBytes(s networks.Spec, bytesPerValue int) int64 {
+	var vals int64
+	for _, l := range s.Layers {
+		switch l.Kind {
+		case mapping.KindConv, mapping.KindPool:
+			vals += int64(l.OutC) * int64(l.OutH()) * int64(l.OutW())
+		case mapping.KindFC:
+			vals += int64(l.FCOut)
+		}
+	}
+	return 2 * vals * int64(bytesPerValue)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+)
+
+func TestConvOpsMatchEquation1(t *testing.T) {
+	// Equation (1): X_{l+1}·Y_{l+1}·C_{l+1}·C_l·Kx·Ky multiplications.
+	l := mapping.Conv("c", 128, 14, 14, 256, 2, 1, 0) // 13×13 out
+	ops := ForwardOps(l)
+	wantMuls := int64(13 * 13 * 256 * 128 * 2 * 2)
+	if ops.Muls != wantMuls {
+		t.Fatalf("conv muls = %d, want %d", ops.Muls, wantMuls)
+	}
+	if ops.Adds != wantMuls {
+		t.Fatalf("conv adds = %d, want ≈ %d", ops.Adds, wantMuls)
+	}
+}
+
+func TestPoolOpsMatchEquation2(t *testing.T) {
+	// Equation (2): X·Y·C·(KxKy) additions and X·Y·C multiplications.
+	l := mapping.Pool("p", 64, 8, 8, 2)
+	ops := ForwardOps(l)
+	outs := int64(64 * 4 * 4)
+	if ops.Muls != outs {
+		t.Fatalf("pool muls = %d, want %d", ops.Muls, outs)
+	}
+	if ops.Adds != outs*3 {
+		t.Fatalf("pool adds = %d, want %d", ops.Adds, outs*3)
+	}
+}
+
+func TestFCOpsMatchEquation3(t *testing.T) {
+	// Equation (3): n·m multiplications and n·(m−1) additions (+ bias).
+	l := mapping.FC("f", 784, 100)
+	ops := ForwardOps(l)
+	if ops.Muls != 78400 {
+		t.Fatalf("fc muls = %d", ops.Muls)
+	}
+	if ops.Adds != 100*783+100 {
+		t.Fatalf("fc adds = %d", ops.Adds)
+	}
+}
+
+func TestBackwardIsTwiceForwardForWeighted(t *testing.T) {
+	l := mapping.FC("f", 100, 10)
+	f, b := ForwardOps(l), BackwardOps(l)
+	if b.Muls != 2*f.Muls || b.Adds != 2*f.Adds {
+		t.Fatal("weighted backward must be 2× forward")
+	}
+	p := mapping.Pool("p", 4, 4, 4, 2)
+	if BackwardOps(p) != ForwardOps(p) {
+		t.Fatal("pool backward equals forward (routing pass)")
+	}
+}
+
+func TestAlexNetForwardGOPs(t *testing.T) {
+	// The paper's Section 1: AlexNet performs ~10⁹ operations per image
+	// (the usual figure is ≈ 1.4 GMACs ≈ 3 GOPs with adds).
+	g := GOPs(NetworkForwardOps(networks.AlexNet()))
+	if g < 1 || g > 5 {
+		t.Fatalf("AlexNet forward = %g GOPs, expected O(10⁹) ops", g)
+	}
+}
+
+func TestVGGOrdering(t *testing.T) {
+	// Deeper VGGs perform strictly more work.
+	prev := 0.0
+	for _, v := range networks.VGGVariants {
+		g := GOPs(NetworkForwardOps(networks.VGG(v)))
+		if g < prev {
+			t.Fatalf("VGG-%s GOPs %g < previous %g", v, g, prev)
+		}
+		prev = g
+	}
+	// VGG-16 (D) forward is famously ≈ 31 GOPs (15.5 GMACs).
+	d := GOPs(NetworkForwardOps(networks.VGG("D")))
+	if d < 25 || d > 40 {
+		t.Fatalf("VGG-D forward = %g GOPs, want ≈ 31", d)
+	}
+}
+
+func TestTrainingOpsExceedForward(t *testing.T) {
+	for _, s := range networks.EvaluationNetworks() {
+		f := NetworkForwardOps(s).Total()
+		tr := NetworkTrainingOps(s).Total()
+		if tr <= 2*f {
+			t.Errorf("%s: training ops %d not > 2× forward %d", s.Name, tr, f)
+		}
+	}
+}
+
+func TestOpsHelpers(t *testing.T) {
+	o := Ops{Muls: 2, Adds: 3}
+	if o.Total() != 5 {
+		t.Fatal("Total")
+	}
+	o.Add(Ops{Muls: 1, Adds: 1})
+	if o.Muls != 3 || o.Adds != 4 {
+		t.Fatal("Add")
+	}
+	if o.Scale(2).Total() != 14 {
+		t.Fatal("Scale")
+	}
+}
+
+func TestWeightAndActivationBytes(t *testing.T) {
+	s := networks.MnistA()
+	if WeightBytes(s, 4) != int64(s.TotalWeights())*4 {
+		t.Fatal("WeightBytes")
+	}
+	// Mnist-A: outputs 100 + 10 values, ×2 (write+read) ×4 bytes.
+	if got := ActivationBytes(s, 4); got != 2*110*4 {
+		t.Fatalf("ActivationBytes = %d", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package pipelayer is a from-scratch Go reproduction of PipeLayer, the
+// pipelined ReRAM-based accelerator for deep learning of Song, Qian, Li and
+// Chen (HPCA 2017). It bundles:
+//
+//   - a CNN training/inference framework (convolution, pooling, inner
+//     product, ReLU/sigmoid, softmax/L2 losses, batch SGD) — the software
+//     substrate the paper's GPU baseline runs on;
+//   - a ReRAM device model: 4-bit cells, crossbar arrays, positive/negative
+//     pairs, four-group 16-bit resolution compensation, spike-coded input
+//     (weighted spike trains, LSBF) and Integration-and-Fire output;
+//   - the PipeLayer architecture: morphable/memory subarrays, kernel mapping
+//     with parallelism granularity G, circular inter-layer buffers, the
+//     intra-/inter-layer pipelined training schedule, and the error-backward
+//     and weight-update datapaths;
+//   - performance, energy and area models parameterized with the paper's
+//     NVSim-derived constants, an analytic GTX 1080 + Caffe baseline, and an
+//     experiment harness that regenerates every table and figure of the
+//     paper's evaluation.
+//
+// This façade re-exports the main entry points; the implementation lives
+// under internal/ (one package per subsystem — see DESIGN.md for the full
+// inventory and the per-experiment index).
+package pipelayer
+
+import (
+	"io"
+	"math/rand"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/checkpoint"
+	"pipelayer/internal/core"
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/energy"
+	"pipelayer/internal/experiments"
+	"pipelayer/internal/gpu"
+	"pipelayer/internal/isaac"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/memsys"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/pipeline"
+	"pipelayer/internal/planner"
+	"pipelayer/internal/tensor"
+	"pipelayer/internal/trace"
+	"pipelayer/internal/workload"
+)
+
+// Core data types.
+type (
+	// Tensor is the dense n-dimensional array the framework computes on.
+	Tensor = tensor.Tensor
+	// Network is a trainable CNN (layers + loss).
+	Network = nn.Network
+	// Sample is one labeled example.
+	Sample = nn.Sample
+	// Spec is a benchmark network's geometry description.
+	Spec = networks.Spec
+	// Layer is one layer's geometry (conv/pool/fc).
+	Layer = mapping.Layer
+	// Plan is a layer's crossbar mapping at a chosen granularity.
+	Plan = mapping.Plan
+	// DeviceModel is the PipeLayer timing/energy/area model.
+	DeviceModel = energy.Model
+	// GPUBaseline is the analytic GTX 1080 + Caffe model.
+	GPUBaseline = gpu.Platform
+	// Machine is the functional analog-inference machine.
+	Machine = arch.Machine
+	// PipelineConfig configures the cycle-level schedule simulation.
+	PipelineConfig = pipeline.Config
+	// PipelineResult is a simulated schedule's cycle count and buffer stats.
+	PipelineResult = pipeline.Result
+	// ExperimentSetup bundles the models the evaluation harness shares.
+	ExperimentSetup = experiments.Setup
+	// Accelerator is the integrated PipeLayer device with the Section 5.2
+	// programming interface and full analog training support.
+	Accelerator = core.Accelerator
+	// RunReport summarizes one accelerator Train/Test run.
+	RunReport = core.Report
+	// Solver is the SGD/momentum/weight-decay optimizer for software
+	// baselines (PipeLayer's hardware update realizes the plain-SGD case).
+	Solver = nn.Solver
+	// MemoryConfig describes the banked memory-subarray organization.
+	MemoryConfig = memsys.Config
+	// DeepPipelineConfig models the ISAAC-style comparator of Section 3.2.2.
+	DeepPipelineConfig = isaac.Config
+	// MappingResult is an area-budgeted compiler-optimized mapping.
+	MappingResult = planner.Result
+)
+
+// NewTensor allocates a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// DefaultDeviceModel returns the paper-parameterized device model
+// (29.31/50.88 ns and 1.08 pJ/3.91 nJ per spike, 16-bit inputs).
+func DefaultDeviceModel() DeviceModel { return energy.DefaultModel() }
+
+// DefaultGPU returns the GTX 1080 baseline parameters (paper Table 4).
+func DefaultGPU() GPUBaseline { return gpu.Default() }
+
+// DefaultArray is the 128×128 crossbar geometry.
+var DefaultArray = mapping.DefaultArray
+
+// EvaluationNetworks returns the paper's ten benchmark networks
+// (Mnist-A/B/C/0, AlexNet, VGG-A…E) in Figure 15 order.
+func EvaluationNetworks() []Spec { return networks.EvaluationNetworks() }
+
+// VGG returns one of the five VGG configurations ("A".."E").
+func VGG(variant string) Spec { return networks.VGG(variant) }
+
+// AlexNet returns the AlexNet geometry.
+func AlexNet() Spec { return networks.AlexNet() }
+
+// BuildTrainable assembles a runnable Network from a geometry Spec.
+func BuildTrainable(s Spec, rng *rand.Rand) *Network { return networks.BuildTrainable(s, rng) }
+
+// BuildMachine programs a trained Network onto the analog PipeLayer machine.
+func BuildMachine(net *Network, spikeBits int) *Machine { return arch.BuildMachine(net, spikeBits) }
+
+// SyntheticDigits generates the deterministic MNIST stand-in dataset
+// (train, test); flat selects rank-1 784-vectors vs (1,28,28) images.
+func SyntheticDigits(nTrain, nTest int, flat bool, seed int64) (train, test []Sample) {
+	return dataset.TrainTest(nTrain, nTest, dataset.DefaultOptions(flat), seed)
+}
+
+// SimulatePipeline runs the cycle-level schedule simulation (Figure 6/7,
+// validated against the Table 2 closed forms).
+func SimulatePipeline(cfg PipelineConfig) PipelineResult { return pipeline.Simulate(cfg) }
+
+// TrainingCycles and TestingCycles expose the Table 2 closed forms.
+func TrainingCycles(L, B, N int, pipelined bool) int {
+	if pipelined {
+		return mapping.PipelinedTrainingCycles(L, B, N)
+	}
+	return mapping.NonPipelinedTrainingCycles(L, B, N)
+}
+
+// TestingCycles returns the inference cycle count.
+func TestingCycles(L, N int, pipelined bool) int {
+	if pipelined {
+		return mapping.PipelinedTestingCycles(L, N)
+	}
+	return mapping.NonPipelinedTestingCycles(L, N)
+}
+
+// ForwardGOPs returns a network's forward giga-operations per image.
+func ForwardGOPs(s Spec) float64 { return workload.GOPs(workload.NetworkForwardOps(s)) }
+
+// DefaultExperimentSetup mirrors the paper's evaluation configuration.
+func DefaultExperimentSetup() ExperimentSetup { return experiments.DefaultSetup() }
+
+// NewAccelerator creates an unconfigured PipeLayer device. Drive it through
+// the Section 5.2 sequence: TopologySet → WeightLoad → PipelineSet →
+// Train/Test.
+func NewAccelerator(model DeviceModel) *Accelerator { return core.New(model) }
+
+// SaveWeights serializes a network's parameters to w (the host side of
+// Weight_load).
+func SaveWeights(w io.Writer, net *Network) error { return checkpoint.Save(w, net) }
+
+// LoadWeights restores parameters saved with SaveWeights into a network of
+// the same topology.
+func LoadWeights(r io.Reader, net *Network) error { return checkpoint.Load(r, net) }
+
+// ScheduleGantt renders the Figure 6 training schedule as an ASCII chart.
+func ScheduleGantt(L, B, cycles int) string { return trace.Gantt(L, B, cycles) }
+
+// NewSolver creates an SGD solver with momentum and weight decay.
+func NewSolver(lr, momentum, weightDecay float64) *Solver {
+	return nn.NewSolver(lr, momentum, weightDecay)
+}
+
+// OptimizeMapping runs the Section 5.2 granularity compiler: per-layer G
+// minimizing cycle time under an area budget (mm²).
+func OptimizeMapping(model DeviceModel, spec Spec, batch int, areaBudget float64) (MappingResult, error) {
+	return planner.Optimize(model, spec, mapping.DefaultArray, batch, areaBudget)
+}
+
+// DefaultMemoryConfig returns the banked memory-subarray organization
+// behind the device model's aggregate movement bandwidth.
+func DefaultMemoryConfig() MemoryConfig { return memsys.DefaultConfig() }
+
+// DefaultDeepPipeline returns the ISAAC-style comparator configuration.
+func DefaultDeepPipeline() DeepPipelineConfig { return isaac.DefaultConfig() }
