@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test check fmt vet race race-telemetry bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet, formatting, and the race-enabled test suite.
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+# The telemetry registry is the one deliberately concurrent subsystem; run
+# its suite under the race detector on its own for a fast signal.
+race-telemetry:
+	$(GO) test -race ./internal/telemetry/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	rm -f pipelayer-sim pipelayer-train pipelayer-bench BENCH_telemetry.json

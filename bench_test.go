@@ -285,6 +285,34 @@ func BenchmarkAnalogTrainingEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalogTrainingEpochTelemetry is BenchmarkAnalogTrainingEpoch with
+// a metrics registry attached — the pair bounds the instrumentation overhead
+// (acceptance: <5%). It also snapshots the registry and reports the recorded
+// per-image forward time, demonstrating span data riding along with timings.
+func BenchmarkAnalogTrainingEpochTelemetry(b *testing.B) {
+	a := pipelayer.NewAccelerator(pipelayer.DefaultDeviceModel())
+	if err := a.TopologySet(networks.MnistA(), 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	reg := pipelayer.NewMetricsRegistry()
+	a.SetMetrics(reg)
+	train, _ := pipelayer.SyntheticDigits(100, 1, true, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Train(train, 10, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	snap := reg.Snapshot()
+	if s, ok := snap.Spans[`core_stage_forward_seconds{stage="1"}`]; ok && s.Count > 0 {
+		b.ReportMetric(s.MeanSeconds*1e9, "fwd-ns/image")
+	}
+}
+
 // BenchmarkCompilerOptimize measures the Section 5.2 granularity compiler
 // on AlexNet and reports its speed advantage over the uniform λ=1 mapping
 // at equal area.

@@ -12,10 +12,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
+	"pipelayer/internal/core"
+	"pipelayer/internal/dataset"
 	"pipelayer/internal/experiments"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/pipeline"
+	"pipelayer/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +29,24 @@ func main() {
 	inputBits := flag.Bool("inputbits", false, "run the input-spike-resolution ablation (trains one network)")
 	quick := flag.Bool("quick", false, "shrink the training studies for a fast run")
 	configPath := flag.String("config", "", "JSON file overriding the evaluation setup (see experiments.SetupOverrides)")
+	telemetryPath := flag.String("telemetry", "BENCH_telemetry.json", "write the run's telemetry snapshot (stage spans + pipeline utilization) here; empty disables")
+	metricsPath := flag.String("metrics", "", "write an additional JSON telemetry snapshot to this path")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telemetryPath != "" || *metricsPath != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("pprof: http://%s/debug/pprof (metrics at /metrics)\n", bound)
+	}
 
 	setup := experiments.DefaultSetup()
 	if *configPath != "" {
@@ -88,4 +110,49 @@ func main() {
 	} else {
 		fmt.Println("(input-resolution ablation skipped; pass -inputbits to run it)")
 	}
+
+	if reg != nil {
+		if err := recordBenchTelemetry(reg, setup); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, path := range []string{*telemetryPath, *metricsPath} {
+			if path == "" {
+				continue
+			}
+			if err := reg.WriteJSONFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry snapshot written to %s\n", path)
+		}
+	}
+}
+
+// recordBenchTelemetry fills reg with the two halves of the benchmark's
+// observability story: pipeline utilization from a cycle-accurate simulation
+// of AlexNet-depth training at the evaluation batch size, and real stage
+// spans plus weight-write counters from a short instrumented Mnist-A
+// functional run.
+func recordBenchTelemetry(reg *telemetry.Registry, setup experiments.Setup) error {
+	acc := core.New(setup.Model)
+	if err := acc.TopologySet(networks.MnistA(), 1); err != nil {
+		return err
+	}
+	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+		return err
+	}
+	acc.SetMetrics(reg)
+	train, _ := dataset.TrainTest(100, 1, dataset.DefaultOptions(true), 7)
+	if _, err := acc.Train(train, 10, 0.05); err != nil {
+		return err
+	}
+
+	// Recorded last so the utilization/buffer gauges describe the headline
+	// AlexNet-depth pipelined schedule (gauges are last-write-wins; the
+	// functional run above records its own small Mnist-A schedule).
+	L := networks.AlexNet().WeightedLayers()
+	res := pipeline.Simulate(pipeline.Config{L: L, B: setup.Batch, N: setup.Images, Pipelined: true, Training: true})
+	res.Record(reg)
+	return nil
 }

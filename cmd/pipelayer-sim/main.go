@@ -13,13 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
+	"pipelayer/internal/core"
+	"pipelayer/internal/dataset"
 	"pipelayer/internal/experiments"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/pipeline"
+	"pipelayer/internal/telemetry"
 	"pipelayer/internal/trace"
 	"pipelayer/internal/workload"
 )
@@ -34,7 +39,23 @@ func main() {
 	list := flag.Bool("list", false, "list available networks")
 	showTrace := flag.Bool("trace", false, "print the Figure 6 schedule gantt for the first pipeline window")
 	topology := flag.String("topology", "", "JSON file describing a custom network (overrides -net)")
+	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *metricsPath != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("pprof     : http://%s/debug/pprof (metrics at /metrics)\n", bound)
+	}
 
 	if *list {
 		for _, s := range networks.EvaluationNetworks() {
@@ -96,6 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 		res := pipeline.Simulate(pipeline.Config{L: L, B: *batch, N: *images, Pipelined: pipelined, Training: true})
+		res.Record(reg)
 		cycles = res.Cycles
 		seconds = setup.Model.TrainingTime(spec, plans, *images, *batch, pipelined)
 		gpuSeconds = setup.GPU.TrainingTime(spec, *images, *batch)
@@ -103,6 +125,7 @@ func main() {
 		gpuJoules = setup.GPU.TrainingEnergy(spec, *images, *batch)
 	} else {
 		res := pipeline.Simulate(pipeline.Config{L: L, N: *images, Pipelined: pipelined})
+		res.Record(reg)
 		cycles = res.Cycles
 		seconds = setup.Model.TestingTime(spec, plans, *images, pipelined)
 		gpuSeconds = setup.GPU.TestingTime(spec, *images, *batch)
@@ -124,8 +147,66 @@ func main() {
 
 	if *showTrace && training {
 		window := 2*L + min(*batch, 8) + 2
-		fmt.Printf("\nschedule (first %d cycles, Figure 6 style):\n%s", window, trace.Gantt(L, *batch, window))
+		gantt, err := trace.Gantt(L, *batch, window)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nschedule (first %d cycles, Figure 6 style):\n%s", window, gantt)
 	}
+
+	if reg != nil && training {
+		// A small instrumented functional run fills the snapshot with real
+		// stage spans, weight-write counts and per-epoch loss/accuracy. The
+		// analytic simulation above only yields cycle/buffer gauges; the
+		// functional pass always uses Mnist-A so it completes in seconds
+		// regardless of the simulated geometry.
+		if err := runFunctionalTelemetry(reg, setup); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry : instrumented Mnist-A functional run (2 epochs) recorded\n")
+	}
+	if *metricsPath != "" {
+		if err := reg.WriteJSONFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry : snapshot written to %s\n", *metricsPath)
+	}
+}
+
+// runFunctionalTelemetry trains Mnist-A from scratch on the instrumented
+// accelerator for two epochs, publishing stage spans, weight-write counters
+// and per-epoch loss/accuracy/throughput into reg.
+func runFunctionalTelemetry(reg *telemetry.Registry, setup experiments.Setup) error {
+	acc := core.New(setup.Model)
+	if err := acc.TopologySet(networks.MnistA(), 1); err != nil {
+		return err
+	}
+	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+		return err
+	}
+	acc.SetMetrics(reg)
+	train, test := dataset.TrainTest(200, 100, dataset.DefaultOptions(true), 7)
+	rec := &telemetry.EpochRecorder{Registry: reg}
+	for epoch := 1; epoch <= 2; epoch++ {
+		start := time.Now()
+		rep, err := acc.Train(train, 10, 0.05)
+		if err != nil {
+			return err
+		}
+		testRep, err := acc.Test(test)
+		if err != nil {
+			return err
+		}
+		ips := 0.0
+		if el := time.Since(start).Seconds(); el > 0 {
+			ips = float64(rep.Images) / el
+		}
+		rec.ObserveEpoch(epoch, rep.MeanLoss, testRep.Accuracy, ips)
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -15,18 +15,37 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"pipelayer/internal/arch"
 	"pipelayer/internal/dataset"
 	"pipelayer/internal/experiments"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/telemetry"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller dataset and fewer epochs")
 	machine := flag.Bool("machine", false, "run analog-machine fidelity check after training")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *metricsPath != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("pprof: http://%s/debug/pprof (metrics at /metrics)\n", bound)
+	}
 
 	cfg := experiments.DefaultFigure13Config()
 	cfg.Seed = *seed
@@ -45,8 +64,14 @@ func main() {
 		spec := networks.Mnist0()
 		net := networks.BuildTrainable(spec, rng)
 		train, test := dataset.TrainTest(cfg.TrainSamples, cfg.TestSamples, dataset.DefaultOptions(false), cfg.Seed)
+		// Plain SGD through the solver (μ = λ = 0 makes Step identical to
+		// Network.ApplyUpdate) so an observer can publish per-epoch stats.
+		solver := nn.NewSolver(0.05, 0, 0)
+		if reg != nil {
+			solver.Observer = &telemetry.EpochRecorder{Registry: reg}
+		}
 		for e := 0; e < cfg.Epochs; e++ {
-			loss := net.TrainEpoch(train, cfg.Batch, 0.05)
+			loss := solver.TrainEpoch(net, train, cfg.Batch)
 			fmt.Printf("  epoch %d: loss %.4f\n", e+1, loss)
 		}
 		floatAcc := net.Accuracy(test)
@@ -54,5 +79,13 @@ func main() {
 		analogAcc := m.Accuracy(test)
 		fmt.Printf("  float accuracy : %.3f\n", floatAcc)
 		fmt.Printf("  analog accuracy: %.3f (PipeLayer machine, quantized crossbars)\n", analogAcc)
+	}
+
+	if *metricsPath != "" {
+		if err := reg.WriteJSONFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *metricsPath)
 	}
 }

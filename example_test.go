@@ -48,7 +48,8 @@ func ExampleForwardGOPs() {
 // The Figure 6 schedule rendered as a Gantt chart: each row is a hardware
 // unit, each column a cycle, digits are image indices.
 func ExampleScheduleGantt() {
-	fmt.Print(pipelayer.ScheduleGantt(2, 2, 8))
+	out, _ := pipelayer.ScheduleGantt(2, 2, 8)
+	fmt.Print(out)
 	// Output:
 	//       cycle 12345678
 	//          A1 01.....2

@@ -70,9 +70,33 @@ func TestFacadeSaveLoadWeights(t *testing.T) {
 }
 
 func TestFacadeScheduleGantt(t *testing.T) {
-	out := pipelayer.ScheduleGantt(3, 4, 12)
+	out, err := pipelayer.ScheduleGantt(3, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "A1") || !strings.Contains(out, "ErrL") {
 		t.Fatalf("gantt broken:\n%s", out)
+	}
+	if _, err := pipelayer.ScheduleGantt(0, 4, 12); err == nil {
+		t.Fatal("want error for non-positive L")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	reg := pipelayer.NewMetricsRegistry()
+	reg.Counter("facade_events_total").Add(3)
+	rec := &pipelayer.EpochRecorder{Registry: reg}
+	rec.ObserveEpoch(1, 0.5, 0.9, 120)
+	snap := reg.Snapshot()
+	if snap.Counters["facade_events_total"] != 3 {
+		t.Fatalf("counter lost: %+v", snap.Counters)
+	}
+	if snap.Gauges["train_epochs"] != 1 {
+		t.Fatalf("epoch recorder did not publish: %+v", snap.Gauges)
+	}
+	rep := pipelayer.MetricsReporter{Registry: reg}
+	if out := rep.Prometheus(); !strings.Contains(out, "facade_events_total 3") {
+		t.Fatalf("prometheus rendering broken:\n%s", out)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
 	"pipelayer/internal/pipeline"
+	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 )
 
@@ -44,6 +45,11 @@ type Accelerator struct {
 	loss      nn.Loss
 	update    *arch.UpdateUnit
 	pipelined bool
+
+	// metrics is the optional telemetry registry (SetMetrics); stageTel is
+	// the per-stage instrument cache rebuilt after every Weight_load.
+	metrics  *telemetry.Registry
+	stageTel []stageTelemetry
 
 	topologySet bool
 	loaded      bool
@@ -101,6 +107,7 @@ func (a *Accelerator) WeightLoad(net *nn.Network, rng *rand.Rand) error {
 		return err
 	}
 	a.engines = engines
+	a.stageTel = nil // engine set changed; rebuild instruments on next run
 	a.loaded = true
 	return nil
 }
@@ -131,10 +138,18 @@ func (a *Accelerator) CopyToCPU(t *tensor.Tensor) *tensor.Tensor {
 	return t.Clone()
 }
 
-// forward runs one image through the analog datapath.
+// forward runs one image through the analog datapath, timing each stage
+// when telemetry is attached.
 func (a *Accelerator) forward(x *tensor.Tensor) *tensor.Tensor {
-	for _, e := range a.engines {
-		x = e.forward(x)
+	tel := a.stageTelemetrySlice()
+	for i, e := range a.engines {
+		if tel != nil {
+			t := tel[i].forward.Start()
+			x = e.forward(x)
+			t.Stop()
+		} else {
+			x = e.forward(x)
+		}
 	}
 	return x
 }
@@ -156,8 +171,10 @@ func (a *Accelerator) Test(samples []nn.Sample) (Report, error) {
 		}
 	}
 	n := len(samples)
+	a.countImages("core_test_images_total", n)
 	L := a.spec.WeightedLayers()
 	sim := pipeline.Simulate(pipeline.Config{L: L, N: n, Pipelined: a.pipelined})
+	sim.Record(a.metrics)
 	return Report{
 		Images:   n,
 		Accuracy: float64(correct) / float64(n),
@@ -184,6 +201,7 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 	}
 	totalLoss := 0.0
 	classes := a.spec.Classes
+	tel := a.stageTelemetrySlice()
 	for start := 0; start < len(samples); start += batch {
 		for _, s := range samples[start : start+batch] {
 			y := a.forward(s.Input)
@@ -191,16 +209,32 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 			totalLoss += a.loss.Loss(y, t)
 			delta := a.loss.Grad(y, t)
 			for i := len(a.engines) - 1; i >= 0; i-- {
-				delta = a.engines[i].backward(delta)
+				if tel != nil {
+					tm := tel[i].backward.Start()
+					delta = a.engines[i].backward(delta)
+					tm.Stop()
+				} else {
+					delta = a.engines[i].backward(delta)
+				}
 			}
 		}
-		for _, e := range a.engines {
-			e.applyUpdate(lr, batch, a.update)
+		for i, e := range a.engines {
+			if tel != nil {
+				tm := tel[i].update.Start()
+				e.applyUpdate(lr, batch, a.update)
+				tm.Stop()
+				tel[i].updates.Inc()
+				tel[i].cells.Add(tel[i].nCells)
+			} else {
+				e.applyUpdate(lr, batch, a.update)
+			}
 		}
 	}
 	n := len(samples)
+	a.countImages("core_train_images_total", n)
 	L := a.spec.WeightedLayers()
 	sim := pipeline.Simulate(pipeline.Config{L: L, B: batch, N: n, Pipelined: a.pipelined, Training: true})
+	sim.Record(a.metrics)
 	rep := Report{
 		Images:   n,
 		MeanLoss: totalLoss / float64(n),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pipelayer/internal/nn"
+	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 )
 
@@ -131,6 +132,10 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 
 	totalLoss := 0.0
 	classes := a.spec.Classes
+	// Per-stage spans: forward ops time against their stage; each combined
+	// error op (opErrLast/opErrChain/opGradFirst) times against the stage
+	// whose error arrays execute it.
+	tel := a.stageTelemetrySlice()
 	for c := 1; c <= last; c++ {
 		// All reads/consumes execute during the cycle; the produced tensors
 		// are written to the rings at the cycle boundary (consume-before-
@@ -142,6 +147,20 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 		}
 		var writes []pendingWrite
 		for _, op := range byCycle[c] {
+			var tm telemetry.SpanTimer
+			timed := false
+			if tel != nil {
+				switch op.kind {
+				case opForward:
+					tm, timed = tel[op.stage-1].forward.Start(), true
+				case opErrLast:
+					tm, timed = tel[L-1].backward.Start(), true
+				case opErrChain:
+					tm, timed = tel[op.stage].backward.Start(), true
+				case opGradFirst:
+					tm, timed = tel[0].backward.Start(), true
+				}
+			}
 			switch op.kind {
 			case opForward:
 				var x *tensor.Tensor
@@ -170,9 +189,20 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 				delta := deltaRing[1].consume(op.image)
 				a.engines[0].errorBackward(delta, samples[op.image].Input)
 			case opUpdate:
-				for _, e := range a.engines {
-					e.applyUpdate(lr, batch, a.update)
+				for i, e := range a.engines {
+					if tel != nil {
+						ut := tel[i].update.Start()
+						e.applyUpdate(lr, batch, a.update)
+						ut.Stop()
+						tel[i].updates.Inc()
+						tel[i].cells.Add(tel[i].nCells)
+					} else {
+						e.applyUpdate(lr, batch, a.update)
+					}
 				}
+			}
+			if timed {
+				tm.Stop()
 			}
 		}
 		for _, w := range writes {
@@ -181,6 +211,7 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 	}
 
 	n := len(samples)
+	a.countImages("core_train_images_total", n)
 	return Report{
 		Images:   n,
 		MeanLoss: totalLoss / float64(n),

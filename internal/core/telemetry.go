@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strconv"
+
+	"pipelayer/internal/telemetry"
+)
+
+// stageTelemetry caches one pipeline stage's instruments so the hot loops
+// pay two atomic adds per timed region instead of a registry lookup and a
+// label-formatting allocation per image.
+type stageTelemetry struct {
+	forward  *telemetry.Span
+	backward *telemetry.Span
+	update   *telemetry.Span
+	updates  *telemetry.Counter // applyUpdate invocations
+	cells    *telemetry.Counter // master parameter values rewritten
+	nCells   int64              // parameter count of this stage (0 for pools)
+}
+
+// SetMetrics attaches a telemetry registry to the accelerator; nil detaches.
+// While attached, every Train/TrainPipelined/Test run records per-stage
+// forward/backward/update spans (core_stage_*_seconds{stage="l"}), per-stage
+// weight-write counters, and run-level image counters. Attaching costs two
+// time.Now calls per stage per image on the hot path — bounded well under
+// the tensor math it brackets.
+func (a *Accelerator) SetMetrics(reg *telemetry.Registry) {
+	a.metrics = reg
+	a.stageTel = nil
+}
+
+// Metrics returns the attached registry (nil when detached).
+func (a *Accelerator) Metrics() *telemetry.Registry { return a.metrics }
+
+// stageTelemetrySlice lazily (re)builds the per-stage instrument cache; it
+// must be called after engines exist (Weight_load) and returns nil when no
+// registry is attached so call sites can branch on one nil check.
+func (a *Accelerator) stageTelemetrySlice() []stageTelemetry {
+	if a.metrics == nil {
+		return nil
+	}
+	if len(a.stageTel) == len(a.engines) {
+		return a.stageTel
+	}
+	tel := make([]stageTelemetry, len(a.engines))
+	for i, e := range a.engines {
+		lbl := map[string]string{"stage": strconv.Itoa(i + 1)}
+		cells := int64(0)
+		for _, w := range e.weights() {
+			cells += int64(w.Size())
+		}
+		tel[i] = stageTelemetry{
+			forward:  a.metrics.Span(telemetry.Name("core_stage_forward_seconds", lbl)),
+			backward: a.metrics.Span(telemetry.Name("core_stage_backward_seconds", lbl)),
+			update:   a.metrics.Span(telemetry.Name("core_stage_update_seconds", lbl)),
+			updates:  a.metrics.Counter(telemetry.Name("core_weight_updates_total", lbl)),
+			cells:    a.metrics.Counter(telemetry.Name("core_weight_writes_total", lbl)),
+			nCells:   cells,
+		}
+	}
+	a.stageTel = tel
+	return tel
+}
+
+// countImages bumps a run-level image counter when a registry is attached.
+func (a *Accelerator) countImages(name string, n int) {
+	if a.metrics != nil {
+		a.metrics.Counter(name).Add(int64(n))
+	}
+}

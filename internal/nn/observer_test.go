@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"testing"
+
+	"pipelayer/internal/telemetry"
+)
+
+// The telemetry epoch recorder must satisfy the Observer contract purely
+// structurally — neither package imports the other's types.
+var _ Observer = (*telemetry.EpochRecorder)(nil)
+
+// captureObserver records every notification for assertions.
+type captureObserver struct {
+	epochs []int
+	losses []float64
+	accs   []float64
+	ips    []float64
+}
+
+func (c *captureObserver) ObserveEpoch(epoch int, meanLoss, accuracy, imagesPerSec float64) {
+	c.epochs = append(c.epochs, epoch)
+	c.losses = append(c.losses, meanLoss)
+	c.accs = append(c.accs, accuracy)
+	c.ips = append(c.ips, imagesPerSec)
+}
+
+func TestSolverObserverReceivesEpochStats(t *testing.T) {
+	net := solverToyNet(12)
+	s := NewSolver(0.3, 0.9, 0)
+	obs := &captureObserver{}
+	s.Observer = obs
+	samples := xorSamples()
+	for epoch := 0; epoch < 5; epoch++ {
+		s.TrainEpoch(net, samples, 4)
+	}
+	if len(obs.epochs) != 5 {
+		t.Fatalf("observer saw %d epochs, want 5", len(obs.epochs))
+	}
+	for i, e := range obs.epochs {
+		if e != i+1 {
+			t.Fatalf("epoch numbering wrong: %v", obs.epochs)
+		}
+	}
+	for i, l := range obs.losses {
+		if l <= 0 {
+			t.Fatalf("epoch %d loss %g not positive", i+1, l)
+		}
+	}
+	for i, a := range obs.accs {
+		if a < 0 || a > 1 {
+			t.Fatalf("epoch %d accuracy %g outside [0,1]", i+1, a)
+		}
+	}
+	for i, v := range obs.ips {
+		if v < 0 {
+			t.Fatalf("epoch %d images/s %g negative", i+1, v)
+		}
+	}
+	if s.Epochs() != 5 {
+		t.Fatalf("Epochs() = %d", s.Epochs())
+	}
+	s.Reset()
+	if s.Epochs() != 0 {
+		t.Fatal("Reset must clear the epoch counter")
+	}
+}
+
+func TestSolverObserverLossMatchesReturn(t *testing.T) {
+	net := solverToyNet(13)
+	s := NewSolver(0.1, 0, 0)
+	obs := &captureObserver{}
+	s.Observer = obs
+	got := s.TrainEpoch(net, xorSamples(), 2)
+	if len(obs.losses) != 1 || obs.losses[0] != got {
+		t.Fatalf("observer loss %v != returned loss %v", obs.losses, got)
+	}
+}
+
+func TestSolverNoObserverNoNotification(t *testing.T) {
+	net := solverToyNet(14)
+	s := NewSolver(0.1, 0, 0)
+	// No observer: must not panic, and the epoch counter still advances.
+	s.TrainEpoch(net, xorSamples(), 2)
+	if s.Epochs() != 1 {
+		t.Fatalf("Epochs() = %d", s.Epochs())
+	}
+}
+
+func TestSolverObserverIntoRegistry(t *testing.T) {
+	// End-to-end: solver → EpochRecorder → registry gauges.
+	net := solverToyNet(15)
+	reg := telemetry.NewRegistry()
+	s := NewSolver(0.3, 0.9, 0)
+	s.Observer = &telemetry.EpochRecorder{Registry: reg}
+	s.TrainEpoch(net, xorSamples(), 4)
+	s.TrainEpoch(net, xorSamples(), 4)
+	snap := reg.Snapshot()
+	if snap.Gauges["train_epochs"] != 2 {
+		t.Fatalf("train_epochs = %v", snap.Gauges["train_epochs"])
+	}
+	if _, ok := snap.Gauges[`train_epoch_loss{epoch="1"}`]; !ok {
+		t.Fatalf("per-epoch loss gauge missing: %v", snap.Gauges)
+	}
+	if _, ok := snap.Gauges[`train_epoch_accuracy{epoch="2"}`]; !ok {
+		t.Fatalf("per-epoch accuracy gauge missing: %v", snap.Gauges)
+	}
+}

@@ -2,9 +2,22 @@ package nn
 
 import (
 	"fmt"
+	"time"
 
 	"pipelayer/internal/tensor"
 )
+
+// Observer receives per-epoch training statistics from a Solver. The
+// interface is deliberately flat (no package-local argument types) so
+// implementations — e.g. telemetry.EpochRecorder — satisfy it structurally
+// without importing this package, keeping both sides import-cycle-free.
+type Observer interface {
+	// ObserveEpoch is called after each completed TrainEpoch with the
+	// 1-based epoch number, the epoch's mean loss, the training-set
+	// accuracy after the epoch, and the training throughput in images per
+	// second (0 when the epoch completed too fast to time).
+	ObserveEpoch(epoch int, meanLoss, accuracy, imagesPerSec float64)
+}
 
 // Solver implements the stochastic-gradient-descent family the paper's GPU
 // baseline (Caffe) trains with: plain SGD, classical momentum, and L2
@@ -18,8 +31,13 @@ type Solver struct {
 	Momentum float64
 	// WeightDecay is the L2 regularization coefficient (0 disables).
 	WeightDecay float64
+	// Observer, when non-nil, is notified after every TrainEpoch. The
+	// training-set accuracy it receives costs one extra forward pass over
+	// the samples per epoch — only paid when an observer is attached.
+	Observer Observer
 
 	velocity map[*Param]*tensor.Tensor
+	epochs   int
 }
 
 // NewSolver creates a solver with the given hyper-parameters.
@@ -83,10 +101,12 @@ func (s *Solver) TrainBatch(net *Network, batch []Sample) float64 {
 }
 
 // TrainEpoch trains over all samples in batches, returning the mean loss.
+// With an Observer attached, the epoch is timed and reported.
 func (s *Solver) TrainEpoch(net *Network, samples []Sample, batch int) float64 {
 	if batch <= 0 {
 		panic("nn: TrainEpoch batch must be positive")
 	}
+	start := time.Now()
 	total := 0.0
 	count := 0
 	for i := 0; i < len(samples); i += batch {
@@ -100,8 +120,24 @@ func (s *Solver) TrainEpoch(net *Network, samples []Sample, batch int) float64 {
 	if count == 0 {
 		return 0
 	}
-	return total / float64(count)
+	mean := total / float64(count)
+	s.epochs++
+	if s.Observer != nil {
+		ips := 0.0
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			ips = float64(count) / elapsed
+		}
+		s.Observer.ObserveEpoch(s.epochs, mean, net.Accuracy(samples), ips)
+	}
+	return mean
 }
 
-// Reset clears accumulated velocity (e.g. between restarts).
-func (s *Solver) Reset() { s.velocity = make(map[*Param]*tensor.Tensor) }
+// Epochs returns the number of completed TrainEpoch calls.
+func (s *Solver) Epochs() int { return s.epochs }
+
+// Reset clears accumulated velocity and the epoch counter (e.g. between
+// restarts).
+func (s *Solver) Reset() {
+	s.velocity = make(map[*Param]*tensor.Tensor)
+	s.epochs = 0
+}

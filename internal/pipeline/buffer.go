@@ -48,15 +48,20 @@ func (b *CircularBuffer) Write(image int) {
 	}
 	*e = entry{valid: true, image: image, live: true}
 	b.wp = (b.wp + 1) % len(b.entries)
+	if occ := b.Occupancy(); occ > b.MaxOccupancy {
+		b.MaxOccupancy = occ
+	}
+}
+
+// Occupancy returns the number of currently-live entries.
+func (b *CircularBuffer) Occupancy() int {
 	occ := 0
 	for _, x := range b.entries {
 		if x.valid && x.live {
 			occ++
 		}
 	}
-	if occ > b.MaxOccupancy {
-		b.MaxOccupancy = occ
-	}
+	return occ
 }
 
 // Consume marks image's entry as dead (its final reader has used it). It

@@ -2,11 +2,13 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"pipelayer/internal/mapping"
+	"pipelayer/internal/telemetry"
 )
 
 func TestSimulatePipelinedTrainingMatchesTable2(t *testing.T) {
@@ -168,6 +170,70 @@ func TestSimulateRejectsBadConfig(t *testing.T) {
 			Simulate(cfg)
 		}()
 	}
+}
+
+func TestUtilizationFigure6Schedule(t *testing.T) {
+	// The paper's Figure 6 window: L=3 weighted layers, one batch of B=4.
+	// The schedule touches 10 units (A1..A3, ErrL, A2E/A3E, A1D..A3D,
+	// Update). Each image occupies 9 unit·cycles (3 forward + 1 output
+	// error + 2 chained errors + 3 derivatives) and the batch adds one
+	// update cycle: 4·9 + 1 = 37 busy unit·cycles. The run spans
+	// (N/B)(2L+B+1) = 11 cycles, so utilization is 37 / (10·11).
+	res := Simulate(Config{L: 3, B: 4, N: 4, Pipelined: true, Training: true})
+	if res.Units != 10 {
+		t.Fatalf("Units = %d, want 10", res.Units)
+	}
+	if res.UnitBusyCycles != 37 {
+		t.Fatalf("UnitBusyCycles = %d, want 37", res.UnitBusyCycles)
+	}
+	want := 37.0 / 110.0
+	if got := res.Utilization(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Utilization = %v, want %v", got, want)
+	}
+	// Utilization improves as the batch amortizes fill/drain.
+	big := Simulate(Config{L: 3, B: 64, N: 64, Pipelined: true, Training: true})
+	if big.Utilization() <= res.Utilization() {
+		t.Fatalf("larger batch should raise utilization: %v !> %v", big.Utilization(), res.Utilization())
+	}
+}
+
+func TestUtilizationZeroOnEmptyResult(t *testing.T) {
+	if got := (Result{}).Utilization(); got != 0 {
+		t.Fatalf("empty result utilization = %v", got)
+	}
+}
+
+func TestMeanOccupancyBounded(t *testing.T) {
+	res := Simulate(Config{L: 5, B: 16, N: 32, Pipelined: true, Training: true})
+	for name, mean := range res.MeanOccupancy {
+		if mean < 0 || mean > float64(res.PeakOccupancy[name]) {
+			t.Errorf("buffer %s mean occupancy %v outside [0, peak=%d]", name, mean, res.PeakOccupancy[name])
+		}
+	}
+	if res.MeanOccupancy["d1"] <= 0 {
+		t.Fatal("d1 mean occupancy should be positive in a training run")
+	}
+}
+
+func TestResultRecordPublishesGauges(t *testing.T) {
+	res := Simulate(Config{L: 3, B: 4, N: 4, Pipelined: true, Training: true})
+	reg := telemetry.NewRegistry()
+	res.Record(reg)
+	s := reg.Snapshot()
+	if s.Gauges["pipeline_cycles"] != float64(res.Cycles) {
+		t.Fatalf("pipeline_cycles gauge = %v, want %d", s.Gauges["pipeline_cycles"], res.Cycles)
+	}
+	if s.Gauges["pipeline_unit_utilization"] != res.Utilization() {
+		t.Fatalf("utilization gauge = %v", s.Gauges["pipeline_unit_utilization"])
+	}
+	if s.Gauges[`pipeline_buffer_peak_occupancy{buffer="d1"}`] != float64(res.PeakOccupancy["d1"]) {
+		t.Fatalf("peak occupancy gauge missing: %v", s.Gauges)
+	}
+	if _, ok := s.Gauges[`pipeline_buffer_mean_occupancy{buffer="d1"}`]; !ok {
+		t.Fatalf("mean occupancy gauge missing: %v", s.Gauges)
+	}
+	// Recording into a nil registry is a no-op, not a crash.
+	res.Record(nil)
 }
 
 func TestPipelinedBeatsNonPipelined(t *testing.T) {

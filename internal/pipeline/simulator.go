@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipelayer/internal/mapping"
+	"pipelayer/internal/telemetry"
 )
 
 // Config describes one simulated run.
@@ -30,9 +31,53 @@ type Result struct {
 	BufferDepth map[string]int
 	// PeakOccupancy maps buffer names to the peak number of live entries.
 	PeakOccupancy map[string]int
+	// MeanOccupancy maps buffer names to the mean number of live entries,
+	// sampled at the end of every cycle of the run.
+	MeanOccupancy map[string]float64
 	// MaxUnitUsePerCycle is the maximum number of times any single hardware
 	// unit was used in one cycle (must be 1 for a legal schedule).
 	MaxUnitUsePerCycle int
+	// Units is the number of distinct hardware units the schedule touched
+	// (forward arrays A_l, output-error unit, error arrays A_lE, derivative
+	// arrays A_lD, and the update unit).
+	Units int
+	// UnitBusyCycles is the total number of unit·cycle slots in which some
+	// unit performed an operation — the schedule's busy work.
+	UnitBusyCycles int
+}
+
+// Utilization returns busy-unit-cycles / total-unit-cycles — the fraction
+// of the schedule's unit·cycle grid that did useful work (the per-unit
+// utilization view behind the paper's Figure 6 discussion). Zero when the
+// run is empty.
+func (r Result) Utilization() float64 {
+	total := r.Units * r.Cycles
+	if total == 0 {
+		return 0
+	}
+	return float64(r.UnitBusyCycles) / float64(total)
+}
+
+// Record publishes the run's statistics into a telemetry registry:
+// pipeline_cycles, pipeline_units, pipeline_unit_utilization, and per-buffer
+// depth / peak / mean occupancy gauges labeled by buffer name.
+func (r Result) Record(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("pipeline_cycles").Set(float64(r.Cycles))
+	reg.Gauge("pipeline_units").Set(float64(r.Units))
+	reg.Gauge("pipeline_unit_busy_cycles").Set(float64(r.UnitBusyCycles))
+	reg.Gauge("pipeline_unit_utilization").Set(r.Utilization())
+	for name, depth := range r.BufferDepth {
+		reg.Gauge(telemetry.Name("pipeline_buffer_depth", map[string]string{"buffer": name})).Set(float64(depth))
+	}
+	for name, peak := range r.PeakOccupancy {
+		reg.Gauge(telemetry.Name("pipeline_buffer_peak_occupancy", map[string]string{"buffer": name})).Set(float64(peak))
+	}
+	for name, mean := range r.MeanOccupancy {
+		reg.Gauge(telemetry.Name("pipeline_buffer_mean_occupancy", map[string]string{"buffer": name})).Set(mean)
+	}
 }
 
 // event is one scheduled hardware operation.
@@ -107,6 +152,9 @@ func Simulate(cfg Config) Result {
 	}
 
 	maxUnitUse := 0
+	allUnits := map[string]struct{}{}
+	busy := 0
+	occSum := map[string]int{}
 	for c := 1; c <= last; c++ {
 		evs := byCycle[c]
 		// Consumes happen before writes within a cycle: the reader drains
@@ -114,6 +162,7 @@ func Simulate(cfg Config) Result {
 		units := map[string]int{}
 		for _, e := range evs {
 			units[e.unit]++
+			allUnits[e.unit] = struct{}{}
 			for _, r := range e.consume {
 				buffers[r.buf].Consume(r.image)
 			}
@@ -123,6 +172,7 @@ func Simulate(cfg Config) Result {
 				buffers[w.buf].Write(w.image)
 			}
 		}
+		busy += len(evs)
 		for u, n := range units {
 			if n > maxUnitUse {
 				maxUnitUse = n
@@ -131,17 +181,27 @@ func Simulate(cfg Config) Result {
 				panic(fmt.Sprintf("pipeline: unit %s double-booked at cycle %d (%d uses)", u, c, n))
 			}
 		}
+		// End-of-cycle occupancy sample for the mean-occupancy gauges.
+		for name, b := range buffers {
+			occSum[name] += b.Occupancy()
+		}
 	}
 
 	res := Result{
 		Cycles:             last,
 		BufferDepth:        map[string]int{},
 		PeakOccupancy:      map[string]int{},
+		MeanOccupancy:      map[string]float64{},
 		MaxUnitUsePerCycle: maxUnitUse,
+		Units:              len(allUnits),
+		UnitBusyCycles:     busy,
 	}
 	for name, b := range buffers {
 		res.BufferDepth[name] = b.Depth()
 		res.PeakOccupancy[name] = b.MaxOccupancy
+		if last > 0 {
+			res.MeanOccupancy[name] = float64(occSum[name]) / float64(last)
+		}
 	}
 	return res
 }

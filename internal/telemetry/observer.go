@@ -1,0 +1,44 @@
+package telemetry
+
+import "strconv"
+
+// EpochRecorder records per-epoch training statistics into a registry. It
+// satisfies the Observer interface of internal/nn structurally (same method
+// set, no import), which keeps this package dependency-free and internal/nn
+// free of a telemetry import — either side can be used without the other.
+//
+// Each epoch writes four gauges under Prefix (default "train"):
+//
+//	<p>_epochs                      highest completed epoch
+//	<p>_epoch_loss{epoch="N"}       mean loss of epoch N
+//	<p>_epoch_accuracy{epoch="N"}   accuracy after epoch N
+//	<p>_images_per_second           throughput of the last epoch
+//
+// plus a histogram <p>_epoch_seconds-style view via the loss histogram
+// LossBuckets when loss is finite.
+type EpochRecorder struct {
+	Registry *Registry
+	// Prefix namespaces the emitted series; empty means "train".
+	Prefix string
+}
+
+// LossBuckets are the fixed histogram bounds EpochRecorder files epoch
+// losses into — decades around typical softmax-loss magnitudes.
+var LossBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ObserveEpoch implements the nn.Observer contract: epoch is 1-based.
+func (r *EpochRecorder) ObserveEpoch(epoch int, meanLoss, accuracy, imagesPerSec float64) {
+	if r == nil || r.Registry == nil {
+		return
+	}
+	p := r.Prefix
+	if p == "" {
+		p = "train"
+	}
+	lbl := map[string]string{"epoch": strconv.Itoa(epoch)}
+	r.Registry.Gauge(p + "_epochs").Set(float64(epoch))
+	r.Registry.Gauge(Name(p+"_epoch_loss", lbl)).Set(meanLoss)
+	r.Registry.Gauge(Name(p+"_epoch_accuracy", lbl)).Set(accuracy)
+	r.Registry.Gauge(p + "_images_per_second").Set(imagesPerSec)
+	r.Registry.Histogram(p+"_epoch_loss_hist", LossBuckets).Observe(meanLoss)
+}

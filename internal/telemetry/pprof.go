@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof starts a net/http/pprof listener on addr (e.g. "localhost:6060")
+// in a background goroutine and returns the address actually bound (useful
+// with a ":0" port). The returned shutdown function closes the listener.
+// Profiles are served under /debug/pprof/ as usual; when reg is non-nil the
+// listener additionally serves a live Prometheus scrape at /metrics.
+func StartPprof(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", MetricsHandler(reg))
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// MetricsHandler returns an http.Handler serving the registry in Prometheus
+// text exposition format — mount it at /metrics for a scrape target:
+//
+//	http.Handle("/metrics", telemetry.MetricsHandler(reg))
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(Reporter{Registry: reg}.Prometheus())) //nolint:errcheck
+	})
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenRegistry builds a registry with one instrument of every kind,
+// including labeled series, with fixed values.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("images_total").Add(128)
+	reg.Counter(Name("core_weight_writes_total", map[string]string{"stage": "1"})).Add(7)
+	reg.Counter(Name("core_weight_writes_total", map[string]string{"stage": "2"})).Add(9)
+	reg.Gauge("pipeline_unit_utilization").Set(0.25)
+	reg.Gauge(Name("pipeline_buffer_peak_occupancy", map[string]string{"buffer": "d1"})).Set(5)
+	h := reg.Histogram("epoch_loss", []float64{0.5, 1, 2})
+	h.Observe(0.5)
+	h.Observe(0.75)
+	h.Observe(3)
+	reg.Span("forward_seconds").Add(1500 * time.Millisecond)
+	reg.Span("forward_seconds").Add(500 * time.Millisecond)
+	return reg
+}
+
+// goldenPrometheus is the exact expected exposition of goldenRegistry —
+// deterministic ordering, cumulative buckets, one TYPE line per base name.
+const goldenPrometheus = `# TYPE core_weight_writes_total counter
+core_weight_writes_total{stage="1"} 7
+core_weight_writes_total{stage="2"} 9
+# TYPE images_total counter
+images_total 128
+# TYPE pipeline_buffer_peak_occupancy gauge
+pipeline_buffer_peak_occupancy{buffer="d1"} 5
+# TYPE pipeline_unit_utilization gauge
+pipeline_unit_utilization 0.25
+# TYPE epoch_loss histogram
+epoch_loss_bucket{le="0.5"} 1
+epoch_loss_bucket{le="1"} 2
+epoch_loss_bucket{le="2"} 2
+epoch_loss_bucket{le="+Inf"} 3
+epoch_loss_sum 4.25
+epoch_loss_count 3
+# TYPE forward_seconds summary
+forward_seconds_sum 2
+forward_seconds_count 2
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	got := Reporter{Registry: goldenRegistry()}.Prometheus()
+	if got != goldenPrometheus {
+		t.Fatalf("Prometheus output drifted.\n--- got ---\n%s--- want ---\n%s", got, goldenPrometheus)
+	}
+}
+
+func TestPrometheusRoundTripsThroughSnapshot(t *testing.T) {
+	// Rendering a registry rebuilt from its own snapshot must reproduce the
+	// golden output — the snapshot loses nothing the renderer needs.
+	s := goldenRegistry().Snapshot()
+	reg := NewRegistry()
+	for name, v := range s.Counters {
+		reg.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		reg.Gauge(name).Set(v)
+	}
+	for name, h := range s.Histograms {
+		nh := reg.Histogram(name, h.Bounds)
+		// Re-observe one representative value per bucket count.
+		for i, c := range h.Counts {
+			var v float64
+			if i < len(h.Bounds) {
+				v = h.Bounds[i]
+			} else {
+				v = h.Bounds[len(h.Bounds)-1] + 1
+			}
+			for j := uint64(0); j < c; j++ {
+				nh.Observe(v)
+			}
+		}
+		// Fix up the sum to the recorded one (representative values differ).
+		nh.mu.Lock()
+		nh.sum = h.Sum
+		nh.mu.Unlock()
+	}
+	for name, sp := range s.Spans {
+		span := reg.Span(name)
+		if sp.Count > 0 {
+			mean := time.Duration(sp.TotalSeconds / float64(sp.Count) * float64(time.Second))
+			for i := int64(0); i < sp.Count; i++ {
+				span.Add(mean)
+			}
+		}
+	}
+	got := Reporter{Registry: reg}.Prometheus()
+	if got != goldenPrometheus {
+		t.Fatalf("snapshot round trip drifted.\n--- got ---\n%s--- want ---\n%s", got, goldenPrometheus)
+	}
+}
+
+func TestTextReportListsEverything(t *testing.T) {
+	out := Reporter{Registry: goldenRegistry()}.Text()
+	for _, want := range []string{
+		"counters", "gauges", "histograms", "spans",
+		"images_total", "pipeline_unit_utilization", "epoch_loss", "forward_seconds",
+		`core_weight_writes_total{stage="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSnapshotFileRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := reg.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["images_total"] != 128 {
+		t.Fatalf("counter lost in JSON: %+v", snap.Counters)
+	}
+	if snap.Gauges["pipeline_unit_utilization"] != 0.25 {
+		t.Fatalf("gauge lost in JSON: %+v", snap.Gauges)
+	}
+	h := snap.Histograms["epoch_loss"]
+	if h.Count != 3 || len(h.Counts) != 4 || h.Sum != 4.25 {
+		t.Fatalf("histogram lost in JSON: %+v", h)
+	}
+	sp := snap.Spans["forward_seconds"]
+	if sp.Count != 2 || sp.TotalSeconds != 2 || sp.MeanSeconds != 1 {
+		t.Fatalf("span lost in JSON: %+v", sp)
+	}
+}
+
+func TestSnapshotSanitizesNonFiniteGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("bad").Set(math.NaN())
+	if _, err := reg.JSONSnapshot(); err != nil {
+		t.Fatalf("snapshot must survive non-finite gauges: %v", err)
+	}
+	if got := reg.Snapshot().Gauges["bad"]; got != 0 {
+		t.Fatalf("non-finite gauge should snapshot as 0, got %g", got)
+	}
+}
+
+func TestMetricsHandlerServesPrometheus(t *testing.T) {
+	reg := goldenRegistry()
+	srv := httptest.NewServer(MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "pipeline_unit_utilization 0.25") {
+		t.Fatalf("handler output wrong:\n%s", buf[:n])
+	}
+}
+
+func TestStartPprofServesMetrics(t *testing.T) {
+	reg := goldenRegistry()
+	addr, shutdown, err := StartPprof("127.0.0.1:0", reg)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "images_total 128") {
+		t.Fatalf("pprof listener /metrics wrong:\n%s", buf[:n])
+	}
+}

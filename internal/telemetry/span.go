@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span accumulates wall-clock time and a call count for one named region of
+// code. The hot path is two atomic adds per timed region:
+//
+//	defer reg.Span("core_stage_forward_seconds").Start().Stop()
+//
+// or, amortizing the registry lookup:
+//
+//	s := reg.Span("solve")
+//	for ... { t := s.Start(); work(); t.Stop() }
+type Span struct {
+	ns atomic.Int64 // total elapsed nanoseconds
+	n  atomic.Int64 // completed timings
+}
+
+// SpanTimer is one in-flight timing started by Span.Start.
+type SpanTimer struct {
+	s  *Span
+	t0 time.Time
+}
+
+// Start begins a timing and returns the timer to stop.
+func (s *Span) Start() SpanTimer { return SpanTimer{s: s, t0: time.Now()} }
+
+// Stop ends the timing and folds the elapsed wall-clock time into the span.
+func (t SpanTimer) Stop() { t.s.Add(time.Since(t.t0)) }
+
+// Add records one completed timing of duration d.
+func (s *Span) Add(d time.Duration) {
+	s.ns.Add(int64(d))
+	s.n.Add(1)
+}
+
+// Count returns the number of completed timings.
+func (s *Span) Count() int64 { return s.n.Load() }
+
+// Total returns the accumulated wall-clock time.
+func (s *Span) Total() time.Duration { return time.Duration(s.ns.Load()) }
+
+// Mean returns the average duration per timing (0 if none).
+func (s *Span) Mean() time.Duration {
+	n := s.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.ns.Load() / n)
+}

@@ -1,0 +1,198 @@
+// Package telemetry is the observability layer of the reproduction: a
+// dependency-free (stdlib-only), concurrency-safe metrics registry with four
+// instrument kinds — monotonic counters, last-value gauges, fixed-bucket
+// histograms and timing spans (wall-clock total + call count) — plus a
+// Reporter that renders a registry as human-readable text or Prometheus text
+// exposition format, and a JSON snapshot for machine consumption.
+//
+// The package deliberately imports nothing outside the standard library so
+// every subsystem (the analog engines in internal/core, the cycle simulator
+// in internal/pipeline, the SGD solver in internal/nn) can depend on it
+// without cycles. Instruments are get-or-create by name; name a metric once
+// and every call site shares the same underlying value. Labeled series are
+// plain names built with Name, e.g.
+//
+//	reg.Counter(telemetry.Name("core_weight_writes_total", map[string]string{"stage": "2"})).Inc()
+//
+// which renders as core_weight_writes_total{stage="2"} in both the text and
+// Prometheus outputs.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe collection of named instruments. The zero
+// value is not usable; create one with NewRegistry. All methods are safe for
+// concurrent use; the instruments they return are themselves safe for
+// concurrent use and may be cached by hot call sites to skip the lookup.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	spans      map[string]*Span
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		spans:      map[string]*Span{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Bounds must be strictly
+// increasing; an implicit +Inf bucket is always appended. Later calls ignore
+// the bounds argument (first registration wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Span returns the timing span registered under name, creating it on first
+// use.
+func (r *Registry) Span(name string) *Span {
+	r.mu.RLock()
+	s, ok := r.spans[name]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.spans[name]; !ok {
+		s = &Span{}
+		r.spans[name] = s
+	}
+	return s
+}
+
+// Name builds a labeled metric name: base{k1="v1",k2="v2"} with keys in
+// sorted order so the same label set always produces the same series name.
+// With no labels it returns base unchanged.
+func Name(base string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// splitName separates a series name into its base and its label block
+// (including braces), e.g. `x{a="b"}` → (`x`, `{a="b"}`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored so the
+// counter stays monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by delta (atomic read-modify-write).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

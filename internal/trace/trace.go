@@ -13,10 +13,12 @@ import (
 
 // Gantt renders the pipelined training schedule of L weighted layers for
 // the first `cycles` logical cycles of a run with batch size B. Image
-// indices print modulo 10 so the chart stays aligned.
-func Gantt(L, B, cycles int) string {
+// indices print modulo 10 so the chart stays aligned. Non-positive
+// dimensions are an error, not a panic, so CLI callers can report bad
+// flags cleanly.
+func Gantt(L, B, cycles int) (string, error) {
 	if L <= 0 || B <= 0 || cycles <= 0 {
-		panic("trace: L, B and cycles must be positive")
+		return "", fmt.Errorf("trace: L, B and cycles must be positive, got L=%d B=%d cycles=%d", L, B, cycles)
 	}
 	type unit struct {
 		name string
@@ -81,7 +83,7 @@ func Gantt(L, B, cycles int) string {
 	for _, u := range units {
 		fmt.Fprintf(&sb, "%11s %s\n", u.name, string(u.row))
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
 func bytes(n int) []byte {

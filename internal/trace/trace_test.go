@@ -8,7 +8,10 @@ import (
 func TestGanttFigure6Shape(t *testing.T) {
 	// L=3, B=4 as in the paper's Figure 6: image 0 should occupy A1 at
 	// cycle 1, A2 at cycle 2, A3 at cycle 3, ErrL at cycle 4.
-	out := Gantt(3, 4, 12)
+	out, err := Gantt(3, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	find := func(name string) string {
 		t.Helper()
@@ -37,7 +40,10 @@ func TestGanttFigure6Shape(t *testing.T) {
 func TestGanttUpdateMark(t *testing.T) {
 	// L=2, B=2: period = 2·2+2+1 = 7; the batch of images 0,1 enters at
 	// cycles 1,2; the last image finishes at 2+2L = 6; update at cycle 7.
-	out := Gantt(2, 2, 8)
+	out, err := Gantt(2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, l := range strings.Split(out, "\n") {
 		if strings.Contains(l, "Upd ") {
 			row := l[strings.LastIndex(l, " ")+1:]
@@ -53,7 +59,10 @@ func TestGanttUpdateMark(t *testing.T) {
 func TestGanttOneImagePerCycleWithinBatch(t *testing.T) {
 	// Within a batch, A1 hosts a new image every cycle (Figure 6's key
 	// property).
-	out := Gantt(3, 4, 10)
+	out, err := Gantt(3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, l := range strings.Split(out, "\n") {
 		if strings.Contains(l, " A1 ") || strings.HasSuffix(strings.Fields(l)[0], "A1") {
 			row := strings.Fields(l)[1]
@@ -67,17 +76,21 @@ func TestGanttOneImagePerCycleWithinBatch(t *testing.T) {
 }
 
 func TestGanttValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for _, tc := range []struct{ L, B, cycles int }{
+		{0, 2, 5}, {2, 0, 5}, {2, 2, 0}, {-1, 2, 5}, {2, 2, -3},
+	} {
+		if out, err := Gantt(tc.L, tc.B, tc.cycles); err == nil {
+			t.Fatalf("Gantt(%d,%d,%d) = %q, want error", tc.L, tc.B, tc.cycles, out)
 		}
-	}()
-	Gantt(0, 2, 5)
+	}
 }
 
 func TestGanttSecondBatchAfterDrain(t *testing.T) {
 	// L=2, B=2, period 7: image 2 (next batch) enters A1 at cycle 8.
-	out := Gantt(2, 2, 10)
+	out, err := Gantt(2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, l := range strings.Split(out, "\n") {
 		fields := strings.Fields(l)
 		if len(fields) == 2 && fields[0] == "A1" {

@@ -40,6 +40,7 @@ import (
 	"pipelayer/internal/nn"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/planner"
+	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 	"pipelayer/internal/trace"
 	"pipelayer/internal/workload"
@@ -85,6 +86,18 @@ type (
 	DeepPipelineConfig = isaac.Config
 	// MappingResult is an area-budgeted compiler-optimized mapping.
 	MappingResult = planner.Result
+	// MetricsRegistry is the concurrency-safe telemetry registry (counters,
+	// gauges, histograms, timing spans). Attach one to an Accelerator with
+	// SetMetrics or to a Solver through an EpochRecorder Observer.
+	MetricsRegistry = telemetry.Registry
+	// MetricsReporter renders a registry as human-readable text or
+	// Prometheus exposition format.
+	MetricsReporter = telemetry.Reporter
+	// MetricsSnapshot is a point-in-time, JSON-serializable registry dump.
+	MetricsSnapshot = telemetry.Snapshot
+	// EpochRecorder is a Solver observer that publishes per-epoch
+	// loss/accuracy/throughput into a MetricsRegistry.
+	EpochRecorder = telemetry.EpochRecorder
 )
 
 // NewTensor allocates a zero tensor with the given shape.
@@ -162,7 +175,8 @@ func SaveWeights(w io.Writer, net *Network) error { return checkpoint.Save(w, ne
 func LoadWeights(r io.Reader, net *Network) error { return checkpoint.Load(r, net) }
 
 // ScheduleGantt renders the Figure 6 training schedule as an ASCII chart.
-func ScheduleGantt(L, B, cycles int) string { return trace.Gantt(L, B, cycles) }
+// It returns an error when any dimension is non-positive.
+func ScheduleGantt(L, B, cycles int) (string, error) { return trace.Gantt(L, B, cycles) }
 
 // NewSolver creates an SGD solver with momentum and weight decay.
 func NewSolver(lr, momentum, weightDecay float64) *Solver {
@@ -181,3 +195,6 @@ func DefaultMemoryConfig() MemoryConfig { return memsys.DefaultConfig() }
 
 // DefaultDeepPipeline returns the ISAAC-style comparator configuration.
 func DefaultDeepPipeline() DeepPipelineConfig { return isaac.DefaultConfig() }
+
+// NewMetricsRegistry creates an empty telemetry registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
