@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race race-telemetry bench clean
+# Pinned staticcheck release used by `make lint` and CI. `go run` fetches the
+# exact version on demand, so local and CI runs lint with the same binary.
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: build test check fmt vet race race-telemetry lint bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,8 +31,18 @@ race:
 race-telemetry:
 	$(GO) test -race ./internal/telemetry/...
 
+# lint needs network access the first time (module proxy fetch of the pinned
+# staticcheck); afterwards the module cache makes it hermetic.
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-smoke runs every benchmark in the repo exactly once — a compile-and-
+# execute check for the perf harness, not a measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
 	rm -f pipelayer-sim pipelayer-train pipelayer-bench BENCH_telemetry.json

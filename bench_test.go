@@ -7,6 +7,7 @@ package pipelayer_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -267,21 +268,35 @@ func BenchmarkAblationDeviceVariation(b *testing.B) {
 }
 
 // BenchmarkAnalogTrainingEpoch measures one full analog training epoch of
-// the Mnist-A MLP through the integrated accelerator.
+// the Mnist-A MLP through the integrated accelerator, serially and across
+// worker-pool sizes — the paired benchmark behind the parallel-backend
+// acceptance criterion (results are bit-identical at every size; see
+// internal/core's determinism test).
 func BenchmarkAnalogTrainingEpoch(b *testing.B) {
-	a := pipelayer.NewAccelerator(pipelayer.DefaultDeviceModel())
-	if err := a.TopologySet(networks.MnistA(), 1); err != nil {
-		b.Fatal(err)
-	}
-	if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
-		b.Fatal(err)
-	}
 	train, _ := pipelayer.SyntheticDigits(100, 1, true, 3)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := a.Train(train, 10, 0.05); err != nil {
-			b.Fatal(err)
+	for _, w := range []int{1, 2, 4} {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("workers-%d", w)
 		}
+		b.Run(name, func(b *testing.B) {
+			old := pipelayer.Workers()
+			pipelayer.SetWorkers(w)
+			defer pipelayer.SetWorkers(old)
+			a := pipelayer.NewAccelerator(pipelayer.DefaultDeviceModel())
+			if err := a.TopologySet(networks.MnistA(), 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Train(train, 10, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

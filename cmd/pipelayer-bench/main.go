@@ -19,6 +19,7 @@ import (
 	"pipelayer/internal/dataset"
 	"pipelayer/internal/experiments"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/telemetry"
 )
@@ -29,14 +30,18 @@ func main() {
 	inputBits := flag.Bool("inputbits", false, "run the input-spike-resolution ablation (trains one network)")
 	quick := flag.Bool("quick", false, "shrink the training studies for a fast run")
 	configPath := flag.String("config", "", "JSON file overriding the evaluation setup (see experiments.SetupOverrides)")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	telemetryPath := flag.String("telemetry", "BENCH_telemetry.json", "write the run's telemetry snapshot (stage spans + pipeline utilization) here; empty disables")
 	metricsPath := flag.String("metrics", "", "write an additional JSON telemetry snapshot to this path")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
+
 	var reg *telemetry.Registry
 	if *telemetryPath != "" || *metricsPath != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
+		parallel.Default().AttachMetrics(reg)
 	}
 	if *pprofAddr != "" {
 		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)

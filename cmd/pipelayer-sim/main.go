@@ -23,6 +23,7 @@ import (
 	"pipelayer/internal/experiments"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/trace"
@@ -39,13 +40,17 @@ func main() {
 	list := flag.Bool("list", false, "list available networks")
 	showTrace := flag.Bool("trace", false, "print the Figure 6 schedule gantt for the first pipeline window")
 	topology := flag.String("topology", "", "JSON file describing a custom network (overrides -net)")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
+
 	var reg *telemetry.Registry
 	if *metricsPath != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
+		parallel.Default().AttachMetrics(reg)
 	}
 	if *pprofAddr != "" {
 		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
@@ -207,13 +212,6 @@ func runFunctionalTelemetry(reg *telemetry.Registry, setup experiments.Setup) er
 		rec.ObserveEpoch(epoch, rep.MeanLoss, testRep.Accuracy, ips)
 	}
 	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func totalLogical(plans []mapping.Plan) int {

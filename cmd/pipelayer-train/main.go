@@ -22,6 +22,7 @@ import (
 	"pipelayer/internal/experiments"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/telemetry"
 )
 
@@ -29,13 +30,17 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller dataset and fewer epochs")
 	machine := flag.Bool("machine", false, "run analog-machine fidelity check after training")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
+
 	var reg *telemetry.Registry
 	if *metricsPath != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
+		parallel.Default().AttachMetrics(reg)
 	}
 	if *pprofAddr != "" {
 		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)

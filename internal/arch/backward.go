@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/tensor"
 )
 
@@ -14,11 +15,13 @@ func ReluBackward(delta, d *tensor.Tensor) *tensor.Tensor {
 		panic("arch: ReluBackward operands differ in size")
 	}
 	out := tensor.New(delta.Shape()...)
-	for i, v := range delta.Data() {
-		if d.Data()[i] > 0 {
-			out.Data()[i] = v
+	parallel.Default().For(delta.Size(), parallel.Grain(1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d.Data()[i] > 0 {
+				out.Data()[i] = delta.Data()[i]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -33,22 +36,25 @@ func MaxPoolBackward(delta, dPrev *tensor.Tensor, k int) *tensor.Tensor {
 		panic("arch: MaxPoolBackward shapes inconsistent")
 	}
 	out := tensor.New(c, ih, iw)
-	for ci := 0; ci < c; ci++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				bestY, bestX := oy*k, ox*k
-				best := dPrev.At(ci, bestY, bestX)
-				for ky := 0; ky < k; ky++ {
-					for kx := 0; kx < k; kx++ {
-						if v := dPrev.At(ci, oy*k+ky, ox*k+kx); v > best {
-							best, bestY, bestX = v, oy*k+ky, ox*k+kx
+	// Channels scatter into disjoint planes of out, so they chunk safely.
+	parallel.Default().For(c, parallel.Grain(oh*ow*k*k), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestY, bestX := oy*k, ox*k
+					best := dPrev.At(ci, bestY, bestX)
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							if v := dPrev.At(ci, oy*k+ky, ox*k+kx); v > best {
+								best, bestY, bestX = v, oy*k+ky, ox*k+kx
+							}
 						}
 					}
+					out.Set(delta.At(ci, oy, ox), ci, bestY, bestX)
 				}
-				out.Set(delta.At(ci, oy, ox), ci, bestY, bestX)
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -100,20 +106,25 @@ func ConvDerivative(dPrev, delta *tensor.Tensor, k, pad int) *tensor.Tensor {
 	oh, ow := delta.Dim(1), delta.Dim(2)
 	x := tensor.Pad2D(dPrev, pad)
 	dW := tensor.New(outC, inC, k, k)
-	for o := 0; o < outC; o++ {
-		for c := 0; c < inC; c++ {
-			for ky := 0; ky < k; ky++ {
-				for kx := 0; kx < k; kx++ {
-					s := 0.0
-					for y := 0; y < oh; y++ {
-						for xx := 0; xx < ow; xx++ {
-							s += x.At(c, y+ky, xx+kx) * delta.At(o, y, xx)
+	// Each output-channel plane of ∂W is independent (its own error channel
+	// correlated against every input channel), so outC is the parallel unit;
+	// every (o,c,ky,kx) reduction keeps its serial y/x accumulation order.
+	parallel.Default().For(outC, parallel.Grain(inC*k*k*oh*ow), func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			for c := 0; c < inC; c++ {
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						s := 0.0
+						for y := 0; y < oh; y++ {
+							for xx := 0; xx < ow; xx++ {
+								s += x.At(c, y+ky, xx+kx) * delta.At(o, y, xx)
+							}
 						}
+						dW.Set(s, o, c, ky, kx)
 					}
-					dW.Set(s, o, c, ky, kx)
 				}
 			}
 		}
-	}
+	})
 	return dW
 }

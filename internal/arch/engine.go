@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/reram"
 	"pipelayer/internal/tensor"
 )
@@ -47,17 +48,25 @@ func (e *convEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	ow := tensor.ConvOutDim(e.inW, e.k, e.stride, e.pad)
 	nwin := oh * ow
 	out := tensor.New(e.outC, oh, ow)
-	vec := tensor.New(cols.Dim(0))
-	for w := 0; w < nwin; w++ {
-		for i := 0; i < cols.Dim(0); i++ {
-			vec.Data()[i] = cols.At(i, w)
+	rows := cols.Dim(0)
+	// Windows are the paper's intra-layer duplicates (Section 3.2.3): each
+	// chunk owns a private input-vector buffer and activation-unit clone, and
+	// every window writes a disjoint slice of out, so results are
+	// bit-identical to the serial scan.
+	parallel.Default().For(nwin, parallel.Grain(rows*e.outC), func(lo, hi int) {
+		vec := tensor.New(rows)
+		act := e.act.Clone()
+		for w := lo; w < hi; w++ {
+			for i := 0; i < rows; i++ {
+				vec.Data()[i] = cols.At(i, w)
+			}
+			y := e.arrays.MatVec(vec)
+			for c := 0; c < e.outC; c++ {
+				v := act.Process(y.At(c)+e.bias[c], 0)
+				out.Data()[c*nwin+w] = v
+			}
 		}
-		y := e.arrays.MatVec(vec)
-		for c := 0; c < e.outC; c++ {
-			v := e.act.Process(y.At(c)+e.bias[c], 0)
-			out.Data()[c*nwin+w] = v
-		}
-	}
+	})
 	return out
 }
 
@@ -101,18 +110,23 @@ func (e *poolEngine) name() string { return e.id }
 func (e *poolEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	oh, ow := e.inH/e.k, e.inW/e.k
 	out := tensor.New(e.inC, oh, ow)
-	for c := 0; c < e.inC; c++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				for ky := 0; ky < e.k; ky++ {
-					for kx := 0; kx < e.k; kx++ {
-						e.act.Process(x.At(c, oy*e.k+ky, ox*e.k+kx), 0)
+	// Channels pool independently; each chunk streams through its own
+	// activation-unit clone so the max registers never interleave.
+	parallel.Default().For(e.inC, parallel.Grain(oh*ow*e.k*e.k), func(lo, hi int) {
+		act := e.act.Clone()
+		for c := lo; c < hi; c++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					for ky := 0; ky < e.k; ky++ {
+						for kx := 0; kx < e.k; kx++ {
+							act.Process(x.At(c, oy*e.k+ky, ox*e.k+kx), 0)
+						}
 					}
+					out.Set(act.MaxAndReset(), c, oy, ox)
 				}
-				out.Set(e.act.MaxAndReset(), c, oy, ox)
 			}
 		}
-	}
+	})
 	return out
 }
 

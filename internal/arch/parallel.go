@@ -1,10 +1,10 @@
 package arch
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/reram"
 )
 
@@ -20,15 +20,15 @@ func (m *Machine) CloneShared() *Machine {
 		switch t := e.(type) {
 		case *convEngine:
 			clone := *t // shares arrays (read-only) and bias slice
-			clone.act = reram.NewActivationUnit(reram.ReLULUT())
+			clone.act = t.act.Clone()
 			c.engines = append(c.engines, &clone)
 		case *denseEngine:
 			clone := *t
-			clone.act = reram.NewActivationUnit(reram.ReLULUT())
+			clone.act = t.act.Clone()
 			c.engines = append(c.engines, &clone)
 		case *poolEngine:
 			clone := *t
-			clone.act = reram.NewActivationUnit(nil)
+			clone.act = t.act.Clone()
 			c.engines = append(c.engines, &clone)
 		default:
 			// funcEngine and future stateless stages can be shared as-is.
@@ -38,51 +38,32 @@ func (m *Machine) CloneShared() *Machine {
 	return c
 }
 
-// AccuracyParallel evaluates top-1 accuracy across the samples using up to
-// `workers` machine clones in parallel (workers ≤ 0 selects GOMAXPROCS).
-// The result is identical to Accuracy — the clones share immutable weight
-// arrays and keep all mutable state private.
+// AccuracyParallel evaluates top-1 accuracy across the samples using machine
+// clones fanned out on the worker pool (workers ≤ 0 selects the process-wide
+// pool, otherwise a dedicated pool of that size). The result is identical to
+// Accuracy — the clones share immutable weight arrays and keep all mutable
+// state private, and a correct-prediction count is order-independent.
 func (m *Machine) AccuracyParallel(samples []nn.Sample, workers int) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := parallel.Default()
+	if workers > 0 {
+		pool = parallel.NewPool(workers)
 	}
-	if workers > len(samples) {
-		workers = len(samples)
-	}
-	if workers == 1 {
+	if pool.Workers() == 1 {
 		return m.Accuracy(samples)
 	}
-
-	var wg sync.WaitGroup
-	correct := make([]int, workers)
-	chunk := (len(samples) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(samples) {
-			hi = len(samples)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			clone := m.CloneShared()
-			for _, s := range samples[lo:hi] {
-				if clone.Predict(s.Input) == s.Label {
-					correct[w]++
-				}
+	var correct atomic.Int64
+	pool.For(len(samples), 1, func(lo, hi int) {
+		clone := m.CloneShared()
+		n := 0
+		for _, s := range samples[lo:hi] {
+			if clone.Predict(s.Input) == s.Label {
+				n++
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range correct {
-		total += c
-	}
-	return float64(total) / float64(len(samples))
+		}
+		correct.Add(int64(n))
+	})
+	return float64(correct.Load()) / float64(len(samples))
 }

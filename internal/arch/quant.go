@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"pipelayer/internal/fixed"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/tensor"
 )
 
@@ -26,6 +27,10 @@ type Quantized struct {
 	Rows, Cols int
 	// codes holds the signed 16-bit weight codes (row-major).
 	codes []int32
+	// colCodes holds the same codes column-major, so the per-bit-line
+	// (per-output-column) readout streams contiguously — the layout the
+	// worker pool parallelizes over.
+	colCodes []float64
 	// scale maps code ±65535 to the analog magnitude ±wMax.
 	scale float64
 	// Bits is the input spike resolution.
@@ -44,11 +49,15 @@ func NewQuantized(w *tensor.Tensor, rows, cols, bits int) *Quantized {
 }
 
 // Program (re)writes the weights, refreshing the scale — the same code
-// assignment as reram.ResolutionArray.Program.
+// assignment as reram.ResolutionArray.Program. Both the row-major and the
+// column-major code layouts are refreshed.
 func (q *Quantized) Program(w *tensor.Tensor) {
 	q.scale = w.AbsMax()
 	if q.scale == 0 {
 		q.scale = 1
+	}
+	if len(q.colCodes) != q.Rows*q.Cols {
+		q.colCodes = make([]float64, q.Rows*q.Cols)
 	}
 	for i, v := range w.Data() {
 		mag := math.Round(math.Abs(v) / q.scale * math.MaxUint16)
@@ -57,6 +66,9 @@ func (q *Quantized) Program(w *tensor.Tensor) {
 		} else {
 			q.codes[i] = -int32(mag)
 		}
+		// float64(int32) is exact, so the transposed float mirror produces
+		// bit-identical products to the int32 path.
+		q.colCodes[(i%q.Cols)*q.Rows+i/q.Cols] = float64(q.codes[i])
 	}
 }
 
@@ -68,10 +80,14 @@ func (q *Quantized) WeightCode(row, col int) int32 { return q.codes[row*q.Cols+c
 
 // MatVec computes out_j = Σ_i x_i·w_ij through the quantized datapath:
 // inputs quantized to Bits-bit codes (signed inputs via the two-pass
-// positive/negative mechanism), integer accumulation, rescale.
+// positive/negative mechanism), integer accumulation, rescale. Output
+// columns are the parallel unit — each bit line integrates its own dot
+// product, exactly the per-column independence the spike-domain hardware
+// has — and every column accumulates over rows in ascending order, so the
+// result is bit-identical for any worker count.
 func (q *Quantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
 	if x.Size() != q.Rows {
-		panic(fmt.Sprintf("arch: MatVec input %d elems for %d rows", x.Size(), q.Rows))
+		panic(fmt.Sprintf("arch: MatVec input has %d elems for %d rows (array is %dx%d)", x.Size(), q.Rows, q.Rows, q.Cols))
 	}
 	out := tensor.New(q.Cols)
 	xScale := x.AbsMax()
@@ -79,24 +95,30 @@ func (q *Quantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
 		return out
 	}
 	maxIn := float64(uint64(1)<<uint(q.Bits) - 1)
-	acc := make([]float64, q.Cols)
+	// Quantize the input vector once (shared across every bit line, like the
+	// physical word-line drivers), then integrate the columns in parallel.
+	xc := make([]float64, q.Rows)
 	for i, v := range x.Data() {
 		code := math.Round(math.Abs(v) / xScale * maxIn)
-		if code == 0 {
-			continue
-		}
 		if v < 0 {
 			code = -code
 		}
-		row := q.codes[i*q.Cols : (i+1)*q.Cols]
-		for j, w := range row {
-			acc[j] += code * float64(w)
-		}
+		xc[i] = code
 	}
 	k := xScale / maxIn * q.scale / math.MaxUint16
-	for j, a := range acc {
-		out.Data()[j] = a * k
-	}
+	parallel.Default().For(q.Cols, parallel.Grain(q.Rows), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			col := q.colCodes[j*q.Rows : (j+1)*q.Rows]
+			s := 0.0
+			for i, w := range col {
+				if xc[i] == 0 {
+					continue
+				}
+				s += xc[i] * w
+			}
+			out.Data()[j] = s * k
+		}
+	})
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipelayer/internal/mapping"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/tensor"
 )
 
@@ -61,24 +62,33 @@ func (t *TiledQuantized) TileCount() (int, int) { return t.rowTiles, t.colTiles 
 
 // MatVec computes out_j = Σ_i x_i·w_ij across the tile grid: each row-tile
 // slice of the input drives its row of arrays; per output column the
-// row-tile partial counts are summed.
+// row-tile partial counts are summed. Column tiles own disjoint output
+// ranges, so they chunk across the worker pool; within a column tile the
+// row-tile partials sum in ascending order — the serial accumulation order —
+// keeping the result bit-identical for every worker count.
 func (t *TiledQuantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
 	if x.Size() != t.Rows {
-		panic(fmt.Sprintf("arch: MatVec input %d elems for %d rows", x.Size(), t.Rows))
+		panic(fmt.Sprintf("arch: MatVec input has %d elems for %d rows (matrix is %dx%d)", x.Size(), t.Rows, t.Rows, t.Cols))
 	}
 	out := tensor.New(t.Cols)
+	// One input slice per row tile, shared read-only by every column tile.
+	slices := make([]*tensor.Tensor, t.rowTiles)
 	for r := 0; r < t.rowTiles; r++ {
 		r0 := r * t.Array.Rows
 		r1 := min(r0+t.Array.Rows, t.Rows)
-		slice := tensor.FromSlice(x.Data()[r0:r1], r1-r0)
-		for c := 0; c < t.colTiles; c++ {
+		slices[r] = tensor.FromSlice(x.Data()[r0:r1], r1-r0)
+	}
+	parallel.Default().For(t.colTiles, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
 			c0 := c * t.Array.Cols
-			part := t.tiles[r][c].MatVec(slice)
-			for j, v := range part.Data() {
-				out.Data()[c0+j] += v
+			for r := 0; r < t.rowTiles; r++ {
+				part := t.tiles[r][c].MatVec(slices[r])
+				for j, v := range part.Data() {
+					out.Data()[c0+j] += v
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

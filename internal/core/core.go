@@ -20,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"pipelayer/internal/arch"
 	"pipelayer/internal/energy"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
@@ -163,13 +165,35 @@ func (a *Accelerator) Test(samples []nn.Sample) (Report, error) {
 	if len(samples) == 0 {
 		return Report{}, errors.New("core: Test with no samples")
 	}
-	correct := 0
-	for _, s := range samples {
-		y := a.forward(s.Input)
-		if _, idx := y.Max(); idx == s.Label {
-			correct++
+	// Images fan out across engine clones that share the programmed arrays
+	// (the weight replication of Section 3.2.3 applied to Test throughput);
+	// each clone owns its activation buffers and a correct-prediction count
+	// is order-independent, so the result matches the serial scan exactly.
+	tel := a.stageTelemetrySlice()
+	var correct atomic.Int64
+	parallel.Default().For(len(samples), 1, func(lo, hi int) {
+		engines := make([]layerEngine, len(a.engines))
+		for i, e := range a.engines {
+			engines[i] = e.cloneForInference()
 		}
-	}
+		hits := 0
+		for _, s := range samples[lo:hi] {
+			x := s.Input
+			for i, e := range engines {
+				if tel != nil {
+					t := tel[i].forward.Start()
+					x = e.forward(x)
+					t.Stop()
+				} else {
+					x = e.forward(x)
+				}
+			}
+			if _, idx := x.Max(); idx == s.Label {
+				hits++
+			}
+		}
+		correct.Add(int64(hits))
+	})
 	n := len(samples)
 	a.countImages("core_test_images_total", n)
 	L := a.spec.WeightedLayers()
@@ -177,7 +201,7 @@ func (a *Accelerator) Test(samples []nn.Sample) (Report, error) {
 	sim.Record(a.metrics)
 	return Report{
 		Images:   n,
-		Accuracy: float64(correct) / float64(n),
+		Accuracy: float64(correct.Load()) / float64(n),
 		Cycles:   sim.Cycles,
 		Seconds:  a.model.TestingTime(a.spec, a.plans, n, a.pipelined),
 		Energy:   a.model.TestingEnergy(a.spec, a.plans, n, a.pipelined),
@@ -189,6 +213,12 @@ func (a *Accelerator) Test(samples []nn.Sample) (Report, error) {
 // partial derivatives accumulate in the gradient buffers, and the averaged
 // update is applied through the hardware read–modify–write at each batch
 // boundary. It returns the functional results plus the modeled run cost.
+//
+// The image loop itself stays serial: gradient buffers accumulate per image
+// in a fixed order, and fanning images out would reassociate those floating-
+// point sums, breaking the bit-identity with TrainPipelined. All parallelism
+// comes from inside the per-image tensor and crossbar ops, which preserve
+// the serial accumulation order (see internal/parallel).
 func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report, error) {
 	if !a.loaded {
 		return Report{}, errors.New("core: Train before Weight_load")

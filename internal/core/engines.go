@@ -33,6 +33,12 @@ type layerEngine interface {
 	// weights returns the stage's master parameter tensors (empty for
 	// weight-free stages), for snapshotting and verification.
 	weights() []*tensor.Tensor
+	// cloneForInference returns an engine sharing the programmed arrays and
+	// master weights but owning private activation buffers (lastIn/lastOut),
+	// so independent images can stream through concurrently — the weight
+	// replication of Section 3.2.3 applied to Test throughput. Clones must
+	// only run forward.
+	cloneForInference() layerEngine
 }
 
 // buildEngines lowers a float network onto analog layer engines. Supported
@@ -114,6 +120,8 @@ func (e *denseEngine) program() {
 }
 
 func (e *denseEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
+
+func (e *denseEngine) cloneForInference() layerEngine { c := *e; return &c }
 
 func (e *denseEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	e.inShape = x.Shape()
@@ -213,6 +221,8 @@ func (e *convEngine) program() {
 }
 
 func (e *convEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
+
+func (e *convEngine) cloneForInference() layerEngine { c := *e; return &c }
 
 func (e *convEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	e.lastIn = x.Clone()
@@ -354,3 +364,5 @@ func (e *poolEngine) errorBackward(delta, input *tensor.Tensor) *tensor.Tensor {
 func (e *poolEngine) applyUpdate(float64, int, *arch.UpdateUnit) {}
 
 func (e *poolEngine) weights() []*tensor.Tensor { return nil }
+
+func (e *poolEngine) cloneForInference() layerEngine { c := *e; return &c }

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 )
@@ -31,7 +33,11 @@ import (
 // cycles, the paper's ring depth, with the consume-before-write ordering
 // that lets the slot be rewritten in the very cycle it drains.
 type ring struct {
-	name    string
+	name string
+	// mu serializes the live-flag scans against concurrent same-cycle ops:
+	// different ops touch different entries, but peek's scan reads every
+	// entry's live flag while consume clears another's.
+	mu      sync.Mutex
 	entries []ringEntry
 	wp      int
 }
@@ -50,6 +56,8 @@ func newRing(name string, depth int) *ring {
 }
 
 func (r *ring) write(image int, t *tensor.Tensor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e := &r.entries[r.wp]
 	if e.live {
 		panic(fmt.Sprintf("core: ring %s overwrites live data of image %d with image %d", r.name, e.image, image))
@@ -60,6 +68,8 @@ func (r *ring) write(image int, t *tensor.Tensor) {
 
 // peek returns image's live entry without retiring it.
 func (r *ring) peek(image int) *tensor.Tensor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for i := range r.entries {
 		e := &r.entries[i]
 		if e.live && e.image == image {
@@ -71,6 +81,8 @@ func (r *ring) peek(image int) *tensor.Tensor {
 
 // consume retires image's entry and returns its tensor.
 func (r *ring) consume(image int) *tensor.Tensor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for i := range r.entries {
 		e := &r.entries[i]
 		if e.live && e.image == image {
@@ -136,17 +148,32 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 	// error op (opErrLast/opErrChain/opGradFirst) times against the stage
 	// whose error arrays execute it.
 	tel := a.stageTelemetrySlice()
+	pool := parallel.Default()
 	for c := 1; c <= last; c++ {
 		// All reads/consumes execute during the cycle; the produced tensors
 		// are written to the rings at the cycle boundary (consume-before-
 		// write, Section 3.3).
+		//
+		// Within a cycle every op runs on a distinct unit — the schedule
+		// places at most one op per engine stage per cycle, ops of one cycle
+		// touch different ring entries, and per-engine gradient accumulation
+		// stays ordered by the serial cycle loop — so a cycle's ops fan out
+		// across the worker pool exactly like the hardware's concurrent
+		// stages. Each op records its ring writes and loss term in its own
+		// slot; the slots drain in op order at the cycle boundary, keeping
+		// ring write-pointer order and loss summation order identical to the
+		// serial schedule. Weight updates (always alone in their cycle) run
+		// inline.
 		type pendingWrite struct {
 			ring  *ring
 			image int
 			data  *tensor.Tensor
 		}
-		var writes []pendingWrite
-		for _, op := range byCycle[c] {
+		ops := byCycle[c]
+		writes := make([][]pendingWrite, len(ops))
+		losses := make([]float64, len(ops))
+		runOp := func(oi int) {
+			op := ops[oi]
 			var tm telemetry.SpanTimer
 			timed := false
 			if tel != nil {
@@ -170,21 +197,21 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 					x = dRing[op.stage-1].peek(op.image)
 				}
 				y := a.engines[op.stage-1].forward(x)
-				writes = append(writes, pendingWrite{dRing[op.stage], op.image, y})
+				writes[oi] = append(writes[oi], pendingWrite{dRing[op.stage], op.image, y})
 			case opErrLast:
 				y := dRing[L].consume(op.image)
 				t := nn.OneHot(samples[op.image].Label, classes)
-				totalLoss += a.loss.Loss(y, t)
+				losses[oi] = a.loss.Loss(y, t)
 				raw := a.loss.Grad(y, t)
 				g := a.engines[L-1].maskError(raw, y)
-				writes = append(writes, pendingWrite{deltaRing[L], op.image, g})
+				writes[oi] = append(writes[oi], pendingWrite{deltaRing[L], op.image, g})
 			case opErrChain:
 				l := op.stage // producing δ_l from δ_{l+1}
 				delta := deltaRing[l+1].consume(op.image)
 				dl := dRing[l].consume(op.image) // final user of d_l
 				raw := a.engines[l].errorBackward(delta, dl)
 				g := a.engines[l-1].maskError(raw, dl)
-				writes = append(writes, pendingWrite{deltaRing[l], op.image, g})
+				writes[oi] = append(writes[oi], pendingWrite{deltaRing[l], op.image, g})
 			case opGradFirst:
 				delta := deltaRing[1].consume(op.image)
 				a.engines[0].errorBackward(delta, samples[op.image].Input)
@@ -205,8 +232,29 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 				tm.Stop()
 			}
 		}
-		for _, w := range writes {
-			w.ring.write(w.image, w.data)
+		serial := len(ops) == 1
+		for _, op := range ops {
+			if op.kind == opUpdate {
+				serial = true // updates mutate every engine; never overlap them
+			}
+		}
+		if serial {
+			for oi := range ops {
+				runOp(oi)
+			}
+		} else {
+			tasks := make([]func(), len(ops))
+			for oi := range ops {
+				oi := oi
+				tasks[oi] = func() { runOp(oi) }
+			}
+			pool.Run(tasks)
+		}
+		for oi := range ops {
+			for _, w := range writes[oi] {
+				w.ring.write(w.image, w.data)
+			}
+			totalLoss += losses[oi]
 		}
 	}
 

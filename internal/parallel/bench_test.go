@@ -1,0 +1,30 @@
+package parallel
+
+import "testing"
+
+// BenchmarkForOverhead measures the fixed cost of a fan-out over a trivial
+// body — the floor under which a grain should keep loops inline.
+func BenchmarkForOverhead(b *testing.B) {
+	p := NewPool(0)
+	sink := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(len(sink), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sink[j] += 1
+			}
+		})
+	}
+}
+
+// BenchmarkForSerialBaseline is the inline loop BenchmarkForOverhead pays a
+// scheduling premium over.
+func BenchmarkForSerialBaseline(b *testing.B) {
+	sink := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range sink {
+			sink[j] += 1
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package parallel provides the shared worker pool behind every data-parallel
+// hot path in the reproduction: the tensor matmul/im2col kernels, the
+// quantized crossbar readout, the per-column spike integration, and the
+// batch-level fan-out of the executors. It is the software analogue of the
+// paper's intra-layer parallelism (Section 3.2.3): the same weights replicated
+// across crossbar groups so independent slices of work proceed concurrently.
+//
+// Determinism contract: For splits [0,n) into chunks whose boundaries are a
+// pure function of (n, grain, workers) — no work stealing, no dynamic
+// rebalancing — and every caller routes work so that chunks either write
+// disjoint output ranges or preserve the serial per-element accumulation
+// order. Under that discipline results are bit-identical to the serial path
+// for every worker count, which TestParallelDeterminism asserts across
+// workers {1, 2, 7, GOMAXPROCS}.
+//
+// Sizing: pools default to GOMAXPROCS, overridable per pool via NewPool and
+// process-wide via the PIPELAYER_WORKERS environment variable or SetWorkers
+// (the -workers flag on the commands). Serial() is the escape hatch: a pool
+// that always runs inline.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"pipelayer/internal/telemetry"
+)
+
+// EnvWorkers is the environment variable that overrides the default pool
+// size (a positive integer; invalid or unset values fall back to GOMAXPROCS).
+const EnvWorkers = "PIPELAYER_WORKERS"
+
+// MinChunkWork is the minimum number of elementary operations (multiply-adds,
+// element copies) a chunk should amortize before a loop is worth fanning out;
+// below it the goroutine hand-off costs more than it buys.
+const MinChunkWork = 1 << 15
+
+// Grain converts a per-iteration operation count into the minimum iterations
+// per chunk that keeps every chunk above MinChunkWork — the standard grain
+// argument for For over rows/columns/channels of known unit cost.
+func Grain(perItem int) int {
+	if perItem <= 0 {
+		perItem = 1
+	}
+	g := MinChunkWork / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Pool is a deterministic fork-join worker pool. The zero value is not
+// usable; create pools with NewPool or use the process-wide Default pool.
+// All methods are safe for concurrent use.
+type Pool struct {
+	workers int
+
+	// active tracks chunks executing right now (pool occupancy).
+	active atomic.Int64
+	// parallelFors / serialFors / chunks count For invocations that fanned
+	// out, For invocations that ran inline, and total chunks executed.
+	parallelFors atomic.Int64
+	serialFors   atomic.Int64
+	chunks       atomic.Int64
+
+	// occupancy is the optional telemetry gauge mirroring active, and the
+	// tel* counters are its companions; all are set by AttachMetrics and
+	// updated live from For.
+	occupancy   atomic.Pointer[telemetry.Gauge]
+	telParallel atomic.Pointer[telemetry.Counter]
+	telSerial   atomic.Pointer[telemetry.Counter]
+	telChunks   atomic.Pointer[telemetry.Counter]
+}
+
+// DefaultWorkers returns the process-wide default pool size: the value of
+// PIPELAYER_WORKERS when it parses to a positive integer, else GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewPool creates a pool with the given worker count; workers <= 0 selects
+// DefaultWorkers().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Occupancy returns the number of chunks executing at this instant.
+func (p *Pool) Occupancy() int { return int(p.active.Load()) }
+
+// Stats returns cumulative scheduling counters: For calls that fanned out,
+// For calls that ran inline, and total chunks executed.
+func (p *Pool) Stats() (parallelFors, serialFors, chunks int64) {
+	return p.parallelFors.Load(), p.serialFors.Load(), p.chunks.Load()
+}
+
+// AttachMetrics publishes the pool's occupancy gauge and scheduling counters
+// into reg under the parallel_pool_* names and keeps them updated live from
+// every subsequent For; nil detaches. Counts recorded before attachment are
+// carried over on attach.
+func (p *Pool) AttachMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		p.occupancy.Store(nil)
+		p.telParallel.Store(nil)
+		p.telSerial.Store(nil)
+		p.telChunks.Store(nil)
+		return
+	}
+	reg.Gauge("parallel_pool_workers").Set(float64(p.workers))
+	g := reg.Gauge("parallel_pool_active_chunks")
+	g.Set(float64(p.active.Load()))
+	cp := reg.Counter("parallel_pool_parallel_for_total")
+	cs := reg.Counter("parallel_pool_serial_for_total")
+	cc := reg.Counter("parallel_pool_chunks_total")
+	cp.Add(p.parallelFors.Load() - cp.Value())
+	cs.Add(p.serialFors.Load() - cs.Value())
+	cc.Add(p.chunks.Load() - cc.Value())
+	p.telParallel.Store(cp)
+	p.telSerial.Store(cs)
+	p.telChunks.Store(cc)
+	p.occupancy.Store(g)
+}
+
+// count bumps an internal counter and its attached telemetry twin.
+func count(internal *atomic.Int64, tel *atomic.Pointer[telemetry.Counter], n int64) {
+	internal.Add(n)
+	if c := tel.Load(); c != nil {
+		c.Add(n)
+	}
+}
+
+// chunkSize returns the fixed chunk size for a loop of n iterations with the
+// given minimum grain: the smallest grain multiple that needs at most
+// p.workers chunks. It depends only on (n, grain, workers).
+func (p *Pool) chunkSize(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	c := (n + p.workers - 1) / p.workers
+	return (c + grain - 1) / grain * grain
+}
+
+// For executes fn over contiguous index ranges covering [0, n) using up to
+// Workers() concurrent chunks, each at least grain iterations (except the
+// final remainder chunk). fn(lo, hi) must handle the half-open range [lo, hi)
+// and must not depend on which chunk it runs in. For returns when every chunk
+// has finished. Loops smaller than one chunk (or on a 1-worker pool) run
+// inline on the caller's goroutine — the serial path and the parallel path
+// execute the same per-element operation order, so results are identical.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunk := p.chunkSize(n, grain)
+	if p.workers == 1 || chunk >= n {
+		count(&p.serialFors, &p.telSerial, 1)
+		count(&p.chunks, &p.telChunks, 1)
+		p.enter()
+		fn(0, n)
+		p.leave()
+		return
+	}
+	nchunks := (n + chunk - 1) / chunk
+	count(&p.parallelFors, &p.telParallel, 1)
+	count(&p.chunks, &p.telChunks, int64(nchunks))
+	// A panic in any chunk is captured (first one wins) and re-raised on the
+	// caller's goroutine after all chunks finish, matching the serial path's
+	// behaviour of panicking out of For rather than crashing the process.
+	var panicOnce sync.Once
+	var panicVal any
+	run := func(lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicVal = r })
+			}
+		}()
+		p.enter()
+		defer p.leave()
+		fn(lo, hi)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nchunks - 1)
+	for c := 1; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	// The caller's goroutine participates as the first worker.
+	run(0, chunk)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// Run executes the given independent tasks concurrently on up to Workers()
+// goroutines (the caller's included) and returns when all have finished.
+// Tasks are assigned to workers in fixed contiguous blocks, so scheduling is
+// deterministic in the same sense as For.
+func (p *Pool) Run(tasks []func()) {
+	p.For(len(tasks), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tasks[i]()
+		}
+	})
+}
+
+func (p *Pool) enter() {
+	v := p.active.Add(1)
+	if g := p.occupancy.Load(); g != nil {
+		g.Set(float64(v))
+	}
+}
+
+func (p *Pool) leave() {
+	v := p.active.Add(-1)
+	if g := p.occupancy.Load(); g != nil {
+		g.Set(float64(v))
+	}
+}
+
+// defaultPool is the shared process-wide pool; serialPool always runs inline.
+var (
+	defaultPool atomic.Pointer[Pool]
+	serialPool  = &Pool{workers: 1}
+)
+
+func init() {
+	defaultPool.Store(NewPool(0))
+}
+
+// Default returns the process-wide shared pool.
+func Default() *Pool { return defaultPool.Load() }
+
+// Serial returns the escape-hatch pool that always runs inline on the
+// caller's goroutine.
+func Serial() *Pool { return serialPool }
+
+// SetWorkers replaces the process-wide pool with one of the given size
+// (n <= 0 restores the environment/GOMAXPROCS default) and returns the new
+// size. In-flight For calls on the previous pool finish undisturbed.
+func SetWorkers(n int) int {
+	p := NewPool(n)
+	defaultPool.Store(p)
+	return p.workers
+}
+
+// Workers returns the process-wide pool's worker count.
+func Workers() int { return Default().workers }

@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pipelayer/internal/telemetry"
+)
+
+// TestForCoversRange checks that For visits every index exactly once for a
+// sweep of sizes, grains and worker counts.
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 15, 16, 17, 100, 1023} {
+			for _, grain := range []int{0, 1, 4, 64} {
+				hits := make([]int32, n)
+				p.For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: bad range [%d,%d)", workers, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunkBoundariesFixed checks that the chunk decomposition is a pure
+// function of (n, grain, workers): two runs see identical boundaries.
+func TestChunkBoundariesFixed(t *testing.T) {
+	p := NewPool(4)
+	collect := func() map[[2]int]bool {
+		set := make(map[[2]int]bool)
+		m := make(chan [2]int, 64)
+		p.For(103, 8, func(lo, hi int) { m <- [2]int{lo, hi} })
+		close(m)
+		for r := range m {
+			set[r] = true
+		}
+		return set
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunk count changed between runs: %d vs %d", len(a), len(b))
+	}
+	for r := range a {
+		if !b[r] {
+			t.Fatalf("chunk %v present in first run, absent in second", r)
+		}
+	}
+	// Every chunk except the remainder must be a multiple of the grain.
+	for r := range a {
+		if r[1] != 103 && (r[1]-r[0])%8 != 0 {
+			t.Fatalf("interior chunk %v is not a grain multiple", r)
+		}
+	}
+}
+
+// TestGrainForcesSerial checks that loops smaller than one grain run inline.
+func TestGrainForcesSerial(t *testing.T) {
+	p := NewPool(8)
+	calls := 0
+	p.For(100, 100, func(lo, hi int) { calls++ }) // no atomics: must be inline
+	if calls != 1 {
+		t.Fatalf("expected 1 inline chunk, got %d", calls)
+	}
+	pf, sf, _ := p.Stats()
+	if pf != 0 || sf != 1 {
+		t.Fatalf("expected (0 parallel, 1 serial) For, got (%d, %d)", pf, sf)
+	}
+}
+
+func TestSerialPool(t *testing.T) {
+	if Serial().Workers() != 1 {
+		t.Fatalf("Serial() pool has %d workers", Serial().Workers())
+	}
+	sum := 0
+	Serial().For(10, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i // safe: always inline
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("serial For sum = %d, want 45", sum)
+	}
+}
+
+func TestNestedFor(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	p.For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(16, 1, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if total.Load() != 8*16 {
+		t.Fatalf("nested For executed %d iterations, want %d", total.Load(), 8*16)
+	}
+}
+
+func TestRun(t *testing.T) {
+	p := NewPool(3)
+	var done [7]atomic.Bool
+	tasks := make([]func(), len(done))
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { done[i].Store(true) }
+	}
+	p.Run(tasks)
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d did not run", i)
+		}
+	}
+}
+
+func TestDefaultWorkersEnv(t *testing.T) {
+	t.Setenv(EnvWorkers, "7")
+	if got := DefaultWorkers(); got != 7 {
+		t.Fatalf("DefaultWorkers with %s=7 = %d", EnvWorkers, got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers with invalid env = %d, want GOMAXPROCS", got)
+	}
+	os.Unsetenv(EnvWorkers)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers unset = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	if got := SetWorkers(5); got != 5 || Workers() != 5 {
+		t.Fatalf("SetWorkers(5) = %d, Workers() = %d", got, Workers())
+	}
+	if got := SetWorkers(0); got != DefaultWorkers() {
+		t.Fatalf("SetWorkers(0) = %d, want default %d", got, DefaultWorkers())
+	}
+}
+
+func TestAttachMetrics(t *testing.T) {
+	p := NewPool(3)
+	p.For(10, 1, func(lo, hi int) {}) // counted before attach
+	reg := telemetry.NewRegistry()
+	p.AttachMetrics(reg)
+	if got := reg.Gauge("parallel_pool_workers").Value(); got != 3 {
+		t.Fatalf("parallel_pool_workers = %v, want 3", got)
+	}
+	pf, sf, ch := p.Stats()
+	if got := reg.Counter("parallel_pool_parallel_for_total").Value(); got != pf {
+		t.Fatalf("parallel_for_total = %d, want %d", got, pf)
+	}
+	if got := reg.Counter("parallel_pool_serial_for_total").Value(); got != sf {
+		t.Fatalf("serial_for_total = %d, want %d", got, sf)
+	}
+	if got := reg.Counter("parallel_pool_chunks_total").Value(); got != ch {
+		t.Fatalf("chunks_total = %d, want %d", got, ch)
+	}
+	p.For(100, 1, func(lo, hi int) {})
+	if got := reg.Gauge("parallel_pool_active_chunks").Value(); got != 0 {
+		t.Fatalf("active_chunks after quiescence = %v, want 0", got)
+	}
+	if p.Occupancy() != 0 {
+		t.Fatalf("Occupancy after quiescence = %d, want 0", p.Occupancy())
+	}
+}

@@ -21,6 +21,11 @@ type ActivationUnit struct {
 // memory, and during the weight-update read path of Section 4.4.2).
 func NewActivationUnit(lut *LUT) *ActivationUnit { return &ActivationUnit{lut: lut} }
 
+// Clone returns an activation unit sharing the (read-only) LUT with a
+// cleared max register — the per-worker peripheral copy that lets window
+// chunks stream through the same configured function concurrently.
+func (a *ActivationUnit) Clone() *ActivationUnit { return &ActivationUnit{lut: a.lut} }
+
 // Subtract is the subtractor stage: D_P − D_N.
 func (a *ActivationUnit) Subtract(dp, dn float64) float64 { return dp - dn }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/spike"
 )
 
@@ -88,18 +89,26 @@ func (x *Crossbar) MatVecSpike(inputCodes []uint64, inBits int) []int {
 	}
 	trains := spike.EncodeVector(inputCodes, inBits)
 	out := make([]int, x.Cols)
-	col := make([]float64, x.Rows)
-	for j := 0; j < x.Cols; j++ {
-		for i := 0; i < x.Rows; i++ {
-			col[i] = x.cells[i*x.Cols+j].Conductance()
+	inSpikes := make([]int, x.Cols)
+	// Bit lines integrate independently — exactly the hardware's column
+	// parallelism — so columns chunk across the worker pool, each chunk with
+	// its own conductance buffer and IF units. The stats counters accumulate
+	// serially afterwards so they match the serial path exactly.
+	parallel.Default().For(x.Cols, parallel.Grain(x.Rows*inBits), func(lo, hi int) {
+		col := make([]float64, x.Rows)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < x.Rows; i++ {
+				col[i] = x.cells[i*x.Cols+j].Conductance()
+			}
+			f := spike.NewIntegrateFire(1)
+			out[j], inSpikes[j] = spike.DotProduct(trains, col, f)
 		}
-		f := spike.NewIntegrateFire(1)
-		count, inSpikes := spike.DotProduct(trains, col, f)
-		out[j] = count
+	})
+	for j, count := range out {
 		// Input spikes are physically shared across all bit lines of the
 		// array; charge them once (for j == 0) rather than per column.
 		if j == 0 {
-			x.stats.InputSpikes += inSpikes
+			x.stats.InputSpikes += inSpikes[0]
 		}
 		x.stats.OutputSpikes += count
 	}

@@ -1,0 +1,52 @@
+package reram
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pipelayer/internal/parallel"
+)
+
+// TestParallelDeterminismSpikeReadout asserts the per-column spike
+// integration of MatVecSpike returns identical counts — and accumulates
+// identical energy stats — across worker counts {1, 2, 7, GOMAXPROCS}.
+func TestParallelDeterminismSpikeReadout(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rows, cols, bits = 37, 23, 8
+	codes := make([]uint8, rows*cols)
+	for i := range codes {
+		codes[i] = uint8(rng.Intn(16))
+	}
+	inputs := make([]uint64, rows)
+	for i := range inputs {
+		inputs[i] = uint64(rng.Intn(1 << bits))
+	}
+
+	run := func(workers int) ([]int, Stats) {
+		old := parallel.Workers()
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		xb := NewCrossbar(rows, cols)
+		xb.ProgramCodes(codes)
+		xb.ResetStats()
+		out := xb.MatVecSpike(inputs, bits)
+		return out, xb.Stats()
+	}
+
+	refOut, refStats := run(1)
+	for _, w := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		out, stats := run(w)
+		if len(out) != len(refOut) {
+			t.Fatalf("%d workers: %d columns, want %d", w, len(out), len(refOut))
+		}
+		for j := range out {
+			if out[j] != refOut[j] {
+				t.Errorf("%d workers: column %d count %d, serial %d", w, j, out[j], refOut[j])
+			}
+		}
+		if stats != refStats {
+			t.Errorf("%d workers: stats %+v, serial %+v", w, stats, refStats)
+		}
+	}
+}

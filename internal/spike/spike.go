@@ -9,6 +9,8 @@ package spike
 import (
 	"fmt"
 	"math"
+
+	"pipelayer/internal/parallel"
 )
 
 // Train is the spike train for one input value: Slots[k] is true when a
@@ -64,12 +66,15 @@ func CountSpikes(t Train) int {
 	return n
 }
 
-// EncodeVector encodes every element of a code vector.
+// EncodeVector encodes every element of a code vector. Elements encode into
+// disjoint slots of the result, so long vectors chunk across the worker pool.
 func EncodeVector(codes []uint64, bits int) []Train {
 	out := make([]Train, len(codes))
-	for i, c := range codes {
-		out[i] = Encode(c, bits)
-	}
+	parallel.Default().For(len(codes), parallel.Grain(bits), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Encode(codes[i], bits)
+		}
+	})
 	return out
 }
 

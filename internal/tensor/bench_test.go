@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"pipelayer/internal/parallel"
+)
+
+// benchWorkers is the serial-vs-parallel sweep every paired benchmark runs:
+// the serial baseline, then power-of-two pools up to the machine width (4 is
+// always included so the ≥2x-at-4-workers acceptance shape is present).
+func benchWorkers() []int {
+	ws := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func withPoolB(b *testing.B, workers int, f func()) {
+	old := parallel.Workers()
+	parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(old)
+	f()
+}
+
+// BenchmarkMatMul runs the (256×256)·(256×256) product serially and on
+// growing pools — the paired benchmark behind the ≥2x-at-4-workers
+// acceptance criterion.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(256, 256).RandNormal(rng, 0, 1)
+	c := New(256, 256).RandNormal(rng, 0, 1)
+	for _, w := range benchWorkers() {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("workers-%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			withPoolB(b, w, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMul(a, c)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMatMulTransA benchmarks the weight-gradient product Aᵀ·B.
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(256, 256).RandNormal(rng, 0, 1)
+	c := New(256, 256).RandNormal(rng, 0, 1)
+	for _, w := range benchWorkers() {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("workers-%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			withPoolB(b, w, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulTransA(a, c)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkConv2D benchmarks the im2col+matmul convolution on the VGG-ish
+// bench shape across pool sizes.
+func BenchmarkConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(16, 28, 28).RandNormal(rng, 0, 1)
+	k := New(32, 16, 3, 3).RandNormal(rng, 0, 1)
+	bias := New(32).RandNormal(rng, 0, 1)
+	for _, w := range benchWorkers() {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("workers-%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			withPoolB(b, w, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Conv2D(x, k, bias, 1, 1)
+				}
+			})
+		})
+	}
+}
+
+// TestMatMulParallelSpeedup asserts the headline acceptance number — the
+// 4-worker MatMul at least doubles serial throughput on the bench shape —
+// whenever the host has the cores to show it. Wall-clock assertions are
+// meaningless on narrower machines (this repo's CI bench job runs on ≥4
+// vCPUs), so the test skips rather than lies there, and the bit-identical
+// determinism tests carry the correctness half unconditionally.
+func TestMatMulParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 CPUs to demonstrate 4-worker scaling, have %d", runtime.GOMAXPROCS(0))
+	}
+	rng := rand.New(rand.NewSource(4))
+	a := New(384, 384).RandNormal(rng, 0, 1)
+	c := New(384, 384).RandNormal(rng, 0, 1)
+
+	measure := func(workers int) time.Duration {
+		old := parallel.Workers()
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		MatMul(a, c) // warm up
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			for i := 0; i < 4; i++ {
+				MatMul(a, c)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	serial := measure(1)
+	par := measure(4)
+	speedup := float64(serial) / float64(par)
+	t.Logf("MatMul 384³: serial %v, 4 workers %v (%.2fx)", serial, par, speedup)
+	if speedup < 2 {
+		t.Errorf("4-worker MatMul speedup %.2fx < 2x (serial %v, parallel %v)", speedup, serial, par)
+	}
+}

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"pipelayer/internal/parallel"
+)
 
 // Convolution helpers. Images are rank-3 tensors in (C, H, W) layout; kernel
 // banks are rank-4 in (OutC, InC, KH, KW) layout, matching the paper's
@@ -99,26 +103,27 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	}
 	cols := New(c*kh*kw, oh*ow)
 	ncols := oh * ow
-	for ci := 0; ci < c; ci++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := ((ci*kh+ky)*kw + kx) * ncols
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						continue // padding region stays zero
+	// Each flat (ci,ky,kx) triple fills exactly one row of cols, so the
+	// triples parallelize with disjoint writes.
+	parallel.Default().For(c*kh*kw, rowGrain(ncols), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ci, ky, kx := r/(kh*kw), (r/kw)%kh, r%kw
+			row := r * ncols
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= h {
+					continue // padding region stays zero
+				}
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*stride + kx - pad
+					if ix < 0 || ix >= w {
+						continue
 					}
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
-							continue
-						}
-						cols.data[row+oy*ow+ox] = x.data[ci*h*w+iy*w+ix]
-					}
+					cols.data[row+oy*ow+ox] = x.data[ci*h*w+iy*w+ix]
 				}
 			}
 		}
-	}
+	})
 	return cols
 }
 
@@ -133,26 +138,32 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 	}
 	x := New(c, h, w)
 	ncols := oh * ow
-	for ci := 0; ci < c; ci++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := ((ci*kh+ky)*kw + kx) * ncols
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
+	// Overlapping windows of the same channel accumulate into shared pixels,
+	// so the safe parallel unit is the channel: each channel's (ky,kx,oy,ox)
+	// scatter order is exactly the serial order, and channels write disjoint
+	// planes — bit-identical for every worker count.
+	parallel.Default().For(c, rowGrain(kh*kw*ncols), func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := ((ci*kh+ky)*kw + kx) * ncols
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
 							continue
 						}
-						x.data[ci*h*w+iy*w+ix] += cols.data[row+oy*ow+ox]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							x.data[ci*h*w+iy*w+ix] += cols.data[row+oy*ow+ox]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return x
 }
 
@@ -180,13 +191,15 @@ func Conv2D(x, kernels, bias *Tensor, stride, pad int) *Tensor {
 			panic(fmt.Sprintf("tensor: Conv2D bias size %d != out channels %d", bias.Size(), oc))
 		}
 		plane := oh * ow
-		for o := 0; o < oc; o++ {
-			b := bias.data[o]
-			seg := out.data[o*plane : (o+1)*plane]
-			for i := range seg {
-				seg[i] += b
+		parallel.Default().For(oc, rowGrain(plane), func(lo, hi int) {
+			for o := lo; o < hi; o++ {
+				b := bias.data[o]
+				seg := out.data[o*plane : (o+1)*plane]
+				for i := range seg {
+					seg[i] += b
+				}
 			}
-		}
+		})
 	}
 	return out
 }
@@ -194,6 +207,15 @@ func Conv2D(x, kernels, bias *Tensor, stride, pad int) *Tensor {
 // Conv2DDirect is a loop-nest reference implementation of Conv2D used by
 // tests (and the BenchmarkAblationConv ablation) to validate the im2col path.
 func Conv2DDirect(x, kernels, bias *Tensor, stride, pad int) *Tensor {
+	if x.Rank() != 3 || kernels.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2DDirect requires (C,H,W) input and (OC,C,KH,KW) kernels, got %v and %v", x.shape, kernels.shape))
+	}
+	if kernels.shape[1] != x.shape[0] {
+		panic(fmt.Sprintf("tensor: Conv2DDirect channel mismatch: input has %d channels, kernels expect %d", x.shape[0], kernels.shape[1]))
+	}
+	if bias != nil && bias.Size() != kernels.shape[0] {
+		panic(fmt.Sprintf("tensor: Conv2DDirect bias size %d != out channels %d", bias.Size(), kernels.shape[0]))
+	}
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	oc, _, kh, kw := kernels.shape[0], kernels.shape[1], kernels.shape[2], kernels.shape[3]
 	oh := ConvOutDim(h, kh, stride, pad)

@@ -1,9 +1,20 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"pipelayer/internal/parallel"
+)
+
+// rowGrain converts a per-row operation count into the minimum number of rows
+// per chunk that keeps every chunk above parallel.MinChunkWork.
+func rowGrain(perRow int) int { return parallel.Grain(perRow) }
 
 // MatMul computes the matrix product C = A·B for rank-2 tensors.
-// A is (m×k), B is (k×n); the result is (m×n).
+// A is (m×k), B is (k×n); the result is (m×n). Rows of C are computed in
+// parallel chunks on the shared worker pool; each output element accumulates
+// in the same order as the serial loop, so the result is bit-identical for
+// every worker count.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
@@ -11,10 +22,12 @@ func MatMul(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v vs %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: (%d×%d)·(%d×%d) needs %d == %d", m, k, k2, n, k, k2))
 	}
 	c := New(m, n)
-	matmulInto(c.data, a.data, b.data, m, k, n)
+	parallel.Default().For(m, rowGrain(k*n), func(lo, hi int) {
+		matmulInto(c.data[lo*n:hi*n], a.data[lo*k:hi*k], b.data, hi-lo, k, n)
+	})
 	return c
 }
 
@@ -43,45 +56,52 @@ func MatVec(a, x *Tensor) *Tensor {
 	}
 	m, k := a.shape[0], a.shape[1]
 	if k != x.shape[0] {
-		panic(fmt.Sprintf("tensor: MatVec dims differ: %v vs %v", a.shape, x.shape))
+		panic(fmt.Sprintf("tensor: MatVec dims differ: %v vs %v (matrix has %d cols, vector %d elems)", a.shape, x.shape, k, x.shape[0]))
 	}
 	y := New(m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*k : (i+1)*k]
-		s := 0.0
-		for j, v := range row {
-			s += v * x.data[j]
+	parallel.Default().For(m, rowGrain(k), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*k : (i+1)*k]
+			s := 0.0
+			for j, v := range row {
+				s += v * x.data[j]
+			}
+			y.data[i] = s
 		}
-		y.data[i] = s
-	}
+	})
 	return y
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is (k×m) and B is (k×n).
-// Useful for weight-gradient computation without materializing Aᵀ.
+// Useful for weight-gradient computation without materializing Aᵀ. The loop
+// nest iterates output rows outermost (each reduces over p in ascending
+// order, exactly the element-wise order of the classical p-outer nest), so
+// rows parallelize with bit-identical results.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransA requires rank-2 operands")
+		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: %v vs %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: Aᵀ is (%d×%d), B is (%d×%d), needs %d == %d", m, k, k2, n, k, k2))
 	}
 	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	parallel.Default().For(m, rowGrain(k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			crow := c.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -89,26 +109,28 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // Useful for error backpropagation δ_{l-1} = Wᵀ δ_l expressed row-wise.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransB requires rank-2 operands")
+		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v vs %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: A is (%d×%d), Bᵀ is (%d×%d), needs %d == %d", m, k, k2, n, k, k2))
 	}
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
+	parallel.Default().For(m, rowGrain(k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			crow := c.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] = s
 			}
-			crow[j] = s
 		}
-	}
+	})
 	return c
 }
 
@@ -119,11 +141,13 @@ func Transpose(a *Tensor) *Tensor {
 	}
 	m, n := a.shape[0], a.shape[1]
 	t := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			t.data[j*m+i] = a.data[i*n+j]
+	parallel.Default().For(m, rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				t.data[j*m+i] = a.data[i*n+j]
+			}
 		}
-	}
+	})
 	return t
 }
 
@@ -131,16 +155,18 @@ func Transpose(a *Tensor) *Tensor {
 // matrix. It is the shape of the inner-product weight gradient ∂J/∂W = d δᵀ.
 func Outer(x, y *Tensor) *Tensor {
 	if x.Rank() != 1 || y.Rank() != 1 {
-		panic("tensor: Outer requires rank-1 operands")
+		panic(fmt.Sprintf("tensor: Outer requires rank-1 operands, got %v and %v", x.shape, y.shape))
 	}
 	m, n := x.shape[0], y.shape[0]
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		xv := x.data[i]
-		row := c.data[i*n : (i+1)*n]
-		for j, yv := range y.data {
-			row[j] = xv * yv
+	parallel.Default().For(m, rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xv := x.data[i]
+			row := c.data[i*n : (i+1)*n]
+			for j, yv := range y.data {
+				row[j] = xv * yv
+			}
 		}
-	}
+	})
 	return c
 }

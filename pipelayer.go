@@ -38,6 +38,7 @@ import (
 	"pipelayer/internal/memsys"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/planner"
 	"pipelayer/internal/telemetry"
@@ -198,3 +199,16 @@ func DefaultDeepPipeline() DeepPipelineConfig { return isaac.DefaultConfig() }
 
 // NewMetricsRegistry creates an empty telemetry registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// SetWorkers resizes the process-wide worker pool behind every parallel hot
+// path (tensor kernels, crossbar readout, batch fan-out). n ≤ 0 restores the
+// PIPELAYER_WORKERS/GOMAXPROCS default; 1 forces fully serial execution.
+// Results are bit-identical at every size. Returns the new pool size.
+func SetWorkers(n int) int { return parallel.SetWorkers(n) }
+
+// Workers returns the process-wide worker pool size.
+func Workers() int { return parallel.Workers() }
+
+// AttachPoolMetrics publishes the shared worker pool's occupancy gauge and
+// scheduling counters (parallel_pool_*) into reg; nil detaches.
+func AttachPoolMetrics(reg *MetricsRegistry) { parallel.Default().AttachMetrics(reg) }
