@@ -4,7 +4,7 @@ GO ?= go
 # exact version on demand, so local and CI runs lint with the same binary.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test check fmt vet race race-telemetry lint bench bench-smoke clean
+.PHONY: build test check fmt vet race race-telemetry race-fault fault-smoke lint bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,19 @@ race:
 race-telemetry:
 	$(GO) test -race ./internal/telemetry/...
 
+# Fault state must only mutate in serial program/tick sections while the
+# parallel readout workers read it; this suite proves that under the race
+# detector, including the worker-count determinism sweeps.
+race-fault:
+	$(GO) test -race ./internal/fault/... ./internal/core/...
+
+# fault-smoke runs the accuracy-vs-fault-density sweep at tiny scale — an
+# end-to-end check that injection, remapping, degradation and the JSON
+# report all work, not an accuracy measurement.
+fault-smoke:
+	$(GO) run ./cmd/pipelayer-bench -faults -quick -telemetry "" -faultout BENCH_fault.json > /dev/null
+	@test -s BENCH_fault.json && echo "BENCH_fault.json written"
+
 # lint needs network access the first time (module proxy fetch of the pinned
 # staticcheck); afterwards the module cache makes it hermetic.
 lint:
@@ -45,4 +58,4 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
-	rm -f pipelayer-sim pipelayer-train pipelayer-bench BENCH_telemetry.json
+	rm -f pipelayer-sim pipelayer-train pipelayer-bench BENCH_telemetry.json BENCH_fault.json

@@ -7,6 +7,7 @@
 //	pipelayer-bench            # all analytic tables and figures
 //	pipelayer-bench -fig13     # additionally train the Figure 13 networks
 //	pipelayer-bench -fig13 -quick
+//	pipelayer-bench -faults    # accuracy-vs-fault-density robustness sweep
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 	variation := flag.Bool("variation", false, "run the device-variation extension study (trains two networks)")
 	inputBits := flag.Bool("inputbits", false, "run the input-spike-resolution ablation (trains one network)")
 	quick := flag.Bool("quick", false, "shrink the training studies for a fast run")
+	faults := flag.Bool("faults", false, "run the accuracy-vs-fault-density robustness sweep (trains on the accelerator per density and tolerance mode)")
+	faultOut := flag.String("faultout", "BENCH_fault.json", "write the fault sweep results here (empty disables; only with -faults)")
 	configPath := flag.String("config", "", "JSON file overriding the evaluation setup (see experiments.SetupOverrides)")
 	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	telemetryPath := flag.String("telemetry", "BENCH_telemetry.json", "write the run's telemetry snapshot (stage spans + pipeline utilization) here; empty disables")
@@ -104,6 +107,25 @@ func main() {
 		fmt.Println(experiments.VariationStudy(cfg).Render())
 	} else {
 		fmt.Println("(device-variation study skipped; pass -variation to run it)")
+	}
+
+	if *faults {
+		cfg := experiments.DefaultFaultSweepConfig()
+		if *quick {
+			cfg.TrainSamples, cfg.TestSamples, cfg.Epochs = 48, 32, 1
+			cfg.Densities = []float64{0, 1e-5, 5e-4}
+		}
+		res := experiments.FaultSweep(cfg)
+		fmt.Println(res.Render())
+		if *faultOut != "" {
+			if err := res.WriteJSON(*faultOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("fault sweep written to %s\n\n", *faultOut)
+		}
+	} else {
+		fmt.Println("(fault robustness sweep skipped; pass -faults to run it)")
 	}
 
 	if *inputBits {

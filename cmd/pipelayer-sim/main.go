@@ -21,6 +21,7 @@ import (
 	"pipelayer/internal/core"
 	"pipelayer/internal/dataset"
 	"pipelayer/internal/experiments"
+	"pipelayer/internal/fault"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/parallel"
@@ -43,9 +44,19 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
+	faultCfg := fault.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	parallel.SetWorkers(*workers)
+
+	var inj *fault.Injector
+	if faultCfg.Enabled() {
+		var err error
+		if inj, err = fault.New(*faultCfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	var reg *telemetry.Registry
 	if *metricsPath != "" || *pprofAddr != "" {
@@ -160,17 +171,23 @@ func main() {
 		fmt.Printf("\nschedule (first %d cycles, Figure 6 style):\n%s", window, gantt)
 	}
 
-	if reg != nil && training {
+	if (reg != nil && training) || inj != nil {
 		// A small instrumented functional run fills the snapshot with real
 		// stage spans, weight-write counts and per-epoch loss/accuracy. The
 		// analytic simulation above only yields cycle/buffer gauges; the
 		// functional pass always uses Mnist-A so it completes in seconds
-		// regardless of the simulated geometry.
-		if err := runFunctionalTelemetry(reg, setup); err != nil {
+		// regardless of the simulated geometry. With -fault-* flags set the
+		// same run exercises the fault-injected datapath.
+		if err := runFunctionalTelemetry(reg, setup, inj); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("telemetry : instrumented Mnist-A functional run (2 epochs) recorded\n")
+	}
+	if inj != nil {
+		c := inj.Counters()
+		fmt.Printf("faults    : injected=%d retried=%d write-failed=%d worn-out=%d remapped=%d degraded=%d corrupt=%d refreshes=%d\n",
+			c.Injected, c.Retried, c.WriteFailed, c.WornOut, c.Remapped, c.Degraded, c.Corrupted, c.Refreshes)
 	}
 	if *metricsPath != "" {
 		if err := reg.WriteJSONFile(*metricsPath); err != nil {
@@ -183,18 +200,29 @@ func main() {
 
 // runFunctionalTelemetry trains Mnist-A from scratch on the instrumented
 // accelerator for two epochs, publishing stage spans, weight-write counters
-// and per-epoch loss/accuracy/throughput into reg.
-func runFunctionalTelemetry(reg *telemetry.Registry, setup experiments.Setup) error {
+// and per-epoch loss/accuracy/throughput into reg (nil reg runs without
+// instruments). A non-nil injector wires the fault model into every array.
+func runFunctionalTelemetry(reg *telemetry.Registry, setup experiments.Setup, inj *fault.Injector) error {
 	acc := core.New(setup.Model)
+	if inj != nil {
+		if err := acc.SetFaults(inj); err != nil {
+			return err
+		}
+	}
 	if err := acc.TopologySet(networks.MnistA(), 1); err != nil {
 		return err
+	}
+	if reg != nil {
+		acc.SetMetrics(reg)
 	}
 	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
 		return err
 	}
-	acc.SetMetrics(reg)
 	train, test := dataset.TrainTest(200, 100, dataset.DefaultOptions(true), 7)
-	rec := &telemetry.EpochRecorder{Registry: reg}
+	var rec *telemetry.EpochRecorder
+	if reg != nil {
+		rec = &telemetry.EpochRecorder{Registry: reg}
+	}
 	for epoch := 1; epoch <= 2; epoch++ {
 		start := time.Now()
 		rep, err := acc.Train(train, 10, 0.05)
@@ -205,11 +233,13 @@ func runFunctionalTelemetry(reg *telemetry.Registry, setup experiments.Setup) er
 		if err != nil {
 			return err
 		}
-		ips := 0.0
-		if el := time.Since(start).Seconds(); el > 0 {
-			ips = float64(rep.Images) / el
+		if rec != nil {
+			ips := 0.0
+			if el := time.Since(start).Seconds(); el > 0 {
+				ips = float64(rep.Images) / el
+			}
+			rec.ObserveEpoch(epoch, rep.MeanLoss, testRep.Accuracy, ips)
 		}
-		rec.ObserveEpoch(epoch, rep.MeanLoss, testRep.Accuracy, ips)
 	}
 	return nil
 }

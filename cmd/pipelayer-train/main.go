@@ -9,6 +9,8 @@
 //	pipelayer-train                 # full study
 //	pipelayer-train -quick          # smaller dataset/epochs
 //	pipelayer-train -machine        # additionally verify analog inference
+//	pipelayer-train -machine -checkpoint ckpt.plkp   # crash-safe resume
+//	pipelayer-train -machine -fault-stuck-off 1e-4   # faulty crossbars
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"os"
 
 	"pipelayer/internal/arch"
+	"pipelayer/internal/checkpoint"
 	"pipelayer/internal/dataset"
 	"pipelayer/internal/experiments"
+	"pipelayer/internal/fault"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
 	"pipelayer/internal/parallel"
@@ -33,6 +37,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file for the -machine training loop: saved atomically after every epoch and auto-resumed at startup")
+	faultCfg := fault.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	parallel.SetWorkers(*workers)
@@ -69,21 +75,58 @@ func main() {
 		spec := networks.Mnist0()
 		net := networks.BuildTrainable(spec, rng)
 		train, test := dataset.TrainTest(cfg.TrainSamples, cfg.TestSamples, dataset.DefaultOptions(false), cfg.Seed)
+		// Crash-safe resume: a valid checkpoint restores the weights and the
+		// epoch to continue from; a corrupt one is a hard error (never
+		// silently retrained over), and none at all is a cold start.
+		startEpoch := 0
+		if *ckptPath != "" {
+			ep, ok, err := checkpoint.Resume(*ckptPath, net)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if ok {
+				startEpoch = ep
+				fmt.Printf("  resumed from %s at epoch %d\n", *ckptPath, ep)
+			}
+		}
 		// Plain SGD through the solver (μ = λ = 0 makes Step identical to
 		// Network.ApplyUpdate) so an observer can publish per-epoch stats.
 		solver := nn.NewSolver(0.05, 0, 0)
 		if reg != nil {
 			solver.Observer = &telemetry.EpochRecorder{Registry: reg}
 		}
-		for e := 0; e < cfg.Epochs; e++ {
+		for e := startEpoch; e < cfg.Epochs; e++ {
 			loss := solver.TrainEpoch(net, train, cfg.Batch)
 			fmt.Printf("  epoch %d: loss %.4f\n", e+1, loss)
+			if *ckptPath != "" {
+				if err := checkpoint.SaveFile(*ckptPath, net, e+1); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
 		}
 		floatAcc := net.Accuracy(test)
-		m := arch.BuildMachine(net, 16)
+		var inj *fault.Injector
+		if faultCfg.Enabled() {
+			var err error
+			if inj, err = fault.New(*faultCfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if reg != nil {
+				inj.AttachMetrics(reg)
+			}
+		}
+		m := arch.BuildMachineFaults(net, 16, inj)
 		analogAcc := m.Accuracy(test)
 		fmt.Printf("  float accuracy : %.3f\n", floatAcc)
 		fmt.Printf("  analog accuracy: %.3f (PipeLayer machine, quantized crossbars)\n", analogAcc)
+		if inj != nil {
+			c := inj.Counters()
+			fmt.Printf("  faults         : injected=%d remapped=%d degraded=%d corrupt=%d\n",
+				c.Injected, c.Remapped, c.Degraded, c.Corrupted)
+		}
 	}
 
 	if *metricsPath != "" {

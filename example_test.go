@@ -2,6 +2,7 @@ package pipelayer_test
 
 import (
 	"fmt"
+	"math/rand"
 
 	pipelayer "pipelayer"
 )
@@ -43,6 +44,30 @@ func ExampleForwardGOPs() {
 	g := pipelayer.ForwardGOPs(pipelayer.VGG("D"))
 	fmt.Printf("%.0f GOPs\n", g)
 	// Output: 31 GOPs
+}
+
+// Fault injection: a seeded injector wires stuck cells, drift, endurance
+// wear and write failures into every crossbar; spare-column remapping and
+// the digital-emulation fallback repair what they can, and the counters
+// report the outcome. The same seed reproduces the same faults and repair
+// decisions at every worker count.
+func ExampleNewFaultInjector() {
+	inj, err := pipelayer.NewFaultInjector(pipelayer.FaultConfig{
+		Seed:     42,
+		StuckOff: 1e-4, StuckOn: 5e-5, // stuck-at cell densities
+		Spares:  4,    // redundant columns per array
+		Degrade: true, // fall back to digital emulation when spares run out
+	})
+	if err != nil {
+		panic(err)
+	}
+	spec := pipelayer.EvaluationNetworks()[0] // Mnist-A
+	net := pipelayer.BuildTrainable(spec, rand.New(rand.NewSource(1)))
+	m := pipelayer.BuildFaultyMachine(net, 16, inj)
+	_ = m // ready for Accuracy/Predict — results repaired where spares allowed
+	c := inj.Counters()
+	fmt.Println("corrupt columns:", c.Corrupted)
+	// Output: corrupt columns: 0
 }
 
 // The Figure 6 schedule rendered as a Gantt chart: each row is a hardware

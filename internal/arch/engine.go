@@ -3,6 +3,7 @@ package arch
 import (
 	"fmt"
 
+	"pipelayer/internal/fault"
 	"pipelayer/internal/nn"
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/reram"
@@ -135,7 +136,23 @@ func (e *poolEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 // covers every trainable network in the zoo. spikeBits is the input
 // resolution (16 by default, Section 5.1).
 func BuildMachine(net *nn.Network, spikeBits int) *Machine {
+	return BuildMachineFaults(net, spikeBits, nil)
+}
+
+// BuildMachineFaults is BuildMachine with a fault injector wired into every
+// weight array: the k-th weighted layer's array gets array id k in the
+// injector's deterministic draw space. A nil injector yields the ideal
+// machine.
+func BuildMachineFaults(net *nn.Network, spikeBits int, inj *fault.Injector) *Machine {
 	m := &Machine{Name: net.Name, Bank: reram.NewMemoryBank()}
+	arrayID := uint64(0)
+	attach := func(q *Quantized) *Quantized {
+		if inj != nil {
+			q.AttachFaults(inj, arrayID)
+			arrayID++
+		}
+		return q
+	}
 	layers := net.Layers
 	for i := 0; i < len(layers); i++ {
 		switch l := layers[i].(type) {
@@ -157,7 +174,7 @@ func BuildMachine(net *nn.Network, spikeBits int) *Machine {
 				id:  l.Name(),
 				inC: inC, inH: inH, inW: inW, outC: outC,
 				k: k, stride: stride, pad: pad,
-				arrays: NewQuantized(tensor.Transpose(wmat), inC*k*k, outC, spikeBits),
+				arrays: attach(NewQuantized(tensor.Transpose(wmat), inC*k*k, outC, spikeBits)),
 				bias:   append([]float64(nil), l.Bias().Value.Data()...),
 				act:    act,
 			}
@@ -171,7 +188,7 @@ func BuildMachine(net *nn.Network, spikeBits int) *Machine {
 			}
 			e := &denseEngine{
 				id: l.Name(), in: l.In(), out: l.Out(),
-				arrays: NewQuantized(tensor.Transpose(l.Weights().Value), l.In(), l.Out(), spikeBits),
+				arrays: attach(NewQuantized(tensor.Transpose(l.Weights().Value), l.In(), l.Out(), spikeBits)),
 				bias:   append([]float64(nil), l.Bias().Value.Data()...),
 				act:    reram.NewActivationUnit(reram.ReLULUT()),
 				relu:   relu,

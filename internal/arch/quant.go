@@ -13,6 +13,7 @@ import (
 
 	"pipelayer/internal/fixed"
 	"pipelayer/internal/parallel"
+	"pipelayer/internal/reram"
 	"pipelayer/internal/tensor"
 )
 
@@ -35,6 +36,9 @@ type Quantized struct {
 	scale float64
 	// Bits is the input spike resolution.
 	Bits int
+	// faults is the optional fault-injection state (see faults.go); nil
+	// means the ideal model with zero overhead on the read path.
+	faults *qFaults
 }
 
 // NewQuantized programs a (rows×cols) float weight matrix at 16-bit signed
@@ -69,6 +73,9 @@ func (q *Quantized) Program(w *tensor.Tensor) {
 		// float64(int32) is exact, so the transposed float mirror produces
 		// bit-identical products to the int32 path.
 		q.colCodes[(i%q.Cols)*q.Rows+i/q.Cols] = float64(q.codes[i])
+	}
+	if q.faults != nil {
+		q.faults.refresh(q)
 	}
 }
 
@@ -106,15 +113,25 @@ func (q *Quantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
 		xc[i] = code
 	}
 	k := xScale / maxIn * q.scale / math.MaxUint16
+	f := q.faults
 	parallel.Default().For(q.Cols, parallel.Grain(q.Rows), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			col := q.colCodes[j*q.Rows : (j+1)*q.Rows]
+			if f != nil {
+				// The effective readout folds in stuck cells, remap and
+				// degrade; drift scales every analog column (degraded
+				// columns are computed digitally and do not drift).
+				col = f.eff[j*q.Rows : (j+1)*q.Rows]
+			}
 			s := 0.0
 			for i, w := range col {
 				if xc[i] == 0 {
 					continue
 				}
 				s += xc[i] * w
+			}
+			if f != nil && f.drift != 1 && f.class[j] != reram.ColDegraded {
+				s *= f.drift
 			}
 			out.Data()[j] = s * k
 		}

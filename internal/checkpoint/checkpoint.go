@@ -4,13 +4,19 @@
 // into a freshly assembled network of the same topology.
 //
 // The format is a small self-describing binary container (magic, version,
-// parameter count, then per parameter: name, shape, float64 data), written
-// with encoding/binary in little-endian order.
+// epoch, parameter count, then per parameter: name, shape, float64 data;
+// finally a CRC32-IEEE trailer over everything before it), written with
+// encoding/binary in little-endian order. The checksum makes torn writes
+// and bit rot detectable, which is what lets training auto-resume trust a
+// checkpoint found on disk after a crash.
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -18,106 +24,169 @@ import (
 )
 
 // magic identifies checkpoint streams; version gates format changes.
+// Version 2 added the epoch field and the CRC32 trailer.
 const (
 	magic   = 0x504c4b50 // "PLKP"
-	version = 1
+	version = 2
 )
 
-// Save writes every parameter of the network to w.
-func Save(w io.Writer, net *nn.Network) error {
+// ErrChecksum reports a checkpoint whose CRC32 trailer does not match its
+// payload — a torn write or on-disk corruption.
+var ErrChecksum = errors.New("checkpoint: checksum mismatch")
+
+// Save writes every parameter of the network to w (at epoch 0).
+func Save(w io.Writer, net *nn.Network) error { return SaveState(w, net, 0) }
+
+// SaveState writes the network parameters plus the training epoch they were
+// captured at, followed by a CRC32-IEEE trailer of the whole payload.
+func SaveState(w io.Writer, net *nn.Network, epoch int) error {
+	if epoch < 0 {
+		return fmt.Errorf("checkpoint: negative epoch %d", epoch)
+	}
+	// Build the payload in memory so the checksum covers exactly the bytes
+	// written; checkpoints are a few MB at most.
+	var buf bytes.Buffer
 	params := net.Params()
-	if err := writeU32(w, magic); err != nil {
+	if err := writeU32(&buf, magic); err != nil {
 		return err
 	}
-	if err := writeU32(w, version); err != nil {
+	if err := writeU32(&buf, version); err != nil {
 		return err
 	}
-	if err := writeU32(w, uint32(len(params))); err != nil {
+	if err := writeU32(&buf, uint32(epoch)); err != nil {
+		return err
+	}
+	if err := writeU32(&buf, uint32(len(params))); err != nil {
 		return err
 	}
 	for _, p := range params {
-		if err := writeString(w, p.Name); err != nil {
+		if err := writeString(&buf, p.Name); err != nil {
 			return err
 		}
 		shape := p.Value.Shape()
-		if err := writeU32(w, uint32(len(shape))); err != nil {
+		if err := writeU32(&buf, uint32(len(shape))); err != nil {
 			return err
 		}
 		for _, d := range shape {
-			if err := writeU32(w, uint32(d)); err != nil {
+			if err := writeU32(&buf, uint32(d)); err != nil {
 				return err
 			}
 		}
 		for _, v := range p.Value.Data() {
-			if err := writeU64(w, math.Float64bits(v)); err != nil {
+			if err := writeU64(&buf, math.Float64bits(v)); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return writeU32(w, crc32.ChecksumIEEE(buf.Bytes()))
 }
 
-// Load reads a checkpoint from r into the network's parameters. The network
-// must have the same parameter names and shapes the checkpoint was saved
-// from (i.e. the same topology and layer names).
+// Load reads a checkpoint from r into the network's parameters, discarding
+// the stored epoch. The network must have the same parameter names and
+// shapes the checkpoint was saved from (i.e. the same topology and layer
+// names).
 func Load(r io.Reader, net *nn.Network) error {
+	_, err := LoadState(r, net)
+	return err
+}
+
+// LoadState reads a checkpoint from r, validates the CRC32 trailer, and
+// restores the network parameters; it returns the epoch the checkpoint was
+// saved at. On any error — including a checksum mismatch (ErrChecksum) —
+// the network is left untouched: values are staged and committed only after
+// the whole stream validates.
+func LoadState(r io.Reader, net *nn.Network) (int, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<31))
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: reading stream: %w", err)
+	}
+	if len(raw) < 4 {
+		return 0, fmt.Errorf("checkpoint: truncated stream (%d bytes)", len(raw))
+	}
+	payload, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, fmt.Errorf("%w (file %#x, computed %#x)", ErrChecksum, want, got)
+	}
+	return loadPayload(bytes.NewReader(payload), net)
+}
+
+// loadPayload parses the checksummed payload and commits it into net.
+func loadPayload(r *bytes.Reader, net *nn.Network) (int, error) {
 	m, err := readU32(r)
 	if err != nil {
-		return fmt.Errorf("checkpoint: reading magic: %w", err)
+		return 0, fmt.Errorf("checkpoint: reading magic: %w", err)
 	}
 	if m != magic {
-		return fmt.Errorf("checkpoint: bad magic %#x", m)
+		return 0, fmt.Errorf("checkpoint: bad magic %#x", m)
 	}
 	v, err := readU32(r)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if v != version {
-		return fmt.Errorf("checkpoint: unsupported version %d", v)
+		return 0, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	epoch, err := readU32(r)
+	if err != nil {
+		return 0, err
 	}
 	count, err := readU32(r)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	params := net.Params()
 	if int(count) != len(params) {
-		return fmt.Errorf("checkpoint: has %d params, network has %d", count, len(params))
+		return 0, fmt.Errorf("checkpoint: has %d params, network has %d", count, len(params))
 	}
-	for _, p := range params {
+	// Stage every tensor first so a mismatch mid-stream cannot leave the
+	// network half-restored.
+	staged := make([][]float64, len(params))
+	for pi, p := range params {
 		name, err := readString(r)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if name != p.Name {
-			return fmt.Errorf("checkpoint: parameter %q does not match network parameter %q", name, p.Name)
+			return 0, fmt.Errorf("checkpoint: parameter %q does not match network parameter %q", name, p.Name)
 		}
 		rank, err := readU32(r)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		wantShape := p.Value.Shape()
 		if int(rank) != len(wantShape) {
-			return fmt.Errorf("checkpoint: %s has rank %d, want %d", name, rank, len(wantShape))
+			return 0, fmt.Errorf("checkpoint: %s has rank %d, want %d", name, rank, len(wantShape))
 		}
 		for i := 0; i < int(rank); i++ {
 			d, err := readU32(r)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if int(d) != wantShape[i] {
-				return fmt.Errorf("checkpoint: %s dim %d is %d, want %d", name, i, d, wantShape[i])
+				return 0, fmt.Errorf("checkpoint: %s dim %d is %d, want %d", name, i, d, wantShape[i])
 			}
 		}
-		data := p.Value.Data()
+		data := make([]float64, p.Value.Size())
 		for i := range data {
 			bits, err := readU64(r)
 			if err != nil {
-				return fmt.Errorf("checkpoint: %s data: %w", name, err)
+				return 0, fmt.Errorf("checkpoint: %s data: %w", name, err)
 			}
 			data[i] = math.Float64frombits(bits)
 		}
+		staged[pi] = data
 	}
-	return nil
+	if r.Len() != 0 {
+		return 0, fmt.Errorf("checkpoint: %d trailing bytes after last parameter", r.Len())
+	}
+	for pi, p := range params {
+		copy(p.Value.Data(), staged[pi])
+	}
+	return int(epoch), nil
 }
 
 func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }

@@ -1,0 +1,70 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"pipelayer/internal/nn"
+)
+
+// SaveFile atomically writes a checkpoint to path: the payload goes to a
+// temp file in the same directory, is flushed to stable storage, and only
+// then renamed over the target. A crash at any point leaves either the old
+// checkpoint or the new one — never a torn file — which is what makes
+// auto-resume after a kill safe.
+func SaveFile(path string, net *nn.Network, epoch int) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = SaveState(tmp, net, epoch); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing temp file: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing temp file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads and validates the checkpoint at path into net, returning
+// the epoch it was saved at.
+func LoadFile(path string, net *nn.Network) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return LoadState(f, net)
+}
+
+// Resume restores training state from path if a checkpoint exists there:
+// ok reports whether one was loaded. A missing file is the normal cold-start
+// case (0, false, nil); a present-but-corrupt file is a hard error so a
+// damaged checkpoint is never silently ignored and overwritten.
+func Resume(path string, net *nn.Network) (epoch int, ok bool, err error) {
+	epoch, err = LoadFile(path, net)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return epoch, true, nil
+}

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/tensor"
+)
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.plkp")
+	rng := rand.New(rand.NewSource(1))
+	net := networks.BuildTrainable(networks.Mnist0(), rng)
+	for _, p := range net.Params() {
+		p.Value.RandNormal(rng, 0, 0.3)
+	}
+	if err := SaveFile(path, net, 7); err != nil {
+		t.Fatal(err)
+	}
+	net2 := networks.BuildTrainable(networks.Mnist0(), rand.New(rand.NewSource(9)))
+	epoch, err := LoadFile(path, net2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 7 {
+		t.Fatalf("epoch = %d, want 7", epoch)
+	}
+	p1, p2 := net.Params(), net2.Params()
+	for i := range p1 {
+		if !tensor.Equal(p1[i].Value, p2[i].Value, 0) {
+			t.Fatalf("param %s differs after file round trip", p1[i].Name)
+		}
+	}
+	// The atomic write must leave no temp-file litter behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestLoadRejectsBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, net, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{4, buf.Len() / 2, buf.Len() - 1} {
+		raw := append([]byte(nil), buf.Bytes()...)
+		raw[pos] ^= 0x01
+		target := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(3)))
+		before := target.Params()[0].Value.Clone()
+		_, err := LoadState(bytes.NewReader(raw), target)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", pos, err)
+		}
+		// A rejected load must leave the network untouched.
+		if !tensor.Equal(target.Params()[0].Value, before, 0) {
+			t.Fatalf("flip at %d: rejected load mutated the network", pos)
+		}
+	}
+}
+
+func TestLoadRejectsMidWriteTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := networks.BuildTrainable(networks.MnistA(), rng)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, net, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, 16, buf.Len() / 3, buf.Len() - 4, buf.Len() - 1} {
+		target := networks.BuildTrainable(networks.MnistA(), rng)
+		if _, err := LoadState(bytes.NewReader(buf.Bytes()[:cut]), target); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.plkp")
+	net := networks.BuildTrainable(networks.Mnist0(), rand.New(rand.NewSource(5)))
+
+	// Cold start: no checkpoint is the normal case, not an error.
+	epoch, ok, err := Resume(path, net)
+	if err != nil || ok || epoch != 0 {
+		t.Fatalf("cold start: (%d, %v, %v), want (0, false, nil)", epoch, ok, err)
+	}
+
+	if err := SaveFile(path, net, 4); err != nil {
+		t.Fatal(err)
+	}
+	epoch, ok, err = Resume(path, net)
+	if err != nil || !ok || epoch != 4 {
+		t.Fatalf("warm start: (%d, %v, %v), want (4, true, nil)", epoch, ok, err)
+	}
+
+	// A corrupt checkpoint is a hard error — never silently ignored.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(path, net); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt resume: err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestResumeEquivalence is the crash-recovery acceptance criterion: training
+// N epochs straight produces bit-identical weights to training k epochs,
+// checkpointing, restoring into a fresh network, and training the remaining
+// N−k epochs. The plain-SGD trainer is deterministic (no shuffling), so the
+// comparison is exact.
+func TestResumeEquivalence(t *testing.T) {
+	const total, split = 5, 2
+	train := dataset.Generate(40, dataset.DefaultOptions(true), 6)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.plkp")
+
+	straight := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(8)))
+	for e := 0; e < total; e++ {
+		straight.TrainEpoch(train, 10, 0.1)
+	}
+
+	first := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(8)))
+	for e := 0; e < split; e++ {
+		first.TrainEpoch(train, 10, 0.1)
+	}
+	if err := SaveFile(path, first, split); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(99)))
+	epoch, ok, err := Resume(path, resumed)
+	if err != nil || !ok || epoch != split {
+		t.Fatalf("resume: (%d, %v, %v), want (%d, true, nil)", epoch, ok, err, split)
+	}
+	for e := epoch; e < total; e++ {
+		resumed.TrainEpoch(train, 10, 0.1)
+	}
+
+	ps, pr := straight.Params(), resumed.Params()
+	for i := range ps {
+		if !tensor.Equal(ps[i].Value, pr[i].Value, 0) {
+			t.Fatalf("param %s: resumed training diverged from uninterrupted run", ps[i].Name)
+		}
+	}
+}

@@ -26,8 +26,20 @@ func FuzzLoad(f *testing.F) {
 	truncated := append([]byte(nil), valid[:16]...)
 	f.Add(truncated)
 	huge := append([]byte(nil), valid...)
-	huge[12] = 0xFF // implausible string length field
+	huge[16] = 0xFF // implausible string length field
 	f.Add(huge)
+	// Mid-write crash artifacts: a torn write can cut the stream anywhere,
+	// including inside the header, a shape, or the float data.
+	for _, cut := range []int{3, 7, 11, 15, 21, len(valid) - 5, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	// Bit rot: single-bit flips in the header, the payload middle, and the
+	// CRC trailer itself must all be rejected by the checksum.
+	for _, pos := range []int{5, len(valid) / 2, len(valid) - 2} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x10
+		f.Add(flipped)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		target := networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(2)))

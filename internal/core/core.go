@@ -24,6 +24,7 @@ import (
 
 	"pipelayer/internal/arch"
 	"pipelayer/internal/energy"
+	"pipelayer/internal/fault"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
@@ -52,6 +53,10 @@ type Accelerator struct {
 	// the per-stage instrument cache rebuilt after every Weight_load.
 	metrics  *telemetry.Registry
 	stageTel []stageTelemetry
+
+	// faults is the optional fault injector (SetFaults); it is wired into
+	// every crossbar at the next Weight_load.
+	faults *fault.Injector
 
 	topologySet bool
 	loaded      bool
@@ -104,7 +109,7 @@ func (a *Accelerator) WeightLoad(net *nn.Network, rng *rand.Rand) error {
 		}
 		net = networks.BuildTrainable(a.spec, rng)
 	}
-	engines, err := buildEngines(net, a.model.SpikeBits)
+	engines, err := buildEngines(net, a.model.SpikeBits, a.faults)
 	if err != nil {
 		return err
 	}
@@ -112,6 +117,62 @@ func (a *Accelerator) WeightLoad(net *nn.Network, rng *rand.Rand) error {
 	a.stageTel = nil // engine set changed; rebuild instruments on next run
 	a.loaded = true
 	return nil
+}
+
+// SetFaults attaches a fault injector; the fault model is wired into every
+// crossbar at the next Weight_load, so the injector must be set before
+// loading weights. A nil injector restores the ideal device. Attach the
+// injector to the telemetry registry too when one is set (SetMetrics does
+// this automatically for the current injector).
+func (a *Accelerator) SetFaults(inj *fault.Injector) error {
+	if a.loaded {
+		return errors.New("core: Set_faults after Weight_load; attach the injector before loading weights")
+	}
+	a.faults = inj
+	if a.metrics != nil {
+		inj.AttachMetrics(a.metrics)
+	}
+	return nil
+}
+
+// Faults returns the attached fault injector (nil for the ideal device).
+func (a *Accelerator) Faults() *fault.Injector { return a.faults }
+
+// tickEngines ages every crossbar by n compute cycles — drift accumulation.
+// Must only run from serial sections.
+func (a *Accelerator) tickEngines(n int64) {
+	if a.faults == nil || a.faults.Config().Drift == 0 {
+		return
+	}
+	for _, e := range a.engines {
+		e.tick(n)
+	}
+}
+
+// refreshEngines reprograms every crossbar from the float masters — the
+// periodic drift-refresh tolerance mechanism. The rewrite goes through the
+// full fault path (wear, transient failures, remap), so refreshing is not
+// free: it spends endurance to buy back accuracy.
+func (a *Accelerator) refreshEngines() {
+	if a.metrics != nil {
+		t := a.metrics.Span("fault_refresh_seconds").Start()
+		defer t.Stop()
+	}
+	for _, e := range a.engines {
+		e.reprogram()
+	}
+	a.faults.NoteRefresh()
+}
+
+// maybeRefresh runs a refresh every cfg.Refresh units (images for the serial
+// executor, cycles for the pipelined one); unit is the running count.
+func (a *Accelerator) maybeRefresh(unit int64) {
+	if a.faults == nil {
+		return
+	}
+	if rp := a.faults.Config().Refresh; rp > 0 && unit%int64(rp) == 0 {
+		a.refreshEngines()
+	}
 }
 
 // PipelineSet enables or disables the inter-layer pipeline (the paper's
@@ -232,6 +293,7 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 	totalLoss := 0.0
 	classes := a.spec.Classes
 	tel := a.stageTelemetrySlice()
+	images := int64(0)
 	for start := 0; start < len(samples); start += batch {
 		for _, s := range samples[start : start+batch] {
 			y := a.forward(s.Input)
@@ -247,6 +309,13 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 					delta = a.engines[i].backward(delta)
 				}
 			}
+			// One drift tick per processed image; periodic refresh rewrites
+			// drifted conductances from the masters. (The per-batch update
+			// below reprograms anyway, so drift only accumulates within a
+			// batch — physically faithful: programming resets the filament.)
+			a.tickEngines(1)
+			images++
+			a.maybeRefresh(images)
 		}
 		for i, e := range a.engines {
 			if tel != nil {

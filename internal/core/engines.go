@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipelayer/internal/arch"
+	"pipelayer/internal/fault"
 	"pipelayer/internal/nn"
 	"pipelayer/internal/tensor"
 )
@@ -39,13 +40,22 @@ type layerEngine interface {
 	// replication of Section 3.2.3 applied to Test throughput. Clones must
 	// only run forward.
 	cloneForInference() layerEngine
+	// tick advances the drift age of the stage's arrays by n compute
+	// cycles; no-op without an attached fault injector. Serial callers only.
+	tick(n int64)
+	// reprogram rewrites the stage's arrays from the float masters — the
+	// drift-refresh tolerance mechanism.
+	reprogram()
 }
 
 // buildEngines lowers a float network onto analog layer engines. Supported
-// sequence: Conv(+ReLU), MaxPool, Dense(+ReLU) — the trainable zoo.
-func buildEngines(net *nn.Network, bits int) ([]layerEngine, error) {
+// sequence: Conv(+ReLU), MaxPool, Dense(+ReLU) — the trainable zoo. A
+// non-nil injector wires the fault model into every array: weighted stage s
+// owns array ids 2s (forward) and 2s+1 (error-backward).
+func buildEngines(net *nn.Network, bits int, inj *fault.Injector) ([]layerEngine, error) {
 	var engines []layerEngine
 	layers := net.Layers
+	stage := uint64(0)
 	for i := 0; i < len(layers); i++ {
 		switch l := layers[i].(type) {
 		case *nn.Dense:
@@ -56,7 +66,8 @@ func buildEngines(net *nn.Network, bits int) ([]layerEngine, error) {
 					i++
 				}
 			}
-			engines = append(engines, newDenseEngine(l, relu, bits))
+			engines = append(engines, newDenseEngine(l, relu, bits, inj, stage))
+			stage++
 		case *nn.Conv:
 			if _, _, _, _, _, stride, _ := l.Geometry(); stride != 1 {
 				// The Figure 11 error-backward-as-convolution identity the
@@ -70,7 +81,8 @@ func buildEngines(net *nn.Network, bits int) ([]layerEngine, error) {
 					i++
 				}
 			}
-			engines = append(engines, newConvEngine(l, relu, bits))
+			engines = append(engines, newConvEngine(l, relu, bits, inj, stage))
+			stage++
 		case *nn.MaxPool:
 			inC, inH, inW, k := l.Geometry()
 			engines = append(engines, &poolEngine{inC: inC, inH: inH, inW: inW, k: k})
@@ -99,25 +111,50 @@ type denseEngine struct {
 	lastIn  *tensor.Tensor
 	lastOut *tensor.Tensor
 	inShape []int
+
+	inj          *fault.Injector
+	fwdID, bwdID uint64
 }
 
-func newDenseEngine(l *nn.Dense, relu bool, bits int) *denseEngine {
+func newDenseEngine(l *nn.Dense, relu bool, bits int, inj *fault.Injector, stage uint64) *denseEngine {
 	e := &denseEngine{
 		in: l.In(), out: l.Out(), relu: relu, bits: bits,
 		w:     l.Weights().Value.Clone(), // (out, in)
 		bias:  l.Bias().Value.Clone(),
 		gradW: tensor.New(l.Out(), l.In()),
 		gradB: tensor.New(l.Out()),
+		inj:   inj, fwdID: 2 * stage, bwdID: 2*stage + 1,
 	}
 	e.program()
 	return e
 }
 
-// program (re)writes both array pairs from the float master weights.
+// program (re)writes both array pairs from the float master weights. The
+// arrays are created once and reprogrammed in place thereafter, so fault
+// state (stuck maps, wear counters, remap tables, drift age) persists across
+// the per-batch updates exactly as physical silicon would.
 func (e *denseEngine) program() {
-	e.fwd = arch.NewQuantized(tensor.Transpose(e.w), e.in, e.out, e.bits)
-	e.bwd = arch.NewQuantized(e.w, e.out, e.in, e.bits)
+	if e.fwd == nil {
+		e.fwd = arch.NewQuantized(tensor.Transpose(e.w), e.in, e.out, e.bits)
+		e.bwd = arch.NewQuantized(e.w, e.out, e.in, e.bits)
+		if e.inj != nil {
+			e.fwd.AttachFaults(e.inj, e.fwdID)
+			e.bwd.AttachFaults(e.inj, e.bwdID)
+		}
+		return
+	}
+	e.fwd.Program(tensor.Transpose(e.w))
+	e.bwd.Program(e.w)
 }
+
+func (e *denseEngine) tick(n int64) {
+	if e.inj != nil {
+		e.fwd.Tick(n)
+		e.bwd.Tick(n)
+	}
+}
+
+func (e *denseEngine) reprogram() { e.program() }
 
 func (e *denseEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
 
@@ -196,9 +233,12 @@ type convEngine struct {
 
 	lastIn  *tensor.Tensor
 	lastOut *tensor.Tensor
+
+	inj          *fault.Injector
+	fwdID, bwdID uint64
 }
 
-func newConvEngine(l *nn.Conv, relu bool, bits int) *convEngine {
+func newConvEngine(l *nn.Conv, relu bool, bits int, inj *fault.Injector, stage uint64) *convEngine {
 	inC, inH, inW, outC, k, stride, pad := l.Geometry()
 	e := &convEngine{
 		inC: inC, inH: inH, inW: inW, outC: outC,
@@ -207,18 +247,39 @@ func newConvEngine(l *nn.Conv, relu bool, bits int) *convEngine {
 		bias:  l.Bias().Value.Clone(),
 		gradW: tensor.New(outC, inC, k, k),
 		gradB: tensor.New(outC),
+		inj:   inj, fwdID: 2 * stage, bwdID: 2*stage + 1,
 	}
 	e.program()
 	return e
 }
 
+// program (re)writes both array pairs; like denseEngine, the arrays persist
+// across reprograms so the fault model sees every write.
 func (e *convEngine) program() {
 	wmat := e.w.Reshape(e.outC, e.inC*e.k*e.k)
-	e.fwd = arch.NewQuantized(tensor.Transpose(wmat), e.inC*e.k*e.k, e.outC, e.bits)
 	back := arch.BackwardKernels(e.w) // (inC, outC, k, k)
 	bmat := back.Reshape(e.inC, e.outC*e.k*e.k)
-	e.bwd = arch.NewQuantized(tensor.Transpose(bmat), e.outC*e.k*e.k, e.inC, e.bits)
+	if e.fwd == nil {
+		e.fwd = arch.NewQuantized(tensor.Transpose(wmat), e.inC*e.k*e.k, e.outC, e.bits)
+		e.bwd = arch.NewQuantized(tensor.Transpose(bmat), e.outC*e.k*e.k, e.inC, e.bits)
+		if e.inj != nil {
+			e.fwd.AttachFaults(e.inj, e.fwdID)
+			e.bwd.AttachFaults(e.inj, e.bwdID)
+		}
+		return
+	}
+	e.fwd.Program(tensor.Transpose(wmat))
+	e.bwd.Program(tensor.Transpose(bmat))
 }
+
+func (e *convEngine) tick(n int64) {
+	if e.inj != nil {
+		e.fwd.Tick(n)
+		e.bwd.Tick(n)
+	}
+}
+
+func (e *convEngine) reprogram() { e.program() }
 
 func (e *convEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
 
@@ -362,6 +423,10 @@ func (e *poolEngine) errorBackward(delta, input *tensor.Tensor) *tensor.Tensor {
 }
 
 func (e *poolEngine) applyUpdate(float64, int, *arch.UpdateUnit) {}
+
+func (e *poolEngine) tick(int64) {}
+
+func (e *poolEngine) reprogram() {}
 
 func (e *poolEngine) weights() []*tensor.Tensor { return nil }
 

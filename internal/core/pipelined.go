@@ -256,6 +256,13 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 			}
 			totalLoss += losses[oi]
 		}
+		// Cycle boundary — the only serial point: age every array by one
+		// pipeline cycle and run the periodic drift refresh. The pipelined
+		// machine ticks per cycle (its natural time base) where the serial
+		// executor ticks per image, so drifted trajectories differ between
+		// the two executors by design; at zero drift both are untouched.
+		a.tickEngines(1)
+		a.maybeRefresh(int64(c))
 	}
 
 	n := len(samples)

@@ -27,6 +27,9 @@ type stageTelemetry struct {
 func (a *Accelerator) SetMetrics(reg *telemetry.Registry) {
 	a.metrics = reg
 	a.stageTel = nil
+	if a.faults != nil {
+		a.faults.AttachMetrics(reg)
+	}
 }
 
 // Metrics returns the attached registry (nil when detached).

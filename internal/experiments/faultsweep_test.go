@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tinyFaultSweepConfig() FaultSweepConfig {
+	return FaultSweepConfig{
+		TrainSamples: 16, TestSamples: 16, Epochs: 1, Batch: 8,
+		LearningRate: 0.08, Hidden: 16, Seed: 11,
+		Densities: []float64{0, 1e-5},
+		Spares:    6,
+	}
+}
+
+func TestFaultSweep(t *testing.T) {
+	cfg := tinyFaultSweepConfig()
+	res := FaultSweep(cfg)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d modes, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Accuracies) != len(cfg.Densities) || len(row.Counters) != len(cfg.Densities) {
+			t.Fatalf("mode %s: ragged series", row.Mode)
+		}
+		// Density 0 must reproduce the fault-free baseline exactly: the
+		// attached injector is inert.
+		if row.Accuracies[0] != res.BaselineAcc {
+			t.Errorf("mode %s: zero-density accuracy %g != baseline %g", row.Mode, row.Accuracies[0], res.BaselineAcc)
+		}
+		if c := row.Counters[0]; c.Injected != 0 {
+			t.Errorf("mode %s: zero-density run injected %d cells", row.Mode, c.Injected)
+		}
+	}
+	// At the sparse density the repairing modes hide the damage completely:
+	// every faulty column fits in the spare budget, so accuracy equals the
+	// baseline bit-for-bit.
+	for _, i := range []int{1, 2} { // remap, remap+degrade
+		row := res.Rows[i]
+		c := row.Counters[1]
+		if c.Injected == 0 {
+			t.Fatalf("mode %s: no cells injected at density %g", row.Mode, cfg.Densities[1])
+		}
+		if c.Degraded != 0 || c.Corrupted != 0 {
+			t.Fatalf("mode %s: spares exhausted at sparse density: %+v", row.Mode, c)
+		}
+		if row.Accuracies[1] != res.BaselineAcc {
+			t.Errorf("mode %s: repaired accuracy %g != baseline %g", row.Mode, row.Accuracies[1], res.BaselineAcc)
+		}
+	}
+	// The unprotected mode must actually corrupt columns at nonzero density.
+	if c := res.Rows[0].Counters[1]; c.Corrupted == 0 {
+		t.Errorf("mode none: no corrupt columns at density %g: %+v", cfg.Densities[1], c)
+	}
+
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_fault.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FaultSweepResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.BaselineAcc != res.BaselineAcc || len(back.Rows) != len(res.Rows) {
+		t.Fatal("JSON round trip lost data")
+	}
+}

@@ -1,0 +1,278 @@
+package fault
+
+import (
+	"flag"
+	"math"
+	"sync"
+	"testing"
+
+	"pipelayer/internal/telemetry"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	for _, c := range []Config{
+		{StuckOff: 0.01},
+		{StuckOn: 0.01},
+		{Drift: 0.1},
+		{Endurance: 10},
+		{WriteFail: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("config %+v reports disabled", c)
+		}
+	}
+	// Tolerance-only knobs do not enable injection by themselves.
+	if (Config{Spares: 4, Degrade: true, Retries: 3, Refresh: 100}).Enabled() {
+		t.Error("tolerance-only config reports enabled")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{StuckOff: -0.1},
+		{StuckOn: 1.5},
+		{StuckOff: 0.6, StuckOn: 0.6},
+		{WriteFail: -1},
+		{WriteFail: 1},
+		{Drift: -0.2},
+		{Endurance: -1},
+		{Retries: -1},
+		{Spares: -1},
+		{Refresh: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted config %+v", c)
+		}
+	}
+	if err := (Config{Seed: 9, StuckOff: 0.3, StuckOn: 0.3, WriteFail: 0.5, Drift: 1, Endurance: 1e6, Retries: 8, Spares: 16, Refresh: 50}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestStuckMapDeterministic: the map is a pure function of (seed, array,
+// slot) — repeated and concurrent queries agree exactly.
+func TestStuckMapDeterministic(t *testing.T) {
+	in := MustNew(Config{Seed: 42, StuckOff: 0.05, StuckOn: 0.02})
+	const n = 20000
+	ref := make([]Stuck, n)
+	for s := 0; s < n; s++ {
+		ref[s] = in.StuckAt(7, s)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < n; s++ {
+				if got := in.StuckAt(7, s); got != ref[s] {
+					t.Errorf("slot %d: concurrent query %d != %d", s, got, ref[s])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A fresh injector with the same seed reproduces the map bit-for-bit.
+	in2 := MustNew(Config{Seed: 42, StuckOff: 0.05, StuckOn: 0.02})
+	for s := 0; s < n; s++ {
+		if in2.StuckAt(7, s) != ref[s] {
+			t.Fatalf("slot %d: fresh injector disagrees", s)
+		}
+	}
+}
+
+// TestStuckDensity: over many slots the realized densities match the
+// configured ones to a few standard deviations.
+func TestStuckDensity(t *testing.T) {
+	cfg := Config{Seed: 3, StuckOff: 0.04, StuckOn: 0.01}
+	in := MustNew(cfg)
+	const n = 200000
+	var off, on int
+	for s := 0; s < n; s++ {
+		switch in.StuckAt(1, s) {
+		case StuckOff:
+			off++
+		case StuckOn:
+			on++
+		}
+	}
+	checkDensity := func(name string, count int, p float64) {
+		got := float64(count) / n
+		sigma := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 5*sigma {
+			t.Errorf("%s density %.5f, want %.5f ± %.5f", name, got, p, 5*sigma)
+		}
+	}
+	checkDensity("stuck-off", off, cfg.StuckOff)
+	checkDensity("stuck-on", on, cfg.StuckOn)
+}
+
+// TestStuckGrowthMonotone: raising the stuck-off density never heals a cell —
+// the fault set only grows, which is what makes density sweeps at one seed
+// comparable point to point.
+func TestStuckGrowthMonotone(t *testing.T) {
+	lo := MustNew(Config{Seed: 5, StuckOff: 0.01})
+	hi := MustNew(Config{Seed: 5, StuckOff: 0.05})
+	for s := 0; s < 50000; s++ {
+		if lo.StuckAt(2, s) == StuckOff && hi.StuckAt(2, s) != StuckOff {
+			t.Fatalf("slot %d stuck at density 0.01 but healthy at 0.05", s)
+		}
+	}
+}
+
+func TestArraysIndependent(t *testing.T) {
+	in := MustNew(Config{Seed: 11, StuckOff: 0.5})
+	same := 0
+	const n = 10000
+	for s := 0; s < n; s++ {
+		if (in.StuckAt(1, s) == StuckOff) == (in.StuckAt(2, s) == StuckOff) {
+			same++
+		}
+	}
+	// Independent fair-ish coins agree about half the time; perfectly
+	// correlated maps would agree always.
+	if same > n*6/10 || same < n*4/10 {
+		t.Errorf("arrays 1 and 2 agree on %d/%d slots; maps look correlated", same, n)
+	}
+}
+
+func TestWriteFailsDeterministicAndIndexed(t *testing.T) {
+	in := MustNew(Config{Seed: 1, WriteFail: 0.5})
+	// Same (array, slot, write) triple always answers the same.
+	for i := 0; i < 1000; i++ {
+		if in.WriteFails(3, i, 1) != in.WriteFails(3, i, 1) {
+			t.Fatal("WriteFails is not deterministic")
+		}
+	}
+	// Different write indices give fresh draws: a retried write eventually
+	// succeeds somewhere in a long enough sequence.
+	allFail := true
+	for w := int64(1); w <= 20; w++ {
+		if !in.WriteFails(3, 0, w) {
+			allFail = false
+			break
+		}
+	}
+	if allFail {
+		t.Error("20 consecutive draws at p=0.5 all failed; write index is not entering the hash")
+	}
+	var nilInj *Injector
+	if nilInj.WriteFails(1, 1, 1) {
+		t.Error("nil injector fails writes")
+	}
+}
+
+func TestDriftFactor(t *testing.T) {
+	in := MustNew(Config{Drift: 0.1})
+	if got := in.DriftFactor(0); got != 1 {
+		t.Errorf("age 0 drift = %g, want 1", got)
+	}
+	prev := 1.0
+	for _, age := range []int64{1, 10, 100, 1000} {
+		f := in.DriftFactor(age)
+		if f >= prev || f <= 0 {
+			t.Errorf("drift factor %g at age %d not strictly decaying below %g", f, age, prev)
+		}
+		prev = f
+	}
+	if want := math.Pow(101, -0.1); math.Abs(in.DriftFactor(100)-want) > 1e-15 {
+		t.Errorf("drift factor at age 100 = %g, want %g", in.DriftFactor(100), want)
+	}
+	var nilInj *Injector
+	if nilInj.DriftFactor(1000) != 1 {
+		t.Error("nil injector drifts")
+	}
+}
+
+// TestNilInjectorSafe: every query and note is a no-op on nil.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.StuckAt(1, 2) != None {
+		t.Error("nil injector injects")
+	}
+	if in.Config() != (Config{}) {
+		t.Error("nil injector has a config")
+	}
+	in.AttachMetrics(telemetry.NewRegistry())
+	in.NoteInjected(1)
+	in.NoteRetried(1)
+	in.NoteWriteFailed(1)
+	in.NoteWornOut(1)
+	in.NoteRemapped(1)
+	in.NoteDegraded(1)
+	in.NoteCorrupted(1)
+	in.NoteRefresh()
+	if in.Counters() != (Counters{}) {
+		t.Error("nil injector counts")
+	}
+}
+
+func TestCountersAndMetrics(t *testing.T) {
+	in := MustNew(Config{})
+	reg := telemetry.NewRegistry()
+	in.AttachMetrics(reg)
+	in.NoteInjected(3)
+	in.NoteRetried(2)
+	in.NoteWriteFailed(1)
+	in.NoteWornOut(4)
+	in.NoteRemapped(5)
+	in.NoteDegraded(6)
+	in.NoteCorrupted(7)
+	in.NoteRefresh()
+	want := Counters{Injected: 3, Retried: 2, WriteFailed: 1, WornOut: 4, Remapped: 5, Degraded: 6, Corrupted: 7, Refreshes: 1}
+	if got := in.Counters(); got != want {
+		t.Errorf("counters = %+v, want %+v", got, want)
+	}
+	for name, want := range map[string]int64{
+		"fault_cells_injected_total":    3,
+		"fault_writes_retried_total":    2,
+		"fault_writes_failed_total":     1,
+		"fault_cells_worn_out_total":    4,
+		"fault_columns_remapped_total":  5,
+		"fault_columns_degraded_total":  6,
+		"fault_columns_corrupted_total": 7,
+		"fault_refreshes_total":         1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cfg := RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-fault-seed", "9", "-fault-stuck-off", "0.01", "-fault-stuck-on", "0.002",
+		"-fault-drift", "0.05", "-fault-endurance", "1000", "-fault-write-fail", "0.1",
+		"-fault-retries", "5", "-fault-spares", "8", "-fault-degrade=false", "-fault-refresh", "64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 9, StuckOff: 0.01, StuckOn: 0.002, Drift: 0.05, Endurance: 1000,
+		WriteFail: 0.1, Retries: 5, Spares: 8, Degrade: false, Refresh: 64}
+	if *cfg != want {
+		t.Errorf("parsed config %+v, want %+v", *cfg, want)
+	}
+	// Defaults: injection off, tolerance on.
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	def := RegisterFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if def.Enabled() {
+		t.Error("default flag config injects faults")
+	}
+	if def.Retries != 3 || def.Spares != 4 || !def.Degrade {
+		t.Errorf("default tolerance knobs = %+v", *def)
+	}
+}

@@ -35,6 +35,9 @@ type Crossbar struct {
 	variation  float64
 	rng        *rand.Rand
 	stats      Stats
+	// faults is the optional fault-injection state (see faults.go); nil
+	// means the ideal device model with zero overhead on the read path.
+	faults *xbarFaults
 }
 
 // NewCrossbar allocates an ideal crossbar; use NewNoisyCrossbar for device
@@ -64,16 +67,23 @@ func (x *Crossbar) ProgramCodes(codes []uint8) {
 	if len(codes) != x.Rows*x.Cols {
 		panic(fmt.Sprintf("reram: ProgramCodes got %d codes for %dx%d array", len(codes), x.Rows, x.Cols))
 	}
-	for i, c := range codes {
-		x.cells[i].Program(c, x.variation, x.rng)
+	if x.faults == nil {
+		for i, c := range codes {
+			x.cells[i].Program(c, x.variation, x.rng)
+		}
+		x.stats.CellWrites += len(codes)
+		return
 	}
-	x.stats.CellWrites += len(codes)
+	for i, c := range codes {
+		x.programCell(i, c)
+	}
+	// A full-array reprogram restores every drifted conductance.
+	x.faults.resetDrift()
 }
 
-// ProgramCell writes a single cell.
+// ProgramCell writes a single cell (through the fault model when attached).
 func (x *Crossbar) ProgramCell(row, col int, code uint8) {
-	x.cells[row*x.Cols+col].Program(code, x.variation, x.rng)
-	x.stats.CellWrites++
+	x.programCell(row*x.Cols+col, code)
 }
 
 // Code returns the programmed code of one cell.
@@ -94,11 +104,18 @@ func (x *Crossbar) MatVecSpike(inputCodes []uint64, inBits int) []int {
 	// parallelism — so columns chunk across the worker pool, each chunk with
 	// its own conductance buffer and IF units. The stats counters accumulate
 	// serially afterwards so they match the serial path exactly.
+	f := x.faults
 	parallel.Default().For(x.Cols, parallel.Grain(x.Rows*inBits), func(lo, hi int) {
 		col := make([]float64, x.Rows)
 		for j := lo; j < hi; j++ {
-			for i := 0; i < x.Rows; i++ {
-				col[i] = x.cells[i*x.Cols+j].Conductance()
+			if f == nil {
+				for i := 0; i < x.Rows; i++ {
+					col[i] = x.cells[i*x.Cols+j].Conductance()
+				}
+			} else {
+				for i := 0; i < x.Rows; i++ {
+					col[i] = f.conductance(x, i*x.Cols+j)
+				}
 			}
 			f := spike.NewIntegrateFire(1)
 			out[j], inSpikes[j] = spike.DotProduct(trains, col, f)

@@ -1,0 +1,156 @@
+package reram
+
+import (
+	"pipelayer/internal/fault"
+)
+
+// Fault support for the device model. A Crossbar with an attached
+// fault.Injector overrides its readout with the injector's stuck-at map,
+// freezes cells that wear out or exhaust their write retries, decays every
+// programmed conductance by the array's drift factor, and spends extra write
+// pulses on retried programs. All fault state mutates only inside program
+// calls and Tick — both serial in every execution path — so the parallel
+// MatVecSpike readout stays race-free and bit-identical across worker counts.
+
+// xbarFaults is the per-array fault state.
+type xbarFaults struct {
+	inj   *fault.Injector
+	id    uint64
+	stuck []fault.Stuck
+	// frozen pins a cell at the conductance it died with (wear-out or
+	// retry exhaustion); keyed by cell index.
+	frozen map[int]float64
+	// writes counts cumulative program pulses per cell for endurance and
+	// for indexing transient write-failure draws.
+	writes []int64
+	// age is the array's compute-cycle age since its last full reprogram;
+	// drift caches DriftFactor(age).
+	age   int64
+	drift float64
+}
+
+// conductance returns the effective readout conductance of cell i: stuck
+// cells pin to the rail codes, dead cells to their frozen value, and healthy
+// programmed cells decay by the drift factor.
+func (f *xbarFaults) conductance(x *Crossbar, i int) float64 {
+	switch f.stuck[i] {
+	case fault.StuckOff:
+		return 0
+	case fault.StuckOn:
+		return float64(MaxCellCode)
+	}
+	if g, ok := f.frozen[i]; ok {
+		return g
+	}
+	return x.cells[i].conductance * f.drift
+}
+
+// resetDrift marks the array freshly programmed.
+func (f *xbarFaults) resetDrift() {
+	if f != nil {
+		f.age, f.drift = 0, 1
+	}
+}
+
+// AttachFaults wires the injector's fault model into the array and builds its
+// static stuck-at map (reported via the injected-cells counter). Returns the
+// number of stuck cells. A nil injector detaches. Callers must pick a unique
+// id per crossbar — the id keys every deterministic draw.
+func (x *Crossbar) AttachFaults(inj *fault.Injector, id uint64) int {
+	if inj == nil {
+		x.faults = nil
+		return 0
+	}
+	f := &xbarFaults{
+		inj:    inj,
+		id:     id,
+		stuck:  make([]fault.Stuck, len(x.cells)),
+		frozen: make(map[int]float64),
+		writes: make([]int64, len(x.cells)),
+		drift:  1,
+	}
+	n := 0
+	for i := range f.stuck {
+		if f.stuck[i] = inj.StuckAt(id, i); f.stuck[i] != fault.None {
+			n++
+		}
+	}
+	inj.NoteInjected(int64(n))
+	x.faults = f
+	return n
+}
+
+// Faulty reports whether a fault injector is attached.
+func (x *Crossbar) Faulty() bool { return x.faults != nil }
+
+// Tick advances the array's drift age by n compute cycles. Call only from
+// serial sections (between MatVec passes), never concurrently with readout.
+func (x *Crossbar) Tick(n int64) {
+	if f := x.faults; f != nil && f.inj.Config().Drift > 0 && n > 0 {
+		f.age += n
+		f.drift = f.inj.DriftFactor(f.age)
+	}
+}
+
+// columnFaulty reports whether any cell of the physical column is stuck or
+// frozen — the repair trigger for spare-column remapping.
+func (x *Crossbar) columnFaulty(col int) bool {
+	f := x.faults
+	if f == nil {
+		return false
+	}
+	for r := 0; r < x.Rows; r++ {
+		i := r*x.Cols + col
+		if f.stuck[i] != fault.None {
+			return true
+		}
+		if _, ok := f.frozen[i]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// programCell writes one cell through the fault model: stuck and dead cells
+// absorb the pulse without changing, transient failures are retried up to the
+// configured bound with exponentially growing pulse cost, and endurance
+// exhaustion or retry give-up freezes the cell at its current conductance.
+func (x *Crossbar) programCell(i int, code uint8) {
+	f := x.faults
+	if f == nil {
+		x.cells[i].Program(code, x.variation, x.rng)
+		x.stats.CellWrites++
+		return
+	}
+	// The write driver always fires at least one pulse; it learns the cell
+	// is unprogrammable only from the verify readout.
+	x.stats.CellWrites++
+	if f.stuck[i] != fault.None {
+		return
+	}
+	if _, dead := f.frozen[i]; dead {
+		return
+	}
+	cfg := f.inj.Config()
+	for attempt := 1; ; attempt++ {
+		f.writes[i]++
+		if cfg.Endurance > 0 && f.writes[i] > cfg.Endurance {
+			f.frozen[i] = x.cells[i].conductance
+			f.inj.NoteWornOut(1)
+			return
+		}
+		if !f.inj.WriteFails(f.id, i, f.writes[i]) {
+			x.cells[i].Program(code, x.variation, x.rng)
+			return
+		}
+		if attempt > cfg.Retries {
+			f.frozen[i] = x.cells[i].conductance
+			f.inj.NoteWriteFailed(1)
+			return
+		}
+		f.inj.NoteRetried(1)
+		// Exponential pulse backoff: retry k drives 2^k pulses (capped) to
+		// force the cell, and the energy model pays for every one.
+		x.stats.CellWrites += 1 << uint(min(attempt, 12))
+	}
+}

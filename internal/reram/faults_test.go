@@ -1,0 +1,313 @@
+package reram
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pipelayer/internal/fault"
+	"pipelayer/internal/parallel"
+	"pipelayer/internal/tensor"
+)
+
+func randWeights(n int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.New(n)
+	for i := range w.Data() {
+		w.Data()[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// TestFaultyPairZeroDensityIdentical: a faulty pair under a zero-density
+// injector computes bit-identically to a plain pair — the regression gate
+// for the whole fault layer.
+func TestFaultyPairZeroDensityIdentical(t *testing.T) {
+	const rows, cols, bits = 19, 7, 4
+	rng := rand.New(rand.NewSource(2))
+	pos := make([]uint8, rows*cols)
+	neg := make([]uint8, rows*cols)
+	in := make([]uint64, rows)
+	for i := range pos {
+		pos[i], neg[i] = uint8(rng.Intn(16)), uint8(rng.Intn(16))
+	}
+	for i := range in {
+		in[i] = uint64(rng.Intn(16))
+	}
+
+	plain := NewSignedPair(rows, cols)
+	plain.ProgramCodes(pos, neg)
+
+	inj := fault.MustNew(fault.Config{Seed: 1, Spares: 3, Degrade: true})
+	faulty := NewFaultySignedPair(rows, cols, inj, 5)
+	faulty.ProgramCodes(pos, neg)
+
+	want := plain.MatVecSpike(in, bits)
+	got := faulty.MatVecSpike(in, bits)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("col %d: faulty=%d plain=%d", j, got[j], want[j])
+		}
+	}
+	if plain.Stats() != faulty.Stats() {
+		t.Errorf("stats diverge: plain=%+v faulty=%+v", plain.Stats(), faulty.Stats())
+	}
+	if c := inj.Counters(); c != (fault.Counters{}) {
+		t.Errorf("zero-density injector counted events: %+v", c)
+	}
+}
+
+// TestRemapRestoresExactResult: with enough spares, stuck-at faults are fully
+// repaired — the remapped array computes the exact ideal result.
+func TestRemapRestoresExactResult(t *testing.T) {
+	const rows, cols, bits = 8, 6, 4
+	w := randWeights(rows*cols, 3)
+	ideal := NewResolutionArray(w, rows, cols, 0, nil)
+
+	inj := fault.MustNew(fault.Config{Seed: 7, StuckOff: 0.01, StuckOn: 0.005, Spares: cols, Degrade: true})
+	faulty := NewFaultyResolutionArray(w, rows, cols, inj, 1)
+	c := inj.Counters()
+	if c.Injected == 0 {
+		t.Fatal("no cells injected at density 0.03; the stuck map is not wired in")
+	}
+	if c.Remapped == 0 {
+		t.Fatal("no columns remapped despite stuck cells")
+	}
+	if c.Degraded != 0 || c.Corrupted != 0 {
+		t.Fatalf("spares should have covered every faulty column: %+v", c)
+	}
+
+	in := make([]uint64, rows)
+	rng := rand.New(rand.NewSource(4))
+	for i := range in {
+		in[i] = uint64(rng.Intn(16))
+	}
+	want := ideal.MatVecCodes(in, bits)
+	got := faulty.MatVecCodes(in, bits)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("col %d: remapped=%d ideal=%d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestDegradeFallbackExact: with zero spares and degrade enabled, faulty
+// columns fall back to digital emulation and still produce the exact ideal
+// result.
+func TestDegradeFallbackExact(t *testing.T) {
+	const rows, cols, bits = 16, 6, 4
+	w := randWeights(rows*cols, 5)
+	ideal := NewResolutionArray(w, rows, cols, 0, nil)
+
+	inj := fault.MustNew(fault.Config{Seed: 7, StuckOff: 0.03, StuckOn: 0.02, Spares: 0, Degrade: true})
+	faulty := NewFaultyResolutionArray(w, rows, cols, inj, 1)
+	c := inj.Counters()
+	if c.Degraded == 0 {
+		t.Fatal("no columns degraded despite zero spares and stuck cells")
+	}
+	if c.Remapped != 0 || c.Corrupted != 0 {
+		t.Fatalf("unexpected repair path taken: %+v", c)
+	}
+
+	in := make([]uint64, rows)
+	rng := rand.New(rand.NewSource(6))
+	for i := range in {
+		in[i] = uint64(rng.Intn(16))
+	}
+	want := ideal.MatVecCodes(in, bits)
+	got := faulty.MatVecCodes(in, bits)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("col %d: degraded=%d ideal=%d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestCorruptColumnsDiverge: no spares, no degrade — stuck cells corrupt the
+// output, which is exactly the failure mode the tolerance layer exists to
+// prevent.
+func TestCorruptColumnsDiverge(t *testing.T) {
+	const rows, cols, bits = 16, 6, 4
+	w := randWeights(rows*cols, 5)
+	ideal := NewResolutionArray(w, rows, cols, 0, nil)
+
+	inj := fault.MustNew(fault.Config{Seed: 7, StuckOff: 0.03, StuckOn: 0.02})
+	faulty := NewFaultyResolutionArray(w, rows, cols, inj, 1)
+	if c := inj.Counters(); c.Corrupted == 0 {
+		t.Fatalf("no columns marked corrupt: %+v", c)
+	}
+
+	in := make([]uint64, rows)
+	for i := range in {
+		in[i] = 15
+	}
+	want := ideal.MatVecCodes(in, bits)
+	got := faulty.MatVecCodes(in, bits)
+	diverged := false
+	for j := range want {
+		if got[j] != want[j] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("corrupt columns computed the ideal result; faults are not reaching the readout")
+	}
+}
+
+// TestFaultyPairDeterministicAcrossWorkers: fault maps, remap decisions and
+// readout are bit-identical across worker-pool sizes — the PR-2 determinism
+// contract extended to the fault layer.
+func TestFaultyPairDeterministicAcrossWorkers(t *testing.T) {
+	const rows, cols, bits = 24, 9, 4
+	w := randWeights(rows*cols, 8)
+	in := make([]uint64, rows)
+	rng := rand.New(rand.NewSource(9))
+	for i := range in {
+		in[i] = uint64(rng.Intn(16))
+	}
+
+	run := func(workers int) ([]int64, []ColumnState, fault.Counters) {
+		old := parallel.Workers()
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		inj := fault.MustNew(fault.Config{Seed: 13, StuckOff: 0.03, StuckOn: 0.01, Spares: 2, Degrade: true})
+		ra := NewFaultyResolutionArray(w, rows, cols, inj, 3)
+		return ra.MatVecCodes(in, bits), ra.ColumnStates(), inj.Counters()
+	}
+
+	refOut, refStates, refCounts := run(1)
+	for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		out, states, counts := run(workers)
+		for j := range refOut {
+			if out[j] != refOut[j] {
+				t.Fatalf("workers=%d col %d: %d != %d", workers, j, out[j], refOut[j])
+			}
+			if states[j] != refStates[j] {
+				t.Fatalf("workers=%d col %d: state %d != %d", workers, j, states[j], refStates[j])
+			}
+		}
+		if counts != refCounts {
+			t.Fatalf("workers=%d counters %+v != %+v", workers, counts, refCounts)
+		}
+	}
+}
+
+// TestProgramVerifyHardCap: the pulse budget is clamped to MaxProgramPulses
+// and a hopeless cell surfaces as ErrWriteFailed instead of spinning forever.
+func TestProgramVerifyHardCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c Cell
+	res := c.ProgramVerify(15, 1e-12, 1<<30, 5, rng)
+	if res.Converged {
+		t.Skip("absurd-noise program converged; seed produced a miracle draw")
+	}
+	if res.Pulses != MaxProgramPulses {
+		t.Errorf("pulses = %d, want the hard cap %d", res.Pulses, MaxProgramPulses)
+	}
+	var c2 Cell
+	_, err := c2.ProgramVerifyChecked(15, 1e-12, 1<<30, 5, rng)
+	if !errors.Is(err, ErrWriteFailed) {
+		t.Errorf("ProgramVerifyChecked error = %v, want ErrWriteFailed", err)
+	}
+	var c3 Cell
+	if _, err := c3.ProgramVerifyChecked(7, 0.5, 100, 0, nil); err != nil {
+		t.Errorf("clean program errored: %v", err)
+	}
+}
+
+// TestTransientWriteFailureRetryAndGiveUp: transient failures burn retries
+// and pulses; cells that never succeed are frozen and counted.
+func TestTransientWriteFailureRetryAndGiveUp(t *testing.T) {
+	inj := fault.MustNew(fault.Config{Seed: 21, WriteFail: 0.9, Retries: 2})
+	x := NewCrossbar(8, 8)
+	x.AttachFaults(inj, 1)
+	codes := make([]uint8, 64)
+	for i := range codes {
+		codes[i] = uint8(i % 16)
+	}
+	x.ProgramCodes(codes)
+	c := inj.Counters()
+	if c.Retried == 0 {
+		t.Error("p=0.9 transient failures never retried")
+	}
+	if c.WriteFailed == 0 {
+		t.Error("p=0.9 with 2 retries never gave a cell up")
+	}
+	if x.Stats().CellWrites <= 64 {
+		t.Errorf("retries cost no extra pulses: writes=%d", x.Stats().CellWrites)
+	}
+}
+
+// TestEnduranceWearOut: cells exceeding their write budget freeze at their
+// last conductance and stop following new programs.
+func TestEnduranceWearOut(t *testing.T) {
+	inj := fault.MustNew(fault.Config{Seed: 1, Endurance: 3})
+	x := NewCrossbar(4, 4)
+	x.AttachFaults(inj, 1)
+	codes := make([]uint8, 16)
+	for round := 0; round < 5; round++ {
+		for i := range codes {
+			codes[i] = uint8((round + i) % 16)
+		}
+		x.ProgramCodes(codes)
+	}
+	c := inj.Counters()
+	if c.WornOut != 16 {
+		t.Fatalf("worn-out cells = %d, want all 16 after 5 rounds at budget 3", c.WornOut)
+	}
+	// Frozen cells hold the conductance of their last successful write
+	// (round 2, codes (2+i)%16), not the latest program (round 4).
+	out := x.MatVecSpike([]uint64{1, 0, 0, 0}, 4)
+	for j := 0; j < 4; j++ {
+		if want := (2 + j) % 16; out[j] != want {
+			t.Errorf("col %d reads %d, want frozen code %d", j, out[j], want)
+		}
+	}
+}
+
+// TestDriftDecayAndRefresh: readout decays with ticks and is restored by a
+// reprogram.
+func TestDriftDecayAndRefresh(t *testing.T) {
+	const rows, cols, bits = 8, 3, 4
+	w := randWeights(rows*cols, 12)
+	inj := fault.MustNew(fault.Config{Seed: 1, Drift: 0.3, Spares: 0, Degrade: false})
+	ra := NewFaultyResolutionArray(w, rows, cols, inj, 2)
+	in := make([]uint64, rows)
+	for i := range in {
+		in[i] = 15
+	}
+	fresh := ra.MatVecCodes(in, bits)
+	ra.Tick(1000)
+	drifted := ra.MatVecCodes(in, bits)
+	decayed := false
+	for j := range fresh {
+		if abs64(drifted[j]) > abs64(fresh[j]) {
+			t.Fatalf("col %d: drift grew the count %d → %d", j, fresh[j], drifted[j])
+		}
+		if drifted[j] != fresh[j] {
+			decayed = true
+		}
+	}
+	if !decayed {
+		t.Fatal("1000 cycles at ν=0.3 changed nothing")
+	}
+	ra.Refresh()
+	if inj.Counters().Refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", inj.Counters().Refreshes)
+	}
+	restored := ra.MatVecCodes(in, bits)
+	for j := range fresh {
+		if restored[j] != fresh[j] {
+			t.Fatalf("col %d after refresh: %d != fresh %d", j, restored[j], fresh[j])
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

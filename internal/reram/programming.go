@@ -1,9 +1,12 @@
 package reram
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"pipelayer/internal/fault"
 )
 
 // Iterative program-and-verify: real ReRAM cells cannot be set to a target
@@ -11,6 +14,18 @@ import (
 // Section 4.2.1) applies a pulse, the readout path verifies, and the loop
 // repeats until the conductance lands within tolerance. The pulse count
 // feeds the energy model (each pulse costs one write-spike energy).
+
+// MaxProgramPulses is the hard ceiling on the pulses any single
+// program-and-verify operation may spend, whatever budget the caller passes.
+// Without it a pathological noise draw (or a stuck cell) would keep the write
+// driver looping forever; with it the loop provably terminates and the
+// failure surfaces as Converged=false / ErrWriteFailed instead.
+const MaxProgramPulses = 4096
+
+// ErrWriteFailed is the sentinel for a cell that could not be brought within
+// tolerance: the verify loop exhausted its (capped) pulse budget. Callers
+// match it with errors.Is.
+var ErrWriteFailed = errors.New("reram: write-verify failed to converge")
 
 // ProgramVerifyResult summarizes one program-and-verify operation.
 type ProgramVerifyResult struct {
@@ -27,12 +42,16 @@ type ProgramVerifyResult struct {
 // with multiplicative noise of the given relative sigma; the loop stops
 // when the error is within tolerance (in level units) or maxPulses is
 // exhausted. rng may be nil when sigma is 0 (then one pulse suffices).
+// The budget is clamped to MaxProgramPulses, so the loop always terminates.
 func (c *Cell) ProgramVerify(code uint8, tolerance float64, maxPulses int, sigma float64, rng *rand.Rand) ProgramVerifyResult {
 	if code > MaxCellCode {
 		panic(fmt.Sprintf("reram: cell code %d exceeds %d", code, MaxCellCode))
 	}
 	if tolerance <= 0 || maxPulses <= 0 {
 		panic("reram: ProgramVerify needs positive tolerance and pulse budget")
+	}
+	if maxPulses > MaxProgramPulses {
+		maxPulses = MaxProgramPulses
 	}
 	if sigma > 0 && rng == nil {
 		panic("reram: ProgramVerify with noise requires rng")
@@ -63,21 +82,84 @@ func (c *Cell) ProgramVerify(code uint8, tolerance float64, maxPulses int, sigma
 	return res
 }
 
+// ProgramVerifyChecked is ProgramVerify with an error return: a cell that
+// stays outside tolerance after the (capped) budget yields ErrWriteFailed.
+func (c *Cell) ProgramVerifyChecked(code uint8, tolerance float64, maxPulses int, sigma float64, rng *rand.Rand) (ProgramVerifyResult, error) {
+	res := c.ProgramVerify(code, tolerance, maxPulses, sigma, rng)
+	if !res.Converged {
+		return res, fmt.Errorf("reram: cell still %.3g levels off target %d after %d pulses: %w",
+			res.FinalError, code, res.Pulses, ErrWriteFailed)
+	}
+	return res, nil
+}
+
 // ProgramVerifyCodes programs a whole crossbar with the verify loop and
 // returns the total pulse count (for write-energy accounting) and the
 // number of cells that failed to converge within the budget.
+//
+// With a fault injector attached, each cell's write goes through the full
+// tolerance path: stuck and dead cells fail immediately; a transient write
+// failure or non-convergence is retried up to the configured bound, doubling
+// the pulse budget each time (exponential backoff, capped at
+// MaxProgramPulses); a cell that exhausts its retries or its endurance budget
+// is frozen at its current conductance, counted in the fault telemetry, and
+// reported as a failure here.
 func (x *Crossbar) ProgramVerifyCodes(codes []uint8, tolerance float64, maxPulses int, sigma float64, rng *rand.Rand) (pulses, failures int) {
 	if len(codes) != x.Rows*x.Cols {
 		panic(fmt.Sprintf("reram: ProgramVerifyCodes got %d codes for %dx%d array", len(codes), x.Rows, x.Cols))
 	}
+	f := x.faults
+	if f == nil {
+		for i, code := range codes {
+			res := x.cells[i].ProgramVerify(code, tolerance, maxPulses, sigma, rng)
+			pulses += res.Pulses
+			if !res.Converged {
+				failures++
+			}
+		}
+		x.stats.CellWrites += pulses
+		return pulses, failures
+	}
+	cfg := f.inj.Config()
+	budget0 := min(maxPulses, MaxProgramPulses)
 	for i, code := range codes {
-		res := x.cells[i].ProgramVerify(code, tolerance, maxPulses, sigma, rng)
-		pulses += res.Pulses
-		if !res.Converged {
+		// Known-dead cells still cost the verify readout one pulse.
+		if f.stuck[i] != fault.None {
+			pulses++
 			failures++
+			continue
+		}
+		if _, dead := f.frozen[i]; dead {
+			pulses++
+			failures++
+			continue
+		}
+		budget := budget0
+		for attempt := 1; ; attempt++ {
+			res := x.cells[i].ProgramVerify(code, tolerance, budget, sigma, rng)
+			pulses += res.Pulses
+			f.writes[i] += int64(res.Pulses)
+			if cfg.Endurance > 0 && f.writes[i] > cfg.Endurance {
+				f.frozen[i] = x.cells[i].conductance
+				f.inj.NoteWornOut(1)
+				failures++
+				break
+			}
+			if res.Converged && !f.inj.WriteFails(f.id, i, f.writes[i]) {
+				break
+			}
+			if attempt > cfg.Retries {
+				f.frozen[i] = x.cells[i].conductance
+				f.inj.NoteWriteFailed(1)
+				failures++
+				break
+			}
+			f.inj.NoteRetried(1)
+			budget = min(budget*2, MaxProgramPulses)
 		}
 	}
 	x.stats.CellWrites += pulses
+	x.faults.resetDrift()
 	return pulses, failures
 }
 

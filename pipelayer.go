@@ -32,6 +32,7 @@ import (
 	"pipelayer/internal/dataset"
 	"pipelayer/internal/energy"
 	"pipelayer/internal/experiments"
+	"pipelayer/internal/fault"
 	"pipelayer/internal/gpu"
 	"pipelayer/internal/isaac"
 	"pipelayer/internal/mapping"
@@ -99,6 +100,20 @@ type (
 	// EpochRecorder is a Solver observer that publishes per-epoch
 	// loss/accuracy/throughput into a MetricsRegistry.
 	EpochRecorder = telemetry.EpochRecorder
+	// FaultConfig parameterizes the deterministic ReRAM fault model:
+	// stuck-at densities, conductance drift, endurance budget, transient
+	// write failures, and the tolerance knobs (retries, spare columns,
+	// digital-emulation degrade, refresh period).
+	FaultConfig = fault.Config
+	// FaultInjector is a seeded fault injector; attach one to an
+	// Accelerator with SetFaults before WeightLoad.
+	FaultInjector = fault.Injector
+	// FaultCounters is a snapshot of an injector's event counts.
+	FaultCounters = fault.Counters
+	// FaultSweepConfig parameterizes the accuracy-vs-fault-density study.
+	FaultSweepConfig = experiments.FaultSweepConfig
+	// FaultSweepResult is the robustness study's output (BENCH_fault.json).
+	FaultSweepResult = experiments.FaultSweepResult
 )
 
 // NewTensor allocates a zero tensor with the given shape.
@@ -174,6 +189,38 @@ func SaveWeights(w io.Writer, net *Network) error { return checkpoint.Save(w, ne
 // LoadWeights restores parameters saved with SaveWeights into a network of
 // the same topology.
 func LoadWeights(r io.Reader, net *Network) error { return checkpoint.Load(r, net) }
+
+// SaveCheckpoint atomically writes a crash-safe training checkpoint
+// (weights + epoch + CRC32 trailer) to path: temp file, fsync, rename.
+func SaveCheckpoint(path string, net *Network, epoch int) error {
+	return checkpoint.SaveFile(path, net, epoch)
+}
+
+// ResumeCheckpoint restores training state from path if a valid checkpoint
+// exists there; ok reports whether one was loaded. A missing file is a
+// normal cold start (0, false, nil); a corrupt file is a hard error.
+func ResumeCheckpoint(path string, net *Network) (epoch int, ok bool, err error) {
+	return checkpoint.Resume(path, net)
+}
+
+// NewFaultInjector creates a seeded, deterministic fault injector: the same
+// config yields the same stuck cells, write failures and repair decisions at
+// every worker count.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return fault.New(cfg) }
+
+// BuildFaultyMachine is BuildMachine with a fault injector wired into every
+// weight array (nil restores the ideal machine).
+func BuildFaultyMachine(net *Network, spikeBits int, inj *FaultInjector) *Machine {
+	return arch.BuildMachineFaults(net, spikeBits, inj)
+}
+
+// RunFaultSweep runs the accuracy-vs-fault-density robustness study:
+// accelerator training at every (density, tolerance-mode) point.
+func RunFaultSweep(cfg FaultSweepConfig) FaultSweepResult { return experiments.FaultSweep(cfg) }
+
+// DefaultFaultSweepConfig covers the density range where spare-column repair
+// transitions from fully hiding the damage to exhausted.
+func DefaultFaultSweepConfig() FaultSweepConfig { return experiments.DefaultFaultSweepConfig() }
 
 // ScheduleGantt renders the Figure 6 training schedule as an ASCII chart.
 // It returns an error when any dimension is non-positive.
