@@ -4,7 +4,7 @@ GO ?= go
 # exact version on demand, so local and CI runs lint with the same binary.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test check fmt vet race race-telemetry race-fault fault-smoke lint bench bench-smoke clean
+.PHONY: build test check fmt vet race race-telemetry race-fault race-serve fault-smoke serve-smoke lint bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,21 @@ race-telemetry:
 race-fault:
 	$(GO) test -race ./internal/fault/... ./internal/core/...
 
+# The serving layer is all concurrency: bounded queue, batcher, replica
+# workers, graceful drain. Its load/determinism/drain suite must hold under
+# the race detector.
+race-serve:
+	$(GO) test -race ./internal/serve/...
+
+# serve-smoke is the end-to-end load test: train a small network, fire 200
+# concurrent requests through the batching scheduler, verify every response
+# is bit-identical to the serial path, and record throughput + latency
+# percentiles (plus the paired serial-vs-batched tiny-network benchmark) in
+# BENCH_serve.json.
+serve-smoke:
+	$(GO) run ./cmd/pipelayer-serve -smoke 200 -train-images 120 -epochs 1
+	@test -s BENCH_serve.json && echo "BENCH_serve.json written"
+
 # fault-smoke runs the accuracy-vs-fault-density sweep at tiny scale — an
 # end-to-end check that injection, remapping, degradation and the JSON
 # report all work, not an accuracy measurement.
@@ -58,4 +73,4 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
-	rm -f pipelayer-sim pipelayer-train pipelayer-bench BENCH_telemetry.json BENCH_fault.json
+	rm -f pipelayer-sim pipelayer-train pipelayer-bench pipelayer-serve BENCH_telemetry.json BENCH_fault.json BENCH_serve.json

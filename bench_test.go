@@ -7,9 +7,12 @@ package pipelayer_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	pipelayer "pipelayer"
 	"pipelayer/internal/arch"
@@ -21,6 +24,7 @@ import (
 	"pipelayer/internal/nn"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
 )
 
 // BenchmarkTable1CycleOps regenerates Table 1 (break of operations in a
@@ -401,4 +405,74 @@ func BenchmarkFrameworkTrainStep(b *testing.B) {
 			net.ZeroGrads()
 		}
 	}
+}
+
+// benchServeAccel builds a weight-loaded tiny-MLP accelerator for the
+// serving benchmarks.
+func benchServeAccel(b *testing.B) *pipelayer.Accelerator {
+	b.Helper()
+	acc := pipelayer.NewAccelerator(pipelayer.DefaultDeviceModel())
+	if err := acc.TopologySet(testutil.TinyMLP("bench-serve"), 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(7))); err != nil {
+		b.Fatal(err)
+	}
+	return acc
+}
+
+// BenchmarkServeSerial is the baseline: 16 requests answered one at a time
+// through a batch-of-1 server (every readout is a single-column MatVec).
+func BenchmarkServeSerial(b *testing.B) {
+	acc := benchServeAccel(b)
+	srv, err := pipelayer.NewServer(acc, pipelayer.ServeConfig{Replicas: 1, MaxBatch: 1, QueueCap: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	samples := testutil.FlatSamples(16, 9)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			if _, err := srv.Predict(ctx, s.Input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeBatched answers the same 16 requests concurrently through a
+// batch-of-16 server: the scheduler coalesces them into one multi-column
+// readout per weighted stage. The acceptance bar is ≥2× BenchmarkServeSerial
+// requests/sec (compare the req/s metric).
+func BenchmarkServeBatched(b *testing.B) {
+	acc := benchServeAccel(b)
+	srv, err := pipelayer.NewServer(acc, pipelayer.ServeConfig{
+		Replicas: 1, MaxBatch: 16, MaxWait: 5 * time.Millisecond, QueueCap: 32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	samples := testutil.FlatSamples(16, 9)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, s := range samples {
+			wg.Add(1)
+			go func(x *tensor.Tensor) {
+				defer wg.Done()
+				if _, err := srv.Predict(ctx, x); err != nil {
+					b.Error(err)
+				}
+			}(s.Input)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "req/s")
 }

@@ -1,6 +1,7 @@
 package pipelayer_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -68,6 +69,41 @@ func ExampleNewFaultInjector() {
 	c := inj.Counters()
 	fmt.Println("corrupt columns:", c.Corrupted)
 	// Output: corrupt columns: 0
+}
+
+// An embeddable batching inference server: concurrent Predict calls
+// coalesce into multi-column crossbar readouts, and every response is
+// bit-identical to a serial Replica.Infer on the same machine.
+func ExampleNewServer() {
+	acc := pipelayer.NewAccelerator(pipelayer.DefaultDeviceModel())
+	spec := pipelayer.EvaluationNetworks()[0] // Mnist-A
+	if err := acc.TopologySet(spec, 1); err != nil {
+		panic(err)
+	}
+	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
+		panic(err)
+	}
+	srv, err := pipelayer.NewServer(acc, pipelayer.ServeConfig{Replicas: 2, MaxBatch: 8})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	_, test := pipelayer.SyntheticDigits(1, 1, true, 3)
+	res, err := srv.Predict(context.Background(), test[0].Input)
+	if err != nil {
+		panic(err)
+	}
+	rep, _ := acc.NewReplica()
+	serial := rep.Infer(test[0].Input)
+	identical := true
+	for i := 0; i < serial.Size(); i++ {
+		if res.Scores.At(i) != serial.At(i) {
+			identical = false
+		}
+	}
+	fmt.Println("scores:", res.Scores.Size(), "bit-identical:", identical)
+	// Output: scores: 10 bit-identical: true
 }
 
 // The Figure 6 schedule rendered as a Gantt chart: each row is a hardware

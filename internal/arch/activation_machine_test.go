@@ -5,16 +5,16 @@ import (
 	"math/rand"
 	"testing"
 
-	"pipelayer/internal/dataset"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
 	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
 )
 
 // trainDigits generates a flat training set for the sigmoid sanity test.
 func trainDigits(n int) []nn.Sample {
-	return dataset.Generate(n, dataset.DefaultOptions(true), 44)
+	return testutil.FlatSamples(n, 44)
 }
 
 // sigmoidSpec is an MLP with sigmoid hidden activation — exercising the

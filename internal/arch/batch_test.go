@@ -1,0 +1,127 @@
+package arch
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pipelayer/internal/fault"
+	"pipelayer/internal/parallel"
+	"pipelayer/internal/tensor"
+)
+
+// TestMatVecColsBitIdentical: every column of the batched readout must match
+// MatVec on that column alone, bit for bit — this is the contract the serving
+// layer's "batched == serial" guarantee rests on. Covers zero columns (the
+// serial path short-circuits them) and ragged shapes.
+func TestMatVecColsBitIdentical(t *testing.T) {
+	cases := []struct{ rows, cols, n int }{
+		{1, 1, 1},
+		{23, 11, 1},
+		{23, 11, 5},
+		{64, 17, 16},
+		{7, 31, 3},
+	}
+	for _, tc := range cases {
+		w := randTensor(tc.rows*tc.cols, int64(tc.rows*1000+tc.n))
+		q := NewQuantized(w, tc.rows, tc.cols, 16)
+
+		vecs := make([]*tensor.Tensor, tc.n)
+		rng := rand.New(rand.NewSource(int64(tc.cols)))
+		for c := range vecs {
+			if c == 1 {
+				vecs[c] = tensor.New(tc.rows) // all-zero input column
+				continue
+			}
+			v := tensor.New(tc.rows)
+			for i := range v.Data() {
+				x := rng.NormFloat64()
+				if rng.Intn(3) == 0 {
+					x = 0 // exercise the zero-skip terms too
+				}
+				v.Data()[i] = x
+			}
+			vecs[c] = v
+		}
+
+		got := q.MatVecCols(PackCols(vecs))
+		if got.Dim(0) != tc.cols || got.Dim(1) != tc.n {
+			t.Fatalf("%dx%d n=%d: batched shape %v", tc.rows, tc.cols, tc.n, got.Shape())
+		}
+		for c, v := range vecs {
+			want := q.MatVec(v)
+			for j := 0; j < tc.cols; j++ {
+				if got.At(j, c) != want.At(j) {
+					t.Fatalf("%dx%d n=%d: out[%d] of column %d = %v, serial %v",
+						tc.rows, tc.cols, tc.n, j, c, got.At(j, c), want.At(j))
+				}
+			}
+		}
+	}
+}
+
+// TestMatVecColsFaultyBitIdentical: the batched readout must consume the same
+// effective conductances, drift factor and column states as the serial path,
+// so batching composes with fault injection without changing a single bit.
+func TestMatVecColsFaultyBitIdentical(t *testing.T) {
+	const rows, cols, bits, n = 24, 13, 16, 6
+	inj := fault.MustNew(fault.Config{
+		Seed: 17, StuckOff: 0.002, StuckOn: 0.001,
+		Drift: 0.05, Spares: 2, Degrade: true,
+	})
+	q := NewQuantized(randTensor(rows*cols, 21), rows, cols, bits)
+	q.AttachFaults(inj, 1)
+	q.Tick(1000) // age the array so drift != 1
+
+	vecs := make([]*tensor.Tensor, n)
+	for c := range vecs {
+		vecs[c] = randTensor(rows, int64(100+c))
+	}
+	got := q.MatVecCols(PackCols(vecs))
+	for c, v := range vecs {
+		want := q.MatVec(v)
+		for j := 0; j < cols; j++ {
+			if got.At(j, c) != want.At(j) {
+				t.Fatalf("faulty column %d out[%d] = %v, serial %v", c, j, got.At(j, c), want.At(j))
+			}
+		}
+	}
+}
+
+// TestMatVecColsWorkersDeterministic: the batched readout is bit-identical
+// across worker counts, like every other hot path in the repo.
+func TestMatVecColsWorkersDeterministic(t *testing.T) {
+	const rows, cols, n = 48, 29, 8
+	q := NewQuantized(randTensor(rows*cols, 5), rows, cols, 16)
+	x := PackCols(func() []*tensor.Tensor {
+		vs := make([]*tensor.Tensor, n)
+		for c := range vs {
+			vs[c] = randTensor(rows, int64(c+1))
+		}
+		return vs
+	}())
+
+	saved := parallel.Workers()
+	defer parallel.SetWorkers(saved)
+
+	parallel.SetWorkers(1)
+	want := q.MatVecCols(x)
+	for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		parallel.SetWorkers(workers)
+		if got := q.MatVecCols(x); !tensor.Equal(got, want, 0) {
+			t.Fatalf("workers=%d: batched readout diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestMatVecColsShapePanic: a row-count mismatch must fail loudly with the
+// array geometry in the message, matching MatVec's contract.
+func TestMatVecColsShapePanic(t *testing.T) {
+	q := NewQuantized(randTensor(6, 1), 3, 2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatVecCols accepted a mismatched input")
+		}
+	}()
+	q.MatVecCols(tensor.New(4, 2))
+}

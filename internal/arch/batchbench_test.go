@@ -1,0 +1,40 @@
+package arch
+
+import (
+	"testing"
+
+	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
+)
+
+func digitVecs(n int) []*tensor.Tensor {
+	samples := testutil.FlatSamples(n, 44)
+	vecs := make([]*tensor.Tensor, n)
+	for i, s := range samples {
+		vecs[i] = s.Input
+	}
+	return vecs
+}
+
+// BenchmarkMatVecSerial16 and BenchmarkMatVecCols16 are the kernel-level half
+// of the serving throughput story: sixteen synthetic-digit inputs through the
+// 784×48 array one at a time versus one batched readout.
+func BenchmarkMatVecSerial16(b *testing.B) {
+	q := NewQuantized(randTensor(784*48, 1), 784, 48, 16)
+	vecs := digitVecs(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vecs {
+			q.MatVec(v)
+		}
+	}
+}
+
+func BenchmarkMatVecCols16(b *testing.B) {
+	q := NewQuantized(randTensor(784*48, 1), 784, 48, 16)
+	x := PackCols(digitVecs(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.MatVecCols(x)
+	}
+}

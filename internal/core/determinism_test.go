@@ -5,11 +5,9 @@ import (
 	"runtime"
 	"testing"
 
-	"pipelayer/internal/dataset"
-	"pipelayer/internal/mapping"
-	"pipelayer/internal/networks"
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
 )
 
 // TestExecutorParallelDeterminism is the end-to-end half of the determinism
@@ -17,15 +15,9 @@ import (
 // bit-identical weights, losses, and accuracy across worker counts
 // {1, 2, 7, GOMAXPROCS}.
 func TestExecutorParallelDeterminism(t *testing.T) {
-	spec := networks.Spec{
-		Name: "det-mlp", InC: 1, InH: 28, InW: 28, Classes: 10,
-		Layers: []mapping.Layer{
-			mapping.FC("fc1", 784, 48),
-			mapping.FC("fc2", 48, 10),
-		},
-	}
-	train := dataset.Generate(16, dataset.DefaultOptions(true), 8)
-	test := dataset.Generate(24, dataset.DefaultOptions(true), 9)
+	spec := testutil.TinyMLP("det-mlp")
+	train := testutil.FlatSamples(16, 8)
+	test := testutil.FlatSamples(24, 9)
 
 	type result struct {
 		loss, acc float64

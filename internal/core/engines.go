@@ -40,6 +40,12 @@ type layerEngine interface {
 	// replication of Section 3.2.3 applied to Test throughput. Clones must
 	// only run forward.
 	cloneForInference() layerEngine
+	// forwardBatch runs a batch of independent inputs through the stage in
+	// one readout pass. Element i of the result is bit-identical to
+	// forward(xs[i]); unlike forward it never touches the lastIn/lastOut
+	// training buffers, so it is safe on shared clones and needs no
+	// per-request buffer copies.
+	forwardBatch(xs []*tensor.Tensor) []*tensor.Tensor
 	// tick advances the drift age of the stage's arrays by n compute
 	// cycles; no-op without an attached fault injector. Serial callers only.
 	tick(n int64)
@@ -388,6 +394,10 @@ type poolEngine struct {
 
 func (e *poolEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	e.lastIn = x.Clone()
+	return e.pool(x)
+}
+
+func (e *poolEngine) pool(x *tensor.Tensor) *tensor.Tensor {
 	oh, ow := e.inH/e.k, e.inW/e.k
 	out := tensor.New(e.inC, oh, ow)
 	for c := 0; c < e.inC; c++ {

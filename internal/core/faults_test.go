@@ -5,22 +5,15 @@ import (
 	"runtime"
 	"testing"
 
-	"pipelayer/internal/dataset"
 	"pipelayer/internal/fault"
-	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
 )
 
 func faultSpec() networks.Spec {
-	return networks.Spec{
-		Name: "fault-mlp", InC: 1, InH: 28, InW: 28, Classes: 10,
-		Layers: []mapping.Layer{
-			mapping.FC("fc1", 784, 48),
-			mapping.FC("fc2", 48, 10),
-		},
-	}
+	return testutil.TinyMLP("fault-mlp")
 }
 
 type trainResult struct {
@@ -44,8 +37,8 @@ func runFaultTraining(t *testing.T, inj *fault.Injector) trainResult {
 	if err := a.WeightLoad(nil, rand.New(rand.NewSource(77))); err != nil {
 		t.Fatal(err)
 	}
-	train := dataset.Generate(16, dataset.DefaultOptions(true), 8)
-	test := dataset.Generate(24, dataset.DefaultOptions(true), 9)
+	train := testutil.FlatSamples(16, 8)
+	test := testutil.FlatSamples(24, 9)
 	seqRep, err := a.Train(train, 8, 0.1)
 	if err != nil {
 		t.Fatal(err)

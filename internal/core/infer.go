@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+
+	"pipelayer/internal/arch"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/tensor"
+)
+
+// Replica is a read-only inference clone of a loaded accelerator: it shares
+// the programmed crossbar arrays and master weights (the Section 3.2.3 weight
+// replication, as Test's fan-out does) but owns its activation buffers, so
+// independent replicas serve requests concurrently. A single Replica is not
+// safe for concurrent use — give each serving goroutine its own.
+type Replica struct {
+	engines []layerEngine
+	spec    networks.Spec
+}
+
+// NewReplica clones the accelerator's engine stack for inference. The
+// accelerator must have weights loaded; faults, if attached, stay wired into
+// the shared arrays, so replicas see exactly the device the trainer saw.
+func (a *Accelerator) NewReplica() (*Replica, error) {
+	if !a.loaded {
+		return nil, errors.New("core: NewReplica before Weight_load")
+	}
+	engines := make([]layerEngine, len(a.engines))
+	for i, e := range a.engines {
+		engines[i] = e.cloneForInference()
+	}
+	return &Replica{engines: engines, spec: a.spec}, nil
+}
+
+// Spec returns the network geometry the replica serves.
+func (r *Replica) Spec() networks.Spec { return r.spec }
+
+// Spec returns the configured network geometry (zero value before
+// Topology_set).
+func (a *Accelerator) Spec() networks.Spec { return a.spec }
+
+// Infer runs one input through the serial single-request path — the same
+// per-stage forward the training executors and Test use.
+func (r *Replica) Infer(x *tensor.Tensor) *tensor.Tensor {
+	for _, e := range r.engines {
+		x = e.forward(x)
+	}
+	return x
+}
+
+// InferBatch runs a batch of independent inputs through the batched readout
+// path: each weighted stage performs one multi-column crossbar readout for
+// the whole batch instead of a readout per sample. Element i of the result
+// is bit-identical to Infer(xs[i]) — the batched kernel's contract — so
+// callers may freely mix the two paths.
+func (r *Replica) InferBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	if len(xs) == 0 {
+		return nil
+	}
+	for _, e := range r.engines {
+		xs = e.forwardBatch(xs)
+	}
+	return xs
+}
+
+func (e *denseEngine) forwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	n := len(xs)
+	y := e.fwd.MatVecCols(arch.PackCols(xs)) // (out × n)
+	yd := y.Data()
+	bias := e.bias.Data()
+	outs := make([]*tensor.Tensor, n)
+	for c := range outs {
+		o := tensor.New(e.out)
+		od := o.Data()
+		for j := 0; j < e.out; j++ {
+			v := yd[j*n+c] + bias[j]
+			// Same clamp as forward's Apply: v for v > 0, else literal 0.
+			if e.relu && !(v > 0) {
+				v = 0
+			}
+			od[j] = v
+		}
+		outs[c] = o
+	}
+	return outs
+}
+
+func (e *convEngine) forwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	oh, ow := e.outShape()
+	nwin := oh * ow
+	outs := make([]*tensor.Tensor, len(xs))
+	for idx, x := range xs {
+		// Im2Col already lays the windows out as columns with the shape
+		// MatVecCols wants, and each window quantizes against its own
+		// absolute maximum — exactly what the per-window MatVec loop in
+		// forward does — so one batched readout covers the whole plane.
+		cols := tensor.Im2Col(x, e.k, e.k, e.stride, e.pad)
+		y := e.fwd.MatVecCols(cols) // (outC × nwin)
+		yd := y.Data()
+		out := tensor.New(e.outC, oh, ow)
+		od := out.Data()
+		for c := 0; c < e.outC; c++ {
+			b := e.bias.At(c)
+			for wdx := 0; wdx < nwin; wdx++ {
+				v := yd[c*nwin+wdx] + b
+				if e.relu && v < 0 {
+					v = 0
+				}
+				od[c*nwin+wdx] = v
+			}
+		}
+		outs[idx] = out
+	}
+	return outs
+}
+
+func (e *poolEngine) forwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(xs))
+	for idx, x := range xs {
+		outs[idx] = e.pool(x)
+	}
+	return outs
+}

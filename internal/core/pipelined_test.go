@@ -4,10 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
-	"pipelayer/internal/dataset"
-	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
 )
 
 // buildPair creates two identically initialized accelerators.
@@ -31,16 +30,9 @@ func buildPair(t *testing.T, spec networks.Spec, seed int64) (*Accelerator, *Acc
 // 2(L−l)+1-deep circular rings and every unit used once per cycle —
 // computes exactly the same weights as processing them sequentially.
 func TestPipelinedTrainMatchesSequential(t *testing.T) {
-	spec := networks.Spec{
-		Name: "pipe-mlp", InC: 1, InH: 28, InW: 28, Classes: 10,
-		Layers: []mapping.Layer{
-			mapping.FC("fc1", 784, 64),
-			mapping.FC("fc2", 64, 32),
-			mapping.FC("fc3", 32, 10),
-		},
-	}
+	spec := testutil.TinyDeepMLP("pipe-mlp")
 	seq, pipe := buildPair(t, spec, 31)
-	samples := dataset.Generate(40, dataset.DefaultOptions(true), 8)
+	samples := testutil.FlatSamples(40, 8)
 
 	repSeq, err := seq.Train(samples, 8, 0.1)
 	if err != nil {
@@ -69,18 +61,9 @@ func TestPipelinedTrainMatchesSequentialCNN(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short mode")
 	}
-	spec := networks.Spec{
-		Name: "pipe-cnn", InC: 1, InH: 28, InW: 28, Classes: 10,
-		Layers: []mapping.Layer{
-			mapping.Conv("conv1", 1, 28, 28, 4, 3, 1, 1),
-			mapping.Pool("pool1", 4, 28, 28, 2),
-			mapping.Conv("conv2", 4, 14, 14, 8, 3, 1, 1),
-			mapping.Pool("pool2", 8, 14, 14, 2),
-			mapping.FC("fc", 8*7*7, 10),
-		},
-	}
+	spec := testutil.TinyDeepCNN("pipe-cnn")
 	seq, pipe := buildPair(t, spec, 5)
-	samples := dataset.Generate(12, dataset.DefaultOptions(false), 9)
+	samples := testutil.ImageSamples(12, 9)
 	if _, err := seq.Train(samples, 4, 0.05); err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +89,7 @@ func TestPipelinedCycleCountMatchesStageFormula(t *testing.T) {
 	if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
 		t.Fatal(err)
 	}
-	samples := dataset.Generate(16, dataset.DefaultOptions(false), 3)
+	samples := testutil.ImageSamples(16, 3)
 	rep, err := a.TrainPipelined(samples, 8, 0.05)
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +112,7 @@ func TestPipelinedTrainValidation(t *testing.T) {
 	if err := a.WeightLoad(nil, rand.New(rand.NewSource(1))); err != nil {
 		t.Fatal(err)
 	}
-	samples := dataset.Generate(10, dataset.DefaultOptions(true), 1)
+	samples := testutil.FlatSamples(10, 1)
 	if _, err := a.TrainPipelined(samples, 3, 0.1); err == nil {
 		t.Fatal("non-multiple sample count must fail")
 	}

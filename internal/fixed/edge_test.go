@@ -1,0 +1,116 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+
+	"pipelayer/internal/tensor"
+)
+
+// TestToFixedEdgeCases pins the signed quantizer at its awkward points:
+// negative inputs, the exact clamp boundaries, half-step rounding, and the
+// degenerate one-level grid (bits=2, a single ±step).
+func TestToFixedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		v     float64
+		scale float64
+		bits  int
+		want  int
+	}{
+		{"zero", 0, 1, 4, 0},
+		{"zero scale", 5, 0, 4, 0},
+		{"positive boundary", 1, 1, 4, 7},
+		{"negative boundary", -1, 1, 4, -7},
+		{"clamps above", 2.5, 1, 4, 7},
+		{"clamps below", -2.5, 1, 4, -7},
+		{"half step rounds away", 0.5 / 7, 1, 4, 1},
+		{"negative half step rounds away", -0.5 / 7, 1, 4, -1},
+		{"just inside half step", 0.49 / 7, 1, 4, 0},
+		{"negative just inside", -0.49 / 7, 1, 4, 0},
+		{"one level positive", 1, 1, 2, 1},
+		{"one level negative", -1, 1, 2, -1},
+		{"one level midpoint", 0.5, 1, 2, 1},
+		{"one level below midpoint", 0.49, 1, 2, 0},
+		{"one level clamps", 100, 1, 2, 1},
+		{"scaled negative", -0.25, 0.5, 4, -4},
+		{"sixteen bit boundary", -1, 1, 16, -Levels(16)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ToFixed(tc.v, tc.scale, tc.bits); got != tc.want {
+				t.Fatalf("ToFixed(%v, %v, %d) = %d, want %d", tc.v, tc.scale, tc.bits, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFromFixedEdgeCases checks the decoder at the grid extremes and that it
+// inverts ToFixed exactly on grid points (codes are exact integer multiples
+// of the step, so the float math is exact for these values).
+func TestFromFixedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		code  int
+		scale float64
+		bits  int
+		want  float64
+	}{
+		{"zero code", 0, 3, 4, 0},
+		{"max code", 7, 1, 4, 1},
+		{"min code", -7, 1, 4, -1},
+		{"one level max", 1, 2, 2, 2},
+		{"one level min", -1, 2, 2, -2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := FromFixed(tc.code, tc.scale, tc.bits); got != tc.want {
+				t.Fatalf("FromFixed(%d, %v, %d) = %v, want %v", tc.code, tc.scale, tc.bits, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantizeEdgeCases drives the tensor quantizer through sign and clamp
+// boundaries: elements at ±AbsMax land exactly on the grid ends, the grid is
+// odd-symmetric, and the one-level grid (bits=2) collapses values to
+// {-s, 0, +s}.
+func TestQuantizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		bits int
+		want []float64
+	}{
+		{"boundaries survive", []float64{1, -1, 0}, 4, []float64{1, -1, 0}},
+		{"negative absmax sets scale", []float64{-2, 0.5}, 4, []float64{-2, 4.0 / 7}},
+		{"one level rounds to ends", []float64{1, 0.6, 0.4, -0.6, -1}, 2, []float64{1, 1, 0, -1, -1}},
+		{"all negative", []float64{-4, -2, -1}, 2, []float64{-4, -4, 0}},
+		{"single element", []float64{-0.3}, 8, []float64{-0.3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantize(tensor.FromSlice(tc.in, len(tc.in)), tc.bits)
+			for i, w := range tc.want {
+				if g := got.At(i); math.Abs(g-w) > 1e-15 {
+					t.Fatalf("Quantize(%v, %d)[%d] = %v, want %v", tc.in, tc.bits, i, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizeOddSymmetry: negating the input negates the output, element by
+// element — the symmetric grid has no sign bias.
+func TestQuantizeOddSymmetry(t *testing.T) {
+	in := tensor.FromSlice([]float64{0.9, -0.31, 0.07, -1.0, 0.5}, 5)
+	neg := tensor.FromSlice([]float64{-0.9, 0.31, -0.07, 1.0, -0.5}, 5)
+	for _, bits := range []int{2, 3, 4, 8, 16} {
+		q, qn := Quantize(in, bits), Quantize(neg, bits)
+		for i := range q.Data() {
+			if q.At(i) != -qn.At(i) {
+				t.Fatalf("bits=%d: Quantize asymmetric at %d: %v vs %v", bits, i, q.At(i), qn.At(i))
+			}
+		}
+	}
+}

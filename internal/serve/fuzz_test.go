@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePredictRequest pins the decoder's contract: for any byte string
+// it must either return a well-formed tensor of exactly the requested size
+// with finite values, or an error — and it must never panic. The seed corpus
+// (here and in testdata/fuzz) covers malformed JSON, wrong shapes, type
+// confusion, huge numbers, and deep nesting.
+func FuzzDecodePredictRequest(f *testing.F) {
+	f.Add([]byte(`{"input":[1,2,3,4]}`))
+	f.Add([]byte(`{"input":[1,2`))
+	f.Add([]byte(`{"input":[]}`))
+	f.Add([]byte(`{"input":"abc"}`))
+	f.Add([]byte(`{"Input":[0.5,0.5,0.5,0.5]}`))
+	f.Add([]byte(`{"input":[1e999,0,0,0]}`))
+	f.Add([]byte(`{"input":[1,2,3,4]} trailing`))
+	f.Add([]byte(`{"unknown":true,"input":[1,2,3,4]}`))
+	f.Add([]byte(`[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]`))
+	f.Add([]byte(strings.Repeat(`{"input":`, 64)))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Add([]byte(``))
+
+	const wantSize = 4
+	f.Fuzz(func(t *testing.T, body []byte) {
+		x, err := DecodePredictRequest(body, wantSize)
+		if err != nil {
+			if x != nil {
+				t.Fatalf("error %v with non-nil tensor", err)
+			}
+			return
+		}
+		if x.Size() != wantSize {
+			t.Fatalf("accepted input has %d elements, want %d", x.Size(), wantSize)
+		}
+		for i, v := range x.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value %v at %d", v, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func validBody(t *testing.T, s *Server) string {
+	t.Helper()
+	xs := inputs(t, 1)
+	b, err := json.Marshal(PredictRequest{Input: xs[0].Data()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHTTPPredict(t *testing.T) {
+	a := loadedAccel(t, nil)
+	xs := inputs(t, 1)
+	want := serialReference(t, a, xs)[0]
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler(time.Second)
+
+	w := postJSON(t, h, "/predict", validBody(t, s))
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Scores) != 10 {
+		t.Fatalf("scores length %d", len(resp.Scores))
+	}
+	for i, v := range resp.Scores {
+		if v != want.At(i) {
+			t.Fatalf("score %d = %v, serial path %v", i, v, want.At(i))
+		}
+	}
+	if _, idx := want.Max(); resp.Class != idx {
+		t.Fatalf("class %d, want %d", resp.Class, idx)
+	}
+}
+
+func TestHTTPPredictRejectsBadRequests(t *testing.T) {
+	a := loadedAccel(t, nil)
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler(time.Second)
+
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed json", `{"input":[1,2`},
+		{"wrong shape", `{"input":[1,2,3]}`},
+		{"empty input", `{"input":[]}`},
+		{"missing input", `{}`},
+		{"wrong type", `{"input":"abc"}`},
+		{"unknown field", `{"data":[1]}`},
+		{"trailing garbage", `{"input":[1]} []`},
+		{"overflow number", fmt.Sprintf(`{"input":[1e999%s]}`, strings.Repeat(",0", 783))},
+	}
+	for _, tc := range cases {
+		if w := postJSON(t, h, "/predict", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, w.Code, w.Body)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/predict", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: status %d", w.Code)
+	}
+}
+
+func TestHTTPHealthzAndDrain(t *testing.T) {
+	a := loadedAccel(t, nil)
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler(time.Second)
+	body := validBody(t, s)
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", w.Code)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close: %d, want 503", w.Code)
+	}
+	if w := postJSON(t, h, "/predict", body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("predict after Close: %d, want 503", w.Code)
+	}
+}
+
+func TestHTTPDeadlineMapsTo504(t *testing.T) {
+	a := loadedAccel(t, nil)
+	gate := make(chan struct{})
+	s, err := New(a, Config{
+		Replicas: 1, MaxBatch: 1, QueueCap: 4,
+		testHookBeforeBatch: func() { <-gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler(20 * time.Millisecond)
+	w := postJSON(t, h, "/predict", validBody(t, s))
+	close(gate)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("gated predict: status %d, want 504 (body %s)", w.Code, w.Body)
+	}
+}
+
+func TestHTTPOverloadMapsTo503(t *testing.T) {
+	a := loadedAccel(t, nil)
+	gate := make(chan struct{})
+	s, err := New(a, Config{
+		Replicas: 1, MaxBatch: 1, QueueCap: 1,
+		testHookBeforeBatch: func() { <-gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler(5 * time.Second)
+	body := validBody(t, s)
+
+	// Saturate: worker gated, one batch in the batcher, one slot in the
+	// queue. Requests run in goroutines since successful ones block.
+	done := make(chan *httptest.ResponseRecorder, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- postJSON(t, h, "/predict", body) }()
+	}
+	var saw503 bool
+	var release sync.Once
+	deadline := time.After(5 * time.Second)
+	got := 0
+	var pending []*httptest.ResponseRecorder
+	for got < 8 {
+		select {
+		case w := <-done:
+			got++
+			if w.Code == http.StatusServiceUnavailable {
+				saw503 = true
+			} else {
+				pending = append(pending, w)
+			}
+			if saw503 {
+				release.Do(func() { close(gate) })
+			}
+		case <-deadline:
+			t.Fatalf("requests stuck: %d of 8 done (saw503=%v)", got, saw503)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !saw503 {
+		t.Fatal("no request was shed with 503")
+	}
+	for _, w := range pending {
+		if w.Code != http.StatusOK {
+			t.Fatalf("admitted request finished %d, body %s", w.Code, w.Body)
+		}
+		if !bytes.Contains(w.Body.Bytes(), []byte("scores")) {
+			t.Fatalf("admitted request missing scores: %s", w.Body)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package serve is the embeddable inference server for a trained PipeLayer
+// machine: the software analogue of the paper's throughput pipelining. Many
+// concurrent single-sample requests coalesce into the large effective batches
+// the batched crossbar readout (arch.MatVecCols) is fastest at, while every
+// response stays bit-identical to the serial single-request path — the
+// determinism contract the rest of the repo pins.
+//
+// Architecture: Predict enqueues onto a bounded queue (backpressure surfaces
+// as ErrOverloaded, never blocking the caller); a single batcher goroutine
+// drains the queue and flushes a batch when it reaches MaxBatch or the oldest
+// request has waited MaxWait; replica workers — each owning a core.Replica
+// cloned from the trained machine — take whole batches from an unbuffered
+// dispatch channel and run one multi-column readout per weighted stage.
+// Close stops intake, flushes everything in flight, and joins every
+// goroutine: a clean drain, by construction.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipelayer/internal/core"
+	"pipelayer/internal/telemetry"
+	"pipelayer/internal/tensor"
+)
+
+// Typed failures a caller can branch on.
+var (
+	// ErrOverloaded: the bounded queue is full; shed load or retry later.
+	ErrOverloaded = errors.New("serve: queue full")
+	// ErrClosed: the server is draining or closed.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config tunes the batching scheduler. The zero value serves with one
+// replica, batches of up to 16, a 2 ms batching window, and a 64-deep queue.
+type Config struct {
+	// Replicas is the number of inference clones serving batches
+	// concurrently. Each replica shares the trained machine's programmed
+	// arrays but owns its activation state.
+	Replicas int
+	// MaxBatch is the largest coalesced batch; a full batch flushes
+	// immediately.
+	MaxBatch int
+	// MaxWait bounds how long the oldest queued request waits for its batch
+	// to fill before the batcher flushes a partial batch.
+	MaxWait time.Duration
+	// QueueCap bounds the intake queue; a full queue fails fast with
+	// ErrOverloaded.
+	QueueCap int
+	// Metrics, when non-nil, receives serve_* instruments: queue depth
+	// gauge, batch-size histogram, request latency span, and outcome
+	// counters.
+	Metrics *telemetry.Registry
+
+	// testHookBeforeBatch, settable only from this package's tests, runs in
+	// each worker before it processes a batch — letting a test stall the
+	// pipeline deterministically to fill the queue.
+	testHookBeforeBatch func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	return c
+}
+
+// Result is one completed prediction: the class scores and their argmax.
+type Result struct {
+	Scores *tensor.Tensor
+	Class  int
+}
+
+type request struct {
+	ctx      context.Context
+	x        *tensor.Tensor
+	enqueued time.Time
+	done     chan outcome // buffered(1): a worker send never blocks on an abandoned caller
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+// Server batches concurrent Predict calls across inference replicas. Create
+// one with New; it serves until Close.
+type Server struct {
+	cfg   Config
+	in    int // expected input size (elements)
+	queue chan *request
+
+	mu     sync.RWMutex // guards closed against the queue close in Close
+	closed bool
+
+	wg sync.WaitGroup
+
+	beforeBatch func() // Config.testHookBeforeBatch, fixed at construction
+
+	queueDepth *telemetry.Gauge
+	batchSize  *telemetry.Histogram
+	latency    *telemetry.Span
+	requests   *telemetry.Counter
+	overloads  *telemetry.Counter
+	canceled   *telemetry.Counter
+	batches    *telemetry.Counter
+}
+
+// New builds replicas from the trained accelerator and starts the scheduler.
+// The accelerator must have weights loaded (NewReplica's requirement); it is
+// not otherwise touched, so training-side state stays where it was.
+func New(a *core.Accelerator, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	replicas := make([]*core.Replica, cfg.Replicas)
+	for i := range replicas {
+		r, err := a.NewReplica()
+		if err != nil {
+			return nil, err
+		}
+		replicas[i] = r
+	}
+	spec := replicas[0].Spec()
+	s := &Server{
+		cfg:         cfg,
+		in:          spec.InC * spec.InH * spec.InW,
+		queue:       make(chan *request, cfg.QueueCap),
+		beforeBatch: cfg.testHookBeforeBatch,
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.queueDepth = reg.Gauge("serve_queue_depth")
+		s.batchSize = reg.Histogram("serve_batch_size", []float64{1, 2, 4, 8, 16, 32, 64})
+		s.latency = reg.Span("serve_request_seconds")
+		s.requests = reg.Counter("serve_requests_total")
+		s.overloads = reg.Counter("serve_overloaded_total")
+		s.canceled = reg.Counter("serve_canceled_total")
+		s.batches = reg.Counter("serve_batches_total")
+	}
+
+	dispatch := make(chan []*request) // unbuffered: the batcher feels worker backpressure
+	s.wg.Add(1)
+	go s.batcher(dispatch)
+	for _, r := range replicas {
+		s.wg.Add(1)
+		go s.worker(r, dispatch)
+	}
+	return s, nil
+}
+
+// Predict submits one input and waits for its result, the request context's
+// cancellation, or its deadline — whichever comes first. A canceled request
+// already in the queue is skipped by the workers; its slot costs nothing but
+// queue depth until its batch flushes.
+func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (Result, error) {
+	if x == nil {
+		return Result{}, errors.New("serve: nil input")
+	}
+	if x.Size() != s.in {
+		return Result{}, fmt.Errorf("serve: input has %d elements, want %d", x.Size(), s.in)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	r := &request{ctx: ctx, x: x, enqueued: time.Now(), done: make(chan outcome, 1)}
+
+	// The read lock pairs with Close's write lock: the queue can only be
+	// closed while no sender holds the read side, so a send never races a
+	// close. The send itself never blocks — a full queue is an overload.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	select {
+	case s.queue <- r:
+		s.count(s.requests)
+		s.gauge(s.queueDepth, float64(len(s.queue)))
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.count(s.overloads)
+		return Result{}, ErrOverloaded
+	}
+
+	select {
+	case out := <-r.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		s.count(s.canceled)
+		return Result{}, ctx.Err()
+	}
+}
+
+// batcher coalesces queued requests into batches of up to MaxBatch, flushing
+// early once the oldest member has waited MaxWait. When Close closes the
+// queue it flushes the tail and closes dispatch, releasing the workers.
+func (s *Server) batcher(dispatch chan<- []*request) {
+	defer s.wg.Done()
+	defer close(dispatch)
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	var batch []*request
+	flush := func() {
+		if len(batch) > 0 {
+			dispatch <- batch
+			batch = nil
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			r, ok := <-s.queue
+			if !ok {
+				return
+			}
+			s.gauge(s.queueDepth, float64(len(s.queue)))
+			batch = append(batch, r)
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+				continue
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(s.cfg.MaxWait)
+			continue
+		}
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				flush()
+				return
+			}
+			s.gauge(s.queueDepth, float64(len(s.queue)))
+			batch = append(batch, r)
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}
+
+// worker serves whole batches on one replica. Requests whose context died in
+// the queue are answered with their context error and excluded from the
+// readout; a batch that shrinks to one request takes the serial
+// single-request path (identical bits, no packing overhead).
+func (s *Server) worker(rep *core.Replica, dispatch <-chan []*request) {
+	defer s.wg.Done()
+	for batch := range dispatch {
+		if s.beforeBatch != nil {
+			s.beforeBatch()
+		}
+		live := batch[:0]
+		for _, r := range batch {
+			if err := r.ctx.Err(); err != nil {
+				r.done <- outcome{err: err}
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		s.count(s.batches)
+		if s.batchSize != nil {
+			s.batchSize.Observe(float64(len(live)))
+		}
+		if len(live) == 1 {
+			s.finish(live[0], rep.Infer(live[0].x))
+			continue
+		}
+		xs := make([]*tensor.Tensor, len(live))
+		for i, r := range live {
+			xs[i] = r.x
+		}
+		for i, y := range rep.InferBatch(xs) {
+			s.finish(live[i], y)
+		}
+	}
+}
+
+func (s *Server) finish(r *request, y *tensor.Tensor) {
+	_, class := y.Max()
+	r.done <- outcome{res: Result{Scores: y, Class: class}}
+	if s.latency != nil {
+		s.latency.Add(time.Since(r.enqueued))
+	}
+}
+
+// Close drains the server: no new requests are accepted, every queued
+// request is served (or answered with its context error), and all scheduler
+// goroutines exit before Close returns. A second Close reports ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Closed reports whether Close has begun.
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// InputSize returns the expected number of input elements per request.
+func (s *Server) InputSize() int { return s.in }
+
+func (s *Server) count(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (s *Server) gauge(g *telemetry.Gauge, v float64) {
+	if g != nil {
+		g.Set(v)
+	}
+}

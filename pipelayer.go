@@ -42,6 +42,7 @@ import (
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/planner"
+	"pipelayer/internal/serve"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 	"pipelayer/internal/trace"
@@ -114,6 +115,26 @@ type (
 	FaultSweepConfig = experiments.FaultSweepConfig
 	// FaultSweepResult is the robustness study's output (BENCH_fault.json).
 	FaultSweepResult = experiments.FaultSweepResult
+	// Replica is a read-only inference clone of a trained Accelerator;
+	// create them with Accelerator.NewReplica.
+	Replica = core.Replica
+	// Server is the embeddable batching inference server: concurrent
+	// single-sample Predict calls coalesce into multi-column crossbar
+	// readouts, bit-identical to the serial path.
+	Server = serve.Server
+	// ServeConfig tunes the Server's batching scheduler (replicas, batch
+	// size, batching window, queue depth, metrics).
+	ServeConfig = serve.Config
+	// ServeResult is one completed prediction: class scores and argmax.
+	ServeResult = serve.Result
+)
+
+// Serving errors a caller can branch on.
+var (
+	// ErrServerOverloaded: the Server's bounded queue is full (shed load).
+	ErrServerOverloaded = serve.ErrOverloaded
+	// ErrServerClosed: the Server is draining or closed.
+	ErrServerClosed = serve.ErrClosed
 )
 
 // NewTensor allocates a zero tensor with the given shape.
@@ -202,6 +223,11 @@ func SaveCheckpoint(path string, net *Network, epoch int) error {
 func ResumeCheckpoint(path string, net *Network) (epoch int, ok bool, err error) {
 	return checkpoint.Resume(path, net)
 }
+
+// NewServer builds inference replicas from a trained accelerator and starts
+// the batching scheduler; the server serves Predict (and, via
+// Server.Handler, HTTP) until Close drains it.
+func NewServer(a *Accelerator, cfg ServeConfig) (*Server, error) { return serve.New(a, cfg) }
 
 // NewFaultInjector creates a seeded, deterministic fault injector: the same
 // config yields the same stuck cells, write failures and repair decisions at
