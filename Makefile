@@ -4,7 +4,11 @@ GO ?= go
 # exact version on demand, so local and CI runs lint with the same binary.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test check fmt vet race race-telemetry race-fault race-serve fault-smoke serve-smoke lint bench bench-smoke clean
+# Pinned govulncheck release for `make vulncheck` and the CI lint job (same
+# go run pkg@version pattern as staticcheck).
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve fault-smoke serve-smoke lint bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -12,11 +16,31 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet, formatting, and the race-enabled test suite.
-check: vet fmt race
+# test-shuffle randomizes test execution order within each package to flush
+# out inter-test state; CI runs this instead of plain `make test`.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
+# check is the CI gate: the analyzer suite (which includes stock go vet),
+# formatting, and the race-enabled test suite.
+check: analyze fmt race
 
 vet:
 	$(GO) vet ./...
+
+# analyze runs pipelayer-vet: the six project-specific analyzers
+# (nondeterminism, maporder, floatreduce, spawn, sentinelcmp, metricname)
+# plus the stock go vet passes. The analyzers live in internal/analysis on
+# a stdlib-only go/analysis-compatible core, so the version is pinned by
+# the Go toolchain itself and the module stays dependency-free; see
+# DESIGN.md §4f for the enforced invariants and the escape-hatch grammar.
+analyze:
+	$(GO) run ./cmd/pipelayer-vet ./...
+
+# vulncheck needs network access the first time (module proxy fetch of the
+# pinned govulncheck); afterwards the module cache makes it hermetic.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

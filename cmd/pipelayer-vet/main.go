@@ -1,0 +1,107 @@
+// Command pipelayer-vet is the project's multichecker: it runs the six
+// pipelayer-specific analyzers (nondeterminism, maporder, floatreduce,
+// spawn, sentinelcmp, metricname) over the module and then the stock `go
+// vet` passes, exiting nonzero if either finds anything. It is the
+// machine-enforced version of the repo's determinism, telemetry, and
+// error-handling invariants; see internal/analysis for what each check
+// means and DESIGN.md §4f for why it exists.
+//
+// Usage:
+//
+//	pipelayer-vet [flags] [packages]
+//
+// With no package patterns it analyzes ./... from the current directory
+// (the module root). Findings are suppressed line-by-line with
+// //pipelayer:allow-<check> <reason> directives; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+
+	"pipelayer/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	stock := flag.Bool("stock", true, "also run the stock `go vet` passes")
+	only := flag.String("run", "", "run only analyzers whose name matches this regexp")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: pipelayer-vet [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipelayer-vet: bad -run regexp: %v\n", err)
+			return 2
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	loader := &analysis.Loader{Dir: "."}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipelayer-vet: %v\n", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%v [typecheck]\n", terr)
+		}
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipelayer-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		failed = true
+		pos := pkgs[0].Fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+
+	if *stock {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
+}

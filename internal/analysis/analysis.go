@@ -1,0 +1,259 @@
+// Package analysis is pipelayer's static-analysis framework: a small,
+// dependency-free core modeled on golang.org/x/tools/go/analysis plus the
+// project-specific analyzers that machine-enforce the repo's determinism,
+// telemetry, and error-handling invariants.
+//
+// The repo's correctness story rests on invariants no stock linter checks:
+// bit-identical results across worker counts, seedable fault draws with no
+// ambient randomness, ordered float reductions, pool-governed goroutine
+// fan-out, errors.Is sentinel flow, and a disciplined telemetry namespace.
+// The analyzers here enforce them at analysis time so later refactors cannot
+// silently break them.
+//
+// Why not depend on golang.org/x/tools directly? The module is deliberately
+// zero-dependency and must build hermetically (no module proxy at build
+// time), so this package reimplements the thin slice of the go/analysis API
+// the suite needs — Analyzer, Pass, Diagnostic, an analysistest-style
+// fixture runner — on the standard library's go/ast + go/types, with
+// imports resolved from toolchain export data (see loader.go). The API
+// mirrors go/analysis closely enough that migrating to the real framework
+// is mechanical should the dependency policy change.
+//
+// Escape hatch: a finding on line N is suppressed by a directive comment on
+// line N or line N-1 of the form
+//
+//	//pipelayer:allow-<check> <reason>
+//
+// where <check> is the analyzer name (e.g. allow-nondeterminism,
+// allow-spawn for gospawn) and <reason> is mandatory free text. A directive
+// without a reason suppresses nothing and is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //pipelayer:allow-<name> escape-hatch directive. It must be a valid
+	// lower-case identifier.
+	Name string
+
+	// Doc is the one-paragraph help text shown by pipelayer-vet -list.
+	Doc string
+
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass provides one analyzer run over one package: the syntax trees, the
+// type information, and the sink for diagnostics. It mirrors
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path (types.Package.Path may be
+	// empty for fixture packages loaded outside the module graph).
+	PkgPath string
+
+	pkg      *Package
+	report   func(Diagnostic)
+	reported map[token.Pos]bool // missing-reason directives already reported
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not available (for
+// example when the expression did not type-check).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgNameOf resolves an identifier to the import path of the package it
+// names, or "" if the identifier is not a package name. This is how the
+// analyzers see through import aliases (`import r "math/rand"`).
+func (p *Pass) PkgNameOf(id *ast.Ident) string {
+	if p.TypesInfo == nil {
+		return ""
+	}
+	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// directive is one parsed //pipelayer:allow-<check> comment.
+type directive struct {
+	check  string
+	reason string
+	pos    token.Pos
+}
+
+var directiveRE = regexp.MustCompile(`^//pipelayer:allow-([a-z]+)(?:[ \t]+(.*))?$`)
+
+// parseDirectives builds the file → line → directives index for a package.
+// A directive suppresses findings on its own line and on the line below it
+// (the usual "annotation above the statement" style).
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]directive {
+	idx := make(map[string]map[int][]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]directive)
+					idx[pos.Filename] = byLine
+				}
+				reason := strings.TrimSpace(m[2])
+				// In analysistest fixtures a directive and a `// want`
+				// expectation share one line comment; the expectation is
+				// not part of the reason.
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				d := directive{check: m[1], reason: reason, pos: c.Pos()}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// Allowed reports whether a finding of the named check at pos is suppressed
+// by an escape-hatch directive on the same line or the line above. A
+// directive with an empty reason never suppresses; instead it is reported
+// once as its own finding, so the escape hatch stays auditable.
+func (p *Pass) Allowed(pos token.Pos, check string) bool {
+	if p.pkg == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	byLine := p.pkg.directives[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.check != check {
+				continue
+			}
+			if d.reason == "" {
+				if !p.reported[d.pos] {
+					p.reported[d.pos] = true
+					p.Reportf(d.pos, "//pipelayer:allow-%s directive needs a reason (\"//pipelayer:allow-%s <why>\")", check, check)
+				}
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the merged
+// diagnostics sorted by position then analyzer name. Package-spanning state
+// (the metricname duplicate index) is reset at the start of every call, so
+// one RunAnalyzers call is one consistent repo-wide view.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	resetSuiteState()
+	var diags []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				pkg:       pkg,
+				reported:  make(map[token.Pos]bool),
+			}
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if fset != nil {
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			if pi.Column != pj.Column {
+				return pi.Column < pj.Column
+			}
+			return diags[i].Analyzer < diags[j].Analyzer
+		})
+	}
+	return diags, nil
+}
+
+// pathHasSuffixSegment reports whether path ends with the given
+// slash-separated suffix on a segment boundary: "pipelayer/internal/core"
+// matches "internal/core" but "internal/score" does not.
+func pathHasSuffixSegment(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// pathHasSegment reports whether any single path segment equals seg.
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

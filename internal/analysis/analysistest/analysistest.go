@@ -1,0 +1,175 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the in-repo
+// framework.
+//
+// A fixture line expects diagnostics with trailing comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted pattern must match (regexp search, not full match) exactly
+// one diagnostic reported on that line, and every diagnostic must be
+// matched by some pattern. Fixture packages live in
+// testdata/src/<pkgpath>/ and may import standard-library and module
+// packages; imports resolve through the same export-data loader the
+// pipelayer-vet binary uses.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pipelayer/internal/analysis"
+)
+
+// moduleRoot is where go list runs for import resolution. Fixture tests
+// run with the package directory as cwd (internal/analysis), so the module
+// root is two levels up.
+const moduleRoot = "../.."
+
+var wantRE = regexp.MustCompile(`//[ \t]*want[ \t]+(.*)$`)
+
+// Run loads each fixture package (a directory under testdata/src) with the
+// shared loader, applies the analyzer, and reports mismatches between the
+// emitted diagnostics and the fixtures' want comments on t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := &analysis.Loader{Dir: moduleRoot}
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+		pkg, err := loader.LoadDir(path, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", path, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, pkg := range pkgs {
+		checkWants(t, pkg, diags)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants compares the diagnostics that landed in pkg's files against
+// the want comments in those files.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				exps, err := parseWantPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				if wants[pos.Filename] == nil {
+					wants[pos.Filename] = make(map[int][]*expectation)
+				}
+				wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], exps...)
+			}
+		}
+	}
+	inPkg := func(pos token.Position) bool {
+		for _, f := range pkg.Files {
+			if pkg.Fset.Position(f.Pos()).Filename == pos.Filename {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !inPkg(pos) {
+			continue
+		}
+		if match := findMatch(wants[pos.Filename][pos.Line], d.Message); match != nil {
+			match.matched = true
+			continue
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+func findMatch(exps []*expectation, msg string) *expectation {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}
+
+// parseWantPatterns splits `"a" "b"` into compiled expectations.
+func parseWantPatterns(s string) ([]*expectation, error) {
+	var exps []*expectation
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		if strings.HasPrefix(s, "//") {
+			break // trailing comment after the patterns
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		// Find the end of this Go-quoted (or raw) string.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if quote == '"' && s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("compiling pattern %q: %v", raw, err)
+		}
+		exps = append(exps, &expectation{re: re, raw: raw})
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return exps, nil
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerFloatReduce flags floating-point accumulation into a captured
+// variable inside a closure dispatched through internal/parallel. Float
+// addition is not associative, so `sum += ...` across pool workers is both
+// a data race and — even if locked — an order-dependent reduction that
+// breaks bit-identity across worker counts. The sanctioned pattern is the
+// one the hot paths already use: write per-chunk partials into disjoint
+// slice slots and drain them in index order after the parallel section (or
+// keep the arithmetic in the exact-integer domain where addition commutes).
+// Escape hatch: //pipelayer:allow-floatreduce <reason>.
+var AnalyzerFloatReduce = &Analyzer{
+	Name: "floatreduce",
+	Doc: "flag float accumulation into captured variables inside closures dispatched via " +
+		"internal/parallel; use per-chunk partials drained in index order so reductions " +
+		"stay bit-identical across worker counts",
+	Run: runFloatReduce,
+}
+
+func runFloatReduce(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelDispatch(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						checkClosureReduction(pass, lit)
+						return false // nested closures are checked relative to the outermost
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isParallelDispatch reports whether the call invokes a function or method
+// defined in internal/parallel (Pool.For, Pool.Run, ...), resolved through
+// type information so receivers and import aliases don't matter.
+func isParallelDispatch(pass *Pass, call *ast.CallExpr) bool {
+	if pass.TypesInfo == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffixSegment(obj.Pkg().Path(), "internal/parallel")
+}
+
+// checkClosureReduction reports float accumulation into variables the
+// closure captures from its environment.
+func checkClosureReduction(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloatType(pass.TypeOf(lhs)) && capturedScalar(pass, lhs, lit) {
+					reportFloatReduce(pass, as.Pos(), lhs)
+				}
+			}
+		case token.ASSIGN:
+			// x = x + y spelled out long-hand.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) || !isFloatType(pass.TypeOf(lhs)) || !capturedScalar(pass, lhs, lit) {
+					continue
+				}
+				if bin, ok := as.Rhs[i].(*ast.BinaryExpr); ok && sameVar(pass, lhs, bin.X) {
+					switch bin.Op {
+					case token.ADD, token.SUB, token.MUL, token.QUO:
+						reportFloatReduce(pass, as.Pos(), lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportFloatReduce(pass *Pass, pos token.Pos, lhs ast.Expr) {
+	if pass.Allowed(pos, "floatreduce") {
+		return
+	}
+	name := "variable"
+	if id := rootIdent(lhs); id != nil {
+		name = id.Name
+	}
+	pass.Reportf(pos, "float accumulation into captured %s inside a closure dispatched via internal/parallel "+
+		"is an order-dependent (and racy) reduction; write per-chunk partials into disjoint slots and drain "+
+		"them in index order, or annotate with //pipelayer:allow-floatreduce <reason>", name)
+}
+
+// capturedScalar reports whether expr's root variable is declared outside
+// the closure — i.e. shared state the workers would race on. Writes through
+// a slice or map index (partials[w] += x) keep the root identifier's slots
+// disjoint per worker, so only plain identifiers and field selectors count.
+func capturedScalar(pass *Pass, expr ast.Expr, lit *ast.FuncLit) bool {
+	switch expr.(type) {
+	case *ast.IndexExpr:
+		return false // per-slot write: the sanctioned partials pattern
+	}
+	return declaredOutside(pass, expr, lit)
+}
+
+func sameVar(pass *Pass, a, b ast.Expr) bool {
+	ida, idb := rootIdent(a), rootIdent(b)
+	if ida == nil || idb == nil || pass.TypesInfo == nil {
+		return false
+	}
+	oa, ob := pass.TypesInfo.ObjectOf(ida), pass.TypesInfo.ObjectOf(idb)
+	return oa != nil && oa == ob
+}

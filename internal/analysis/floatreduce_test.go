@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestFloatReduce proves the analyzer flags shared-float accumulation
+// (compound and long-hand) inside closures dispatched through the real
+// internal/parallel pool, while accepting the per-chunk-partials pattern
+// and closure-local accumulators.
+func TestFloatReduce(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerFloatReduce, "floatreduce")
+}

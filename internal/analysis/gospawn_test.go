@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestGoSpawn proves the analyzer forbids raw go statements in ordinary
+// packages, exempts internal/parallel-shaped and cmd/-shaped import paths,
+// and enforces the reason on //pipelayer:allow-spawn.
+func TestGoSpawn(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerGoSpawn,
+		"gospawn/app", "gospawn/internal/parallel", "gospawn/cmd/app")
+}

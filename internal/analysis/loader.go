@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked compilation unit ready for analysis.
+// Only the production (non-test) files are loaded: the suite's invariants
+// govern hot-path and library code, while the test tree is exercised by the
+// race detector and `go test -shuffle=on` instead.
+type Package struct {
+	PkgPath    string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+
+	directives map[string]map[int][]directive
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` for the given patterns in dir
+// and returns the decoded package stream. -export compiles (from the build
+// cache when warm) and records export data for every listed package, which
+// is what lets the type checker resolve imports without golang.org/x/tools
+// and without network access.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		q := p
+		pkgs = append(pkgs, &q)
+	}
+	return pkgs, nil
+}
+
+// exportResolver maps import paths to toolchain export-data files and lazily
+// runs `go list` for paths it has not seen yet (fixture packages import
+// std and module packages that the initial pattern load may not cover).
+type exportResolver struct {
+	dir     string // module directory go list runs in
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func newExportResolver(dir string) *exportResolver {
+	return &exportResolver{dir: dir, exports: make(map[string]string)}
+}
+
+func (r *exportResolver) add(pkgs []*listedPackage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			r.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookup implements the go/importer lookup contract: return a reader for
+// the export data of path.
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	r.mu.Lock()
+	file, ok := r.exports[path]
+	r.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(r.dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %v", path, err)
+		}
+		r.add(pkgs)
+		r.mu.Lock()
+		file, ok = r.exports[path]
+		r.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// A Loader loads and type-checks packages for analysis. One Loader shares a
+// FileSet and an export-data cache across every package it loads.
+type Loader struct {
+	Dir      string // module root (where go list runs); "" means "."
+	fset     *token.FileSet
+	resolver *exportResolver
+	imp      types.Importer
+	once     sync.Once
+}
+
+func (l *Loader) init() {
+	l.once.Do(func() {
+		if l.Dir == "" {
+			l.Dir = "."
+		}
+		l.fset = token.NewFileSet()
+		l.resolver = newExportResolver(l.Dir)
+		l.imp = importer.ForCompiler(l.fset, "gc", l.resolver.lookup)
+	})
+}
+
+// Load loads the module packages matching the go list patterns (for example
+// "./..."), type-checks each against toolchain export data, and returns
+// them sorted by import path. Packages that fail to list (for example
+// syntax errors) surface as an error; type errors inside an otherwise
+// loadable package are recorded on the Package so analyzers can still run.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	listed, err := goList(l.Dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	l.resolver.add(listed)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which pipelayer-vet does not analyze", lp.ImportPath)
+		}
+		var files []string
+		for _, g := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, g))
+		}
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir loads a single directory as the package with the given import
+// path, ignoring _test.go files. It is the entry point the analysistest
+// fixture runner uses: fixture directories live under testdata and are
+// invisible to go list, but their imports still resolve through the shared
+// export-data cache.
+func (l *Loader) LoadDir(pkgPath, dir string) (*Package, error) {
+	l.init()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(pkgPath, dir, files)
+}
+
+// check parses and type-checks one package from source. Type errors are
+// collected rather than fatal: an analyzer sees whatever type information
+// survived, which keeps the suite useful on a tree that is mid-refactor.
+func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		TypesInfo: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+		directives: parseDirectives(l.fset, files),
+	}
+	if len(files) > 0 {
+		pkg.Name = files[0].Name.Name
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, pkg.TypesInfo)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

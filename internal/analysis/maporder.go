@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMapOrder flags `range` over a map whose body performs
+// order-sensitive work: writing through a slice index, appending to a slice
+// declared outside the loop, accumulating floats into an outer variable, or
+// sending on a channel. Go randomizes map iteration order per run, so any
+// of these makes the result differ run to run and worker count to worker
+// count — the exact pattern that broke cross-worker bit-identity before the
+// deterministic pool landed.
+//
+// The one sanctioned shape — collect the keys, sort, iterate the sorted
+// slice — is recognized: an append of loop variables into an outer slice is
+// not flagged when a later statement in the same block passes that slice to
+// sort or slices. Everything else needs //pipelayer:allow-maporder <reason>.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose body writes slices, accumulates floats, or sends " +
+		"on channels; map order is randomized, so such loops break bit-identical replay " +
+		"(collect keys and sort instead)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Every statement lives in exactly one block / case / comm statement
+		// list; visiting those lists hands each map-range loop its enclosing
+		// list, which the collect-keys-then-sort recognizer needs.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for _, s := range list {
+				if ls, ok := s.(*ast.LabeledStmt); ok {
+					s = ls.Stmt
+				}
+				if rs, ok := s.(*ast.RangeStmt); ok && isMapType(pass.TypeOf(rs.X)) {
+					checkMapRangeBody(pass, rs, list)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody reports the order-sensitive writes inside one map-range
+// body. enclosing is the statement list containing rs, used to recognize a
+// subsequent sort of an appended-to slice.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, enclosing []ast.Stmt) {
+	report := func(pos token.Pos, what string) {
+		if !pass.Allowed(pos, "maporder") {
+			pass.Reportf(pos, "%s inside range over map: map iteration order is randomized, so this is "+
+				"order-dependent; iterate sorted keys instead, or annotate with //pipelayer:allow-maporder <reason>", what)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isSliceType(pass.TypeOf(idx.X)) {
+					report(n.Pos(), "write through a slice index")
+				}
+			}
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloatType(pass.TypeOf(lhs)) && declaredOutside(pass, lhs, rs.Body) {
+						report(n.Pos(), "float accumulation into an outer variable")
+					}
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+						continue
+					}
+					dst := n.Lhs[i]
+					if declaredOutside(pass, dst, rs.Body) && !sortedAfter(pass, dst, rs, enclosing) {
+						report(n.Pos(), "append to an outer slice")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if pass.TypesInfo == nil {
+		return true
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// declaredOutside reports whether the root identifier of expr names a
+// variable declared outside the given node (so writes to it survive the
+// loop). Unresolvable expressions count as outside — better a false
+// positive with an escape hatch than a silent miss.
+func declaredOutside(pass *Pass, expr ast.Expr, within ast.Node) bool {
+	id := rootIdent(expr)
+	if id == nil || pass.TypesInfo == nil {
+		return true
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < within.Pos() || obj.Pos() > within.End()
+}
+
+// rootIdent digs the base identifier out of expr: s, s[i], s.f, *s.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether some statement after rs in the enclosing
+// block passes dst to a function from package sort or slices — the
+// collect-then-sort idiom that makes the append order irrelevant.
+func sortedAfter(pass *Pass, dst ast.Expr, rs *ast.RangeStmt, enclosing []ast.Stmt) bool {
+	dstID := rootIdent(dst)
+	if dstID == nil || pass.TypesInfo == nil {
+		return false
+	}
+	dstObj := pass.TypesInfo.ObjectOf(dstID)
+	if dstObj == nil {
+		return false
+	}
+	for _, stmt := range enclosing {
+		if stmt.Pos() < rs.End() {
+			continue // the loop itself and everything before it
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pass.PkgNameOf(pkgID) {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if root := rootIdent(arg); root != nil && pass.TypesInfo.ObjectOf(root) == dstObj {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestMapOrder proves the analyzer flags slice appends, slice index writes,
+// float accumulation, and channel sends inside map-range bodies, while
+// accepting the collect-keys-then-sort idiom, map-to-map copies, integer
+// accumulation, and loop-local slices.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerMapOrder, "maporder")
+}

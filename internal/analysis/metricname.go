@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sync"
+)
+
+// metricNameRE is the telemetry namespace grammar: lower_snake_case, no
+// leading digit or underscore. Labels are appended at runtime by
+// telemetry.Name, so only the base name is constrained.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registryInstruments maps the telemetry.Registry constructor methods to
+// the instrument kind they register under a name.
+var registryInstruments = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+	"Span":      "span",
+}
+
+// metricSeen is the repo-wide duplicate index: one RunAnalyzers call sees
+// every package, so a name registered as two different instrument kinds
+// anywhere in the tree is caught even across package boundaries.
+var metricSeen struct {
+	mu     sync.Mutex
+	byName map[string]metricUse
+}
+
+type metricUse struct {
+	kind string
+	site string // "file:line" of the first registration
+}
+
+// resetSuiteState clears cross-package analyzer state; RunAnalyzers calls
+// it so each run is one consistent repo-wide view.
+func resetSuiteState() {
+	metricSeen.mu.Lock()
+	metricSeen.byName = make(map[string]metricUse)
+	metricSeen.mu.Unlock()
+}
+
+// AnalyzerMetricName enforces the telemetry namespace at every call site:
+// metric/span names must be compile-time string constants matching
+// ^[a-z][a-z0-9_]*$ (so dashboards, the Prometheus exporter, and grep all
+// agree on the universe of names), and one name must not be registered as
+// two different instrument kinds anywhere in the repo. Names may be passed
+// through telemetry.Name(base, labels); the base is checked at the Name
+// call site. Escape hatch for deliberate indirection (a helper forwarding
+// a name parameter): //pipelayer:allow-metricname <reason>.
+var AnalyzerMetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "telemetry metric/span names must be ^[a-z][a-z0-9_]*$ compile-time string " +
+		"constants at the call site, and a name must not be registered as two different " +
+		"instrument kinds anywhere in the repo",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	// The registry's own internals (reporters, name plumbing) pass names
+	// through variables by design; the invariant governs the call sites
+	// that *mint* names, not the package that stores them.
+	if pathHasSuffixSegment(pass.PkgPath, "internal/telemetry") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind, isName := telemetryCallKind(pass, call)
+			if kind == "" && !isName {
+				return true
+			}
+			arg := call.Args[0]
+			name, isConst := constantString(pass, arg)
+			switch {
+			case isConst:
+				if !metricNameRE.MatchString(name) {
+					if !pass.Allowed(arg.Pos(), "metricname") {
+						pass.Reportf(arg.Pos(), "telemetry name %q does not match ^[a-z][a-z0-9_]*$ "+
+							"(lower_snake_case, no leading digit)", name)
+					}
+					return true
+				}
+				if kind != "" {
+					recordMetricUse(pass, arg, name, kind)
+				}
+			case isTelemetryNameCall(pass, arg):
+				// telemetry.Name(base, labels): the base constant is checked
+				// when the walker reaches the inner call.
+			default:
+				if !pass.Allowed(arg.Pos(), "metricname") {
+					pass.Reportf(arg.Pos(), "telemetry name is not a compile-time constant, so the metric "+
+						"namespace can't be audited statically; pass a string literal (optionally via "+
+						"telemetry.Name) or annotate with //pipelayer:allow-metricname <reason>")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// telemetryCallKind classifies a call: an instrument-registering Registry
+// method returns its kind, a telemetry.Name call returns isName.
+func telemetryCallKind(pass *Pass, call *ast.CallExpr) (kind string, isName bool) {
+	if pass.TypesInfo == nil {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathHasSuffixSegment(fn.Pkg().Path(), "internal/telemetry") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() != nil {
+		k, ok := registryInstruments[fn.Name()]
+		if !ok {
+			return "", false
+		}
+		return k, false
+	}
+	return "", fn.Name() == "Name"
+}
+
+func isTelemetryNameCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, isName := telemetryCallKind(pass, call)
+	return isName
+}
+
+// constantString returns the compile-time string value of expr (literal,
+// named constant, or constant expression) if it has one.
+func constantString(pass *Pass, expr ast.Expr) (string, bool) {
+	if pass.TypesInfo == nil {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// recordMetricUse checks the repo-wide kind index: registering one name as
+// two different instrument kinds corrupts the exported namespace (the
+// Prometheus reporter would emit conflicting series).
+func recordMetricUse(pass *Pass, arg ast.Expr, name, kind string) {
+	site := pass.Fset.Position(arg.Pos()).String()
+	metricSeen.mu.Lock()
+	defer metricSeen.mu.Unlock()
+	if metricSeen.byName == nil {
+		metricSeen.byName = make(map[string]metricUse)
+	}
+	prev, ok := metricSeen.byName[name]
+	if !ok {
+		metricSeen.byName[name] = metricUse{kind: kind, site: site}
+		return
+	}
+	if prev.kind != kind {
+		pass.Reportf(arg.Pos(), "telemetry name %q registered as %s here but as %s at %s; "+
+			"one name must map to one instrument kind repo-wide", name, kind, prev.kind, prev.site)
+	}
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestMetricName proves the analyzer validates the lower_snake_case
+// grammar on literals, named constants, and telemetry.Name bases, flags
+// non-constant names, enforces the annotation reason, and catches one name
+// registered as two instrument kinds.
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerMetricName, "metricname")
+}

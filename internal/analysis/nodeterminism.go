@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPathPkgs are the packages whose results must be bit-identical across
+// worker counts and runs: everything a training or inference pass touches.
+// nodeterminism applies only to these; colder layers (telemetry, serve,
+// cmd) legitimately read the wall clock.
+var hotPathPkgs = []string{
+	"internal/tensor",
+	"internal/arch",
+	"internal/reram",
+	"internal/spike",
+	"internal/core",
+	"internal/fault",
+	"internal/parallel",
+}
+
+func isHotPathPkg(path string) bool {
+	for _, s := range hotPathPkgs {
+		if pathHasSuffixSegment(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// forbiddenTimeFuncs are the wall-clock reads and timer constructors that
+// make a hot-path result depend on when (or how fast) it ran.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// allowedRandFuncs are the math/rand (and v2) constructors that build an
+// explicitly seeded generator. Everything else on the package — the ambient
+// top-level draws and Seed — is forbidden: every stochastic choice in the
+// hot path must flow from a *rand.Rand the caller seeded.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// AnalyzerNoDeterminism forbids wall-clock reads and ambient randomness in
+// the hot-path packages. Escape hatch: //pipelayer:allow-nondeterminism
+// <reason> (used for telemetry/trace timestamps that never feed a result).
+var AnalyzerNoDeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid time.Now/time.Since-style wall-clock reads and ambient math/rand draws " +
+		"in the hot-path packages (tensor, arch, reram, spike, core, fault, parallel); " +
+		"stochastic behavior must flow from an explicitly seeded *rand.Rand",
+	Run: runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !isHotPathPkg(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// A dot-import of time or math/rand would let the forbidden calls
+		// appear as bare identifiers, invisible to the selector walk below.
+		for _, imp := range f.Imports {
+			if imp.Name != nil && imp.Name.Name == "." {
+				path := importPath(imp)
+				switch path {
+				case "time", "math/rand", "math/rand/v2", "crypto/rand":
+					pass.Reportf(imp.Pos(), "dot-import of %q defeats the nondeterminism check; use a named import", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pass.PkgNameOf(id) {
+			case "time":
+				if forbiddenTimeFuncs[sel.Sel.Name] && !pass.Allowed(sel.Pos(), "nondeterminism") {
+					pass.Reportf(sel.Pos(), "wall-clock read time.%s in hot-path package %s breaks run-to-run determinism; "+
+						"pass timestamps in from the cold path or annotate with //pipelayer:allow-nondeterminism <reason>",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Referring to the types (rand.Rand in a signature) is the
+				// sanctioned dependency-injection pattern; only the ambient
+				// package-level draw functions are forbidden.
+				if !isFuncRef(pass, sel.Sel) {
+					return true
+				}
+				if !allowedRandFuncs[sel.Sel.Name] && !pass.Allowed(sel.Pos(), "nondeterminism") {
+					pass.Reportf(sel.Pos(), "ambient randomness rand.%s in hot-path package %s; "+
+						"draw from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))) so fault and "+
+						"variation experiments replay bit-identically", sel.Sel.Name, pass.Pkg.Name())
+				}
+			case "crypto/rand":
+				if !pass.Allowed(sel.Pos(), "nondeterminism") {
+					pass.Reportf(sel.Pos(), "crypto/rand in hot-path package %s is unseedable; "+
+						"use an explicitly seeded math/rand *rand.Rand", pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFuncRef(pass *Pass, id *ast.Ident) bool {
+	if pass.TypesInfo == nil {
+		return true // be conservative: report when type info is missing
+	}
+	_, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestNoDeterminism proves the analyzer fires on wall-clock reads and
+// ambient randomness in hot-path packages, stays silent in cold packages,
+// honors a reasoned //pipelayer:allow-nondeterminism, and rejects a bare
+// one.
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerNoDeterminism, "nodet/internal/core", "nodet/cold")
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestSentinelCmp proves the analyzer rewrites ==/!= sentinel comparisons
+// to errors.Is while leaving nil checks, errors.Is itself, function-scoped
+// variables, and Err-named non-errors alone.
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerSentinelCmp, "sentinelcmp")
+}

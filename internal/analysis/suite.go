@@ -1,0 +1,15 @@
+package analysis
+
+// Suite returns the full pipelayer analyzer suite in reporting order. One
+// RunAnalyzers call over one package set is one consistent repo-wide view
+// (the metricname duplicate index spans packages within a call).
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerNoDeterminism,
+		AnalyzerMapOrder,
+		AnalyzerFloatReduce,
+		AnalyzerGoSpawn,
+		AnalyzerSentinelCmp,
+		AnalyzerMetricName,
+	}
+}

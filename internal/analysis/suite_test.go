@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+)
+
+// TestSuiteCleanOnRepo is the burn-in gate inside the ordinary test run:
+// the full analyzer suite over the whole module must report nothing. A new
+// violation anywhere in the tree fails `go test ./...` with the same
+// message pipelayer-vet would print, so the invariant holds even for
+// contributors who never run make analyze.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	loader := &analysis.Loader{Dir: "../.."}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for ./...")
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestSuiteHasSixAnalyzers pins the suite's composition: each analyzer
+// name doubles as its escape-hatch directive, so renames are breaking
+// changes that must be deliberate.
+func TestSuiteHasSixAnalyzers(t *testing.T) {
+	want := []string{"nondeterminism", "maporder", "floatreduce", "spawn", "sentinelcmp", "metricname"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing Doc or Run", a.Name)
+		}
+	}
+}

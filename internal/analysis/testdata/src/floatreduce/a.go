@@ -1,0 +1,84 @@
+// Package floatreduce is a fixture for the floatreduce analyzer: float
+// accumulation into captured variables inside closures dispatched through
+// the internal/parallel pool.
+package floatreduce
+
+import "pipelayer/internal/parallel"
+
+// sharedAccumulator races pool workers on one float: order-dependent.
+func sharedAccumulator(p *parallel.Pool, xs []float64) float64 {
+	sum := 0.0
+	p.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "float accumulation into captured sum"
+		}
+	})
+	return sum
+}
+
+// longhandAccumulator spells the same reduction as x = x + y.
+func longhandAccumulator(p *parallel.Pool, xs []float64) float64 {
+	total := 0.0
+	p.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total = total + xs[i] // want "float accumulation into captured total"
+		}
+	})
+	return total
+}
+
+// chunkPartials is the sanctioned pattern: disjoint per-chunk slots,
+// drained in index order after the parallel section.
+func chunkPartials(p *parallel.Pool, xs []float64) float64 {
+	grain := parallel.Grain(64)
+	nchunks := (len(xs) + grain - 1) / grain
+	if nchunks == 0 {
+		return 0
+	}
+	partials := make([]float64, nchunks)
+	p.For(len(xs), grain, func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		partials[lo/grain] = s
+	})
+	sum := 0.0
+	for _, s := range partials {
+		sum += s
+	}
+	return sum
+}
+
+// closureLocal accumulates into a variable declared inside the closure:
+// private per invocation, nothing shared.
+func closureLocal(p *parallel.Pool, xs []float64, out []float64) {
+	p.For(len(xs), 1, func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		out[lo] = s
+	})
+}
+
+// serialAccumulation outside any parallel dispatch is fine.
+func serialAccumulation(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// annotated shows the escape hatch with and without a reason.
+func annotated(p *parallel.Pool, xs []float64) float64 {
+	sum := 0.0
+	p.For(len(xs), 1, func(lo, hi int) {
+		sum += 1 //pipelayer:allow-floatreduce single-worker pool proven by construction
+	})
+	p.For(len(xs), 1, func(lo, hi int) {
+		sum += 1 //pipelayer:allow-floatreduce // want "float accumulation into captured sum" "needs a reason"
+	})
+	return sum
+}

@@ -1,0 +1,9 @@
+// Package main is a gospawn fixture for a cmd/ binary: commands own their
+// process lifetime and may spawn directly.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,10 @@
+// Package parallel is a gospawn fixture standing in for the pool package
+// itself (its import path ends in internal/parallel): the one place raw
+// goroutine fan-out is sanctioned.
+package parallel
+
+func workers(n int, f func()) {
+	for i := 0; i < n; i++ {
+		go f()
+	}
+}

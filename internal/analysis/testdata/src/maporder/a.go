@@ -1,0 +1,95 @@
+// Package maporder is a fixture for the maporder analyzer: order-sensitive
+// work inside range-over-map loops.
+package maporder
+
+import "sort"
+
+// appendUnsorted leaks map order into a slice.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to an outer slice inside range over map"
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: append then sort, so the
+// iteration order is irrelevant.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// floatAccumulate sums floats in map order: not associative, not stable.
+func floatAccumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into an outer variable inside range over map"
+	}
+	return total
+}
+
+// intAccumulate is exact arithmetic: integer addition commutes, allowed.
+func intAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceIndexWrite stores values at map-order-dependent slots.
+func sliceIndexWrite(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "write through a slice index inside range over map"
+		i++
+	}
+}
+
+// channelSend streams map entries in randomized order.
+func channelSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside range over map"
+	}
+}
+
+// loopLocalSlice appends to a slice scoped inside the body: each iteration
+// sees a fresh slice, so no order leaks out.
+func loopLocalSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// mapToMap copies between maps: writes keyed by the element, order-free.
+func mapToMap(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// annotated shows the escape hatch with and without a reason.
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //pipelayer:allow-maporder order-insensitive: checksummed downstream with a tolerance
+	}
+	sub := 0.0
+	for _, v := range m {
+		sub += v //pipelayer:allow-maporder // want "float accumulation" "needs a reason"
+	}
+	return total + sub
+}

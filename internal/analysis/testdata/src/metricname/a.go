@@ -1,0 +1,34 @@
+// Package metricname is a fixture for the metricname analyzer: telemetry
+// names must be lower_snake_case compile-time constants, one instrument
+// kind per name repo-wide.
+package metricname
+
+import "pipelayer/internal/telemetry"
+
+const goodConst = "requests_total"
+
+func names(reg *telemetry.Registry, dynamic string) {
+	reg.Counter("images_seen_total")
+	reg.Counter(goodConst)
+	reg.Gauge(telemetry.Name("queue_depth", map[string]string{"shard": "0"}))
+	reg.Histogram("batch_size", nil)
+	reg.Span("train_epoch_seconds")
+
+	reg.Counter("BadName")                       // want `telemetry name "BadName" does not match`
+	reg.Gauge("9starts")                         // want `telemetry name "9starts" does not match`
+	reg.Span("has-dashes")                       // want `telemetry name "has-dashes" does not match`
+	reg.Counter("_leading")                      // want `telemetry name "_leading" does not match`
+	reg.Gauge(telemetry.Name("Mixed_Case", nil)) // want `telemetry name "Mixed_Case" does not match`
+
+	reg.Counter(dynamic) // want "telemetry name is not a compile-time constant"
+
+	//pipelayer:allow-metricname helper forwards literal names from its call sites
+	reg.Counter(dynamic)
+	reg.Counter(dynamic) //pipelayer:allow-metricname // want "not a compile-time constant" "needs a reason"
+}
+
+func kinds(reg *telemetry.Registry) {
+	reg.Counter("dup_series")
+	reg.Counter("dup_series") // same kind again: fine
+	reg.Gauge("dup_series")   // want `telemetry name "dup_series" registered as gauge here but as counter at`
+}

@@ -1,0 +1,13 @@
+// Package cold is a nodeterminism fixture for a non-hot-path package:
+// wall-clock reads and ambient randomness are allowed here, so the
+// analyzer must stay silent.
+package cold
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockAndDice() (time.Time, float64) {
+	return time.Now(), rand.Float64()
+}

@@ -1,0 +1,48 @@
+// Package core is a nodeterminism fixture standing in for a hot-path
+// package (its import path ends in internal/core, so the analyzer applies).
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()            // want "wall-clock read time.Now in hot-path package core"
+	d := time.Since(t0)         // want "wall-clock read time.Since in hot-path package core"
+	time.Sleep(time.Second)     // want "wall-clock read time.Sleep in hot-path package core"
+	<-time.After(d)             // want "wall-clock read time.After in hot-path package core"
+	_ = time.Until(time.Time{}) // want "wall-clock read time.Until in hot-path package core"
+	return d
+}
+
+func ambientRandomness() float64 {
+	x := rand.Float64()                // want "ambient randomness rand.Float64 in hot-path package core"
+	rand.Shuffle(3, func(i, j int) {}) // want "ambient randomness rand.Shuffle in hot-path package core"
+	var buf [8]byte
+	crand.Read(buf[:]) // want "crypto/rand in hot-path package core is unseedable"
+	return x
+}
+
+// seededRandomness is the sanctioned pattern: every draw flows from an
+// explicitly seeded generator, and *rand.Rand flows through signatures
+// (type references are not ambient randomness).
+func seededRandomness(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return draw(rng)
+}
+
+func draw(rng *rand.Rand) float64 { return rng.Float64() }
+
+// annotated shows the escape hatch: a reasoned directive suppresses, a
+// bare one suppresses nothing and is itself reported.
+func annotated() {
+	_ = time.Now() //pipelayer:allow-nondeterminism telemetry timestamp, never feeds a result
+	//pipelayer:allow-nondeterminism span timestamp
+	_ = time.Now()
+	_ = time.Now() //pipelayer:allow-nondeterminism // want "wall-clock read time.Now" "needs a reason"
+}
+
+// timeValuesAreFine: only clock reads are forbidden, not the time package.
+func timeValuesAreFine(d time.Duration) time.Duration { return 2 * d }

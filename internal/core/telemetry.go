@@ -66,8 +66,12 @@ func (a *Accelerator) stageTelemetrySlice() []stageTelemetry {
 }
 
 // countImages bumps a run-level image counter when a registry is attached.
+// The name parameter forwards the string literals its three call sites
+// pass (core_train_images_total / core_test_images_total), which the
+// metricname analyzer can't see through the indirection.
 func (a *Accelerator) countImages(name string, n int) {
 	if a.metrics != nil {
+		//pipelayer:allow-metricname forwards literal names from Train/Test call sites
 		a.metrics.Counter(name).Add(int64(n))
 	}
 }

@@ -28,6 +28,7 @@ func StartPprof(addr string, reg *Registry) (bound string, shutdown func(), err 
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//pipelayer:allow-spawn http accept loop owned by srv, joined via the returned shutdown func
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }
