@@ -71,10 +71,13 @@ race-serve:
 # concurrent requests through the batching scheduler, verify every response
 # is bit-identical to the serial path, and record throughput + latency
 # percentiles (plus the paired serial-vs-batched tiny-network benchmark) in
-# BENCH_serve.json.
+# BENCH_serve.json. Tracing is on at full depth: the run verifies that each
+# request's queue+batch+compute spans tile its end-to-end latency and leaves
+# a Perfetto-loadable trace.json behind.
 serve-smoke:
-	$(GO) run ./cmd/pipelayer-serve -smoke 200 -train-images 120 -epochs 1
+	$(GO) run ./cmd/pipelayer-serve -smoke 200 -train-images 120 -epochs 1 -trace-out trace.json -trace-depth 2
 	@test -s BENCH_serve.json && echo "BENCH_serve.json written"
+	@test -s trace.json && echo "trace.json written"
 
 # fault-smoke runs the accuracy-vs-fault-density sweep at tiny scale — an
 # end-to-end check that injection, remapping, degradation and the JSON
@@ -97,4 +100,4 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
-	rm -f pipelayer-sim pipelayer-train pipelayer-bench pipelayer-serve BENCH_telemetry.json BENCH_fault.json BENCH_serve.json
+	rm -f pipelayer-sim pipelayer-train pipelayer-bench pipelayer-serve BENCH_telemetry.json BENCH_fault.json BENCH_serve.json trace.json

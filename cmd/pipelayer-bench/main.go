@@ -47,7 +47,7 @@ func main() {
 		parallel.Default().AttachMetrics(reg)
 	}
 	if *pprofAddr != "" {
-		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
+		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -20,7 +20,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -36,6 +35,7 @@ import (
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/serve"
 	"pipelayer/internal/telemetry"
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 	"pipelayer/internal/testutil"
 )
@@ -60,6 +60,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path on exit")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace-out", "", "enable the flight recorder and write a Chrome trace_event JSON (Perfetto-loadable) to this path on exit")
+	traceDepth := flag.Int("trace-depth", 1, "tracing depth: 0 request stages only, 1 adds per-layer forward spans, 2 adds per-readout crossbar spans")
 	faultCfg := fault.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -90,8 +92,12 @@ func main() {
 		reg = telemetry.NewRegistry()
 		parallel.Default().AttachMetrics(reg)
 	}
+	var rec *flight.Recorder
+	if *traceOut != "" {
+		rec = flight.New(flight.Config{})
+	}
 	if *pprofAddr != "" {
-		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
+		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -124,6 +130,7 @@ func main() {
 	cfg := serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait,
 		QueueCap: *queueCap, Metrics: reg,
+		Flight: rec, TraceDepth: *traceDepth,
 	}
 
 	if *smoke > 0 {
@@ -135,6 +142,17 @@ func main() {
 		if err := listen(acc, cfg, *addr, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+
+	if rec != nil {
+		if err := rec.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace     : %d spans written to %s (open at https://ui.perfetto.dev)\n", rec.Len(), *traceOut)
+		if d := rec.Dropped(); d > 0 {
+			fmt.Printf("trace     : ring overwrote %d oldest spans (lower -trace-depth to keep more requests)\n", d)
 		}
 	}
 
@@ -335,6 +353,7 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 	serialCfg := cfg
 	serialCfg.Replicas, serialCfg.MaxBatch, serialCfg.QueueCap = 1, 1, n
 	serialCfg.Metrics = nil
+	serialCfg.Flight = nil // only the batched pass is traced and measured
 	ss, err := serve.New(acc, serialCfg)
 	if err != nil {
 		return err
@@ -357,11 +376,19 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 	if bcfg.QueueCap < n {
 		bcfg.QueueCap = n
 	}
+	// The latency percentiles come from the server's own
+	// serve_request_latency_seconds histogram — the same instrument CI
+	// scrapes — so give the batched pass a registry even when -metrics is
+	// off.
+	breg := bcfg.Metrics
+	if breg == nil {
+		breg = telemetry.NewRegistry()
+		bcfg.Metrics = breg
+	}
 	bs, err := serve.New(acc, bcfg)
 	if err != nil {
 		return err
 	}
-	lat := make([]time.Duration, n)
 	errs := make([]error, n)
 	got := make([]serve.Result, n)
 	var wg sync.WaitGroup
@@ -370,9 +397,7 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			t0 := time.Now()
 			got[i], errs[i] = bs.Predict(ctx, samples[i%len(samples)].Input)
-			lat[i] = time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
@@ -395,14 +420,25 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 		}
 	}
 
+	if rec := bcfg.Flight; rec.Enabled() {
+		checked, err := verifySpanSums(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("smoke     : %d traced requests decompose into queue+batch+compute spans (within 5%% of e2e)\n", checked)
+	}
+
 	benchSerial, benchBatched, err := pairedBench()
 	if err != nil {
 		return err
 	}
 
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	pct := func(p float64) float64 {
-		return lat[int(p*float64(n-1))].Seconds() * 1e3
+	hist, ok := breg.Snapshot().Histograms["serve_request_latency_seconds"]
+	if !ok {
+		return fmt.Errorf("smoke: serve_request_latency_seconds histogram not registered")
+	}
+	pct := func(q float64) float64 {
+		return hist.Quantile(q) * 1e3
 	}
 	rep := benchReport{
 		Network:         acc.Spec().Name,
@@ -439,4 +475,61 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 	}
 	fmt.Printf("smoke     : report written to %s\n", out)
 	return nil
+}
+
+// verifySpanSums checks the tracing contract on the recorded requests: each
+// one's queue-wait + batch-wait + compute durations must land within 5% of
+// its end-to-end serve_request span. Adjacent spans share boundary
+// timestamps, so in practice the sum tiles exactly; the tolerance only
+// leaves headroom for future instrumentation. Traces torn by ring-buffer
+// overwrite (fewer than all four stages surviving) are skipped.
+func verifySpanSums(rec *flight.Recorder) (int, error) {
+	type stages struct {
+		queue, batch, compute, e2e int64
+		seen                       int
+	}
+	byTrace := map[uint64]*stages{}
+	for _, e := range rec.Events() {
+		if e.Trace == 0 || e.Track != flight.TrackRequests {
+			continue
+		}
+		st := byTrace[e.Trace]
+		if st == nil {
+			st = &stages{}
+			byTrace[e.Trace] = st
+		}
+		switch e.Name {
+		case "serve_queue_wait":
+			st.queue = e.Dur()
+			st.seen++
+		case "serve_batch_wait":
+			st.batch = e.Dur()
+			st.seen++
+		case "serve_compute":
+			st.compute = e.Dur()
+			st.seen++
+		case "serve_request":
+			st.e2e = e.Dur()
+			st.seen++
+		}
+	}
+	checked := 0
+	for tr, st := range byTrace {
+		if st.seen != 4 {
+			continue
+		}
+		sum := st.queue + st.batch + st.compute
+		diff := sum - st.e2e
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(st.e2e) {
+			return 0, fmt.Errorf("smoke: trace %d stage sum %dns deviates >5%% from end-to-end %dns", tr, sum, st.e2e)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return 0, fmt.Errorf("smoke: tracing enabled but no complete request trace was recorded")
+	}
+	return checked, nil
 }

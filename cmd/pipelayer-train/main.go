@@ -28,7 +28,12 @@ import (
 	"pipelayer/internal/nn"
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/telemetry"
+	"pipelayer/internal/telemetry/flight"
 )
+
+// trainTrack is the flight-recorder lane for the training loop's spans
+// (track 0 stays reserved for request-scoped serving traces).
+const trainTrack uint64 = 1
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller dataset and fewer epochs")
@@ -38,6 +43,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file for the -machine training loop: saved atomically after every epoch and auto-resumed at startup")
+	traceOut := flag.String("trace-out", "", "enable the flight recorder for the -machine loop and write a Chrome trace_event JSON (Perfetto-loadable) to this path")
+	traceDepth := flag.Int("trace-depth", 1, "tracing depth: 0 per-epoch spans only, 1 adds eval and checkpoint spans")
 	faultCfg := fault.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -48,8 +55,13 @@ func main() {
 		reg = telemetry.NewRegistry()
 		parallel.Default().AttachMetrics(reg)
 	}
+	var rec *flight.Recorder
+	if *traceOut != "" {
+		rec = flight.New(flight.Config{})
+		rec.SetTrackName(trainTrack, "train")
+	}
 	if *pprofAddr != "" {
-		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg)
+		bound, shutdown, err := telemetry.StartPprof(*pprofAddr, reg, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -97,16 +109,26 @@ func main() {
 			solver.Observer = &telemetry.EpochRecorder{Registry: reg}
 		}
 		for e := startEpoch; e < cfg.Epochs; e++ {
+			et0 := rec.Now()
 			loss := solver.TrainEpoch(net, train, cfg.Batch)
+			rec.Record("train_epoch", 0, trainTrack, et0, int64(e+1))
 			fmt.Printf("  epoch %d: loss %.4f\n", e+1, loss)
 			if *ckptPath != "" {
+				ct0 := rec.Now()
 				if err := checkpoint.SaveFile(*ckptPath, net, e+1); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
+				if *traceDepth >= 1 {
+					rec.Record("train_checkpoint", 0, trainTrack, ct0, int64(e+1))
+				}
 			}
 		}
+		vt0 := rec.Now()
 		floatAcc := net.Accuracy(test)
+		if *traceDepth >= 1 {
+			rec.Record("train_eval", 0, trainTrack, vt0, int64(len(test)))
+		}
 		var inj *fault.Injector
 		if faultCfg.Enabled() {
 			var err error
@@ -119,7 +141,11 @@ func main() {
 			}
 		}
 		m := arch.BuildMachineFaults(net, 16, inj)
+		at0 := rec.Now()
 		analogAcc := m.Accuracy(test)
+		if *traceDepth >= 1 {
+			rec.Record("train_eval", 0, trainTrack, at0, int64(len(test)))
+		}
 		fmt.Printf("  float accuracy : %.3f\n", floatAcc)
 		fmt.Printf("  analog accuracy: %.3f (PipeLayer machine, quantized crossbars)\n", analogAcc)
 		if inj != nil {
@@ -127,6 +153,14 @@ func main() {
 			fmt.Printf("  faults         : injected=%d remapped=%d degraded=%d corrupt=%d\n",
 				c.Injected, c.Remapped, c.Degraded, c.Corrupted)
 		}
+	}
+
+	if rec != nil {
+		if err := rec.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans written to %s (open at https://ui.perfetto.dev)\n", rec.Len(), *traceOut)
 	}
 
 	if *metricsPath != "" {

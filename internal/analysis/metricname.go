@@ -22,6 +22,15 @@ var registryInstruments = map[string]string{
 	"Span":      "span",
 }
 
+// flightEventMethods are the flight.Recorder methods that mint event names
+// (the name is the first argument on both). Event names share the telemetry
+// grammar so traces, histograms, and grep agree on one namespace, but they
+// do not join the instrument-kind index: an event is not an instrument.
+var flightEventMethods = map[string]bool{
+	"Record":   true,
+	"RecordAt": true,
+}
+
 // metricSeen is the repo-wide duplicate index: one RunAnalyzers call sees
 // every package, so a name registered as two different instrument kinds
 // anywhere in the tree is caught even across package boundaries.
@@ -47,23 +56,28 @@ func resetSuiteState() {
 // metric/span names must be compile-time string constants matching
 // ^[a-z][a-z0-9_]*$ (so dashboards, the Prometheus exporter, and grep all
 // agree on the universe of names), and one name must not be registered as
-// two different instrument kinds anywhere in the repo. Names may be passed
-// through telemetry.Name(base, labels); the base is checked at the Name
-// call site. Escape hatch for deliberate indirection (a helper forwarding
-// a name parameter): //pipelayer:allow-metricname <reason>.
+// two different instrument kinds anywhere in the repo. The same constant
+// lower_snake_case rule covers flight-recorder event sites
+// (Recorder.Record / Recorder.RecordAt): variable detail belongs in the
+// event's Arg, never in its name. Names may be passed through
+// telemetry.Name(base, labels); the base is checked at the Name call site.
+// Escape hatch for deliberate indirection (a helper forwarding a name
+// parameter): //pipelayer:allow-metricname <reason>.
 var AnalyzerMetricName = &Analyzer{
 	Name: "metricname",
-	Doc: "telemetry metric/span names must be ^[a-z][a-z0-9_]*$ compile-time string " +
-		"constants at the call site, and a name must not be registered as two different " +
-		"instrument kinds anywhere in the repo",
+	Doc: "telemetry metric/span and flight-recorder event names must be " +
+		"^[a-z][a-z0-9_]*$ compile-time string constants at the call site, and a metric " +
+		"name must not be registered as two different instrument kinds anywhere in the repo",
 	Run: runMetricName,
 }
 
 func runMetricName(pass *Pass) error {
-	// The registry's own internals (reporters, name plumbing) pass names
-	// through variables by design; the invariant governs the call sites
-	// that *mint* names, not the package that stores them.
-	if pathHasSuffixSegment(pass.PkgPath, "internal/telemetry") {
+	// The registry's and recorder's own internals (reporters, exporters,
+	// name plumbing) pass names through variables by design; the invariant
+	// governs the call sites that *mint* names, not the packages that
+	// store them.
+	if pathHasSuffixSegment(pass.PkgPath, "internal/telemetry") ||
+		pathHasSuffixSegment(pass.PkgPath, "internal/telemetry/flight") {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -73,7 +87,7 @@ func runMetricName(pass *Pass) error {
 				return true
 			}
 			kind, isName := telemetryCallKind(pass, call)
-			if kind == "" && !isName {
+			if kind == "" && !isName && !isFlightEventCall(pass, call) {
 				return true
 			}
 			arg := call.Args[0]
@@ -132,6 +146,28 @@ func telemetryCallKind(pass *Pass, call *ast.CallExpr) (kind string, isName bool
 		return k, false
 	}
 	return "", fn.Name() == "Name"
+}
+
+// isFlightEventCall reports whether call is a flight.Recorder event site
+// (Record/RecordAt), whose first argument is an event name bound by the
+// same constant lower_snake_case rule as metric names.
+func isFlightEventCall(pass *Pass, call *ast.CallExpr) bool {
+	if pass.TypesInfo == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathHasSuffixSegment(fn.Pkg().Path(), "internal/telemetry/flight") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return flightEventMethods[fn.Name()]
 }
 
 func isTelemetryNameCall(pass *Pass, expr ast.Expr) bool {

@@ -14,3 +14,10 @@ import (
 func TestMetricName(t *testing.T) {
 	analysistest.Run(t, analysis.AnalyzerMetricName, "metricname")
 }
+
+// TestMetricNameFlight proves the analyzer extends the same constant
+// lower_snake_case rule to flight-recorder event sites (Record/RecordAt)
+// while leaving display-only methods like SetTrackName unconstrained.
+func TestMetricNameFlight(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerMetricName, "flightname")
+}

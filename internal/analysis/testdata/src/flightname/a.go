@@ -1,0 +1,29 @@
+// Package flightname is a fixture for the metricname analyzer's
+// flight-recorder extension: event names at Record/RecordAt sites must be
+// lower_snake_case compile-time constants; variable detail belongs in the
+// event's Arg, not its name.
+package flightname
+
+import "pipelayer/internal/telemetry/flight"
+
+const goodEvent = "core_stage_forward"
+
+func events(rec *flight.Recorder, dynamic string, stage int64) {
+	t0 := rec.Now()
+	rec.Record("serve_queue_wait", 1, flight.TrackRequests, t0, 0)
+	rec.Record(goodEvent, 0, 3, t0, stage)
+	rec.RecordAt("serve_compute", 1, flight.TrackRequests, t0, t0+1, 0)
+
+	rec.Record("BadEvent", 0, 0, t0, 0)                 // want `telemetry name "BadEvent" does not match`
+	rec.RecordAt("has-dashes", 0, 0, t0, t0, 0)         // want `telemetry name "has-dashes" does not match`
+	rec.Record("stage_"+string(rune('0')), 0, 0, t0, 0) // constant expression: fine
+
+	rec.Record(dynamic, 0, 0, t0, 0) // want "telemetry name is not a compile-time constant"
+
+	//pipelayer:allow-metricname test helper forwards literal names from its call sites
+	rec.Record(dynamic, 0, 0, t0, 0)
+
+	// Non-name methods on the recorder stay unconstrained: track labels are
+	// human-facing display strings, not namespace entries.
+	rec.SetTrackName(2, "Replica #2")
+}

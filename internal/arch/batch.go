@@ -34,6 +34,7 @@ func (q *Quantized) MatVecCols(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("arch: MatVecCols input is %v for %d rows (array is %dx%d)", x.Shape(), q.Rows, q.Rows, q.Cols))
 	}
 	n := x.Dim(1)
+	t0 := q.flightRec.Now()
 	out := tensor.New(q.Cols, n)
 	if n == 0 {
 		return out
@@ -137,6 +138,7 @@ func (q *Quantized) MatVecCols(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
+	q.flightRec.Record("arch_readout_cols", 0, q.flightTrack, t0, int64(n))
 	return out
 }
 

@@ -1,0 +1,23 @@
+package arch
+
+import "pipelayer/internal/telemetry/flight"
+
+// WithFlight returns a shallow clone of the quantized array that records its
+// crossbar readouts as flight-recorder spans on the given track. The clone
+// shares the programmed code arrays (and fault state) with the original —
+// programming is done once, per the paper's weight-stationary design — so
+// each serving replica can carry its own recorder/track attribution over the
+// same conductances at zero memory cost. A nil recorder returns q unchanged.
+//
+// The clone never reads wall-clock time itself: timestamps come from the
+// recorder's injected clock, which is how this package stays clean under the
+// nondeterminism analyzer while still emitting per-readout spans.
+func (q *Quantized) WithFlight(rec *flight.Recorder, track uint64) *Quantized {
+	if rec == nil || q == nil {
+		return q
+	}
+	c := *q
+	c.flightRec = rec
+	c.flightTrack = track
+	return &c
+}

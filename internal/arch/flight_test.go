@@ -1,0 +1,52 @@
+package arch
+
+import (
+	"testing"
+
+	"pipelayer/internal/telemetry/flight"
+	"pipelayer/internal/tensor"
+)
+
+// TestWithFlightRecordsReadouts checks the depth-2 instrumentation: a
+// WithFlight clone shares the programmed codes (bit-identical outputs) and
+// attributes one span per readout to its track, while the original stays
+// silent.
+func TestWithFlightRecordsReadouts(t *testing.T) {
+	w := tensor.New(4, 3)
+	for i := range w.Data() {
+		w.Data()[i] = float64(i%5) - 2
+	}
+	q := NewQuantized(w, 4, 3, 8)
+	rec := flight.New(flight.Config{Capacity: 16})
+	traced := q.WithFlight(rec, 7)
+
+	x := tensor.New(4)
+	copy(x.Data(), []float64{1, -0.5, 0.25, 2})
+	want := q.MatVec(x)
+	got := traced.MatVec(x)
+	for i := range want.Data() {
+		if want.Data()[i] != got.Data()[i] {
+			t.Fatalf("traced clone diverged at %d: %g vs %g", i, got.Data()[i], want.Data()[i])
+		}
+	}
+	traced.MatVecCols(PackCols([]*tensor.Tensor{x, x}))
+
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d spans, want 2 (one per traced readout): %+v", len(evs), evs)
+	}
+	if evs[0].Name != "arch_readout" || evs[0].Track != 7 || evs[0].Arg != 3 {
+		t.Fatalf("MatVec span wrong: %+v", evs[0])
+	}
+	if evs[1].Name != "arch_readout_cols" || evs[1].Track != 7 || evs[1].Arg != 2 {
+		t.Fatalf("MatVecCols span wrong: %+v", evs[1])
+	}
+}
+
+func TestWithFlightNilRecorderReturnsOriginal(t *testing.T) {
+	w := tensor.New(2, 2)
+	q := NewQuantized(w, 2, 2, 8)
+	if got := q.WithFlight(nil, 1); got != q {
+		t.Fatal("nil recorder must return the original array untouched")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pipelayer/internal/fixed"
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/reram"
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 )
 
@@ -39,6 +40,10 @@ type Quantized struct {
 	// faults is the optional fault-injection state (see faults.go); nil
 	// means the ideal model with zero overhead on the read path.
 	faults *qFaults
+	// flightRec/flightTrack are the optional per-readout span attribution
+	// (see WithFlight); a nil recorder costs one pointer test per readout.
+	flightRec   *flight.Recorder
+	flightTrack uint64
 }
 
 // NewQuantized programs a (rows×cols) float weight matrix at 16-bit signed
@@ -96,6 +101,7 @@ func (q *Quantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
 	if x.Size() != q.Rows {
 		panic(fmt.Sprintf("arch: MatVec input has %d elems for %d rows (array is %dx%d)", x.Size(), q.Rows, q.Rows, q.Cols))
 	}
+	t0 := q.flightRec.Now()
 	out := tensor.New(q.Cols)
 	xScale := x.AbsMax()
 	if xScale == 0 {
@@ -136,6 +142,7 @@ func (q *Quantized) MatVec(x *tensor.Tensor) *tensor.Tensor {
 			out.Data()[j] = s * k
 		}
 	})
+	q.flightRec.Record("arch_readout", 0, q.flightTrack, t0, int64(q.Cols))
 	return out
 }
 

@@ -31,6 +31,7 @@ import (
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/telemetry"
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 )
 
@@ -57,6 +58,12 @@ type Accelerator struct {
 	// faults is the optional fault injector (SetFaults); it is wired into
 	// every crossbar at the next Weight_load.
 	faults *fault.Injector
+
+	// flight is the optional flight recorder (SetFlight); flightImage is the
+	// 1-based ordinal of the image the serial Train loop is processing, the
+	// trace id its spans attribute to.
+	flight      *flight.Recorder
+	flightImage uint64
 
 	topologySet bool
 	loaded      bool
@@ -206,6 +213,7 @@ func (a *Accelerator) CopyToCPU(t *tensor.Tensor) *tensor.Tensor {
 func (a *Accelerator) forward(x *tensor.Tensor) *tensor.Tensor {
 	tel := a.stageTelemetrySlice()
 	for i, e := range a.engines {
+		ft := a.flight.Now()
 		if tel != nil {
 			t := tel[i].forward.Start()
 			x = e.forward(x)
@@ -213,6 +221,7 @@ func (a *Accelerator) forward(x *tensor.Tensor) *tensor.Tensor {
 		} else {
 			x = e.forward(x)
 		}
+		a.flight.Record("core_stage_forward", a.flightImage, flightTrainTrackBase+uint64(i), ft, int64(i))
 	}
 	return x
 }
@@ -296,11 +305,13 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 	images := int64(0)
 	for start := 0; start < len(samples); start += batch {
 		for _, s := range samples[start : start+batch] {
+			a.flightImage = uint64(images) + 1
 			y := a.forward(s.Input)
 			t := nn.OneHot(s.Label, classes)
 			totalLoss += a.loss.Loss(y, t)
 			delta := a.loss.Grad(y, t)
 			for i := len(a.engines) - 1; i >= 0; i-- {
+				ft := a.flight.Now()
 				if tel != nil {
 					tm := tel[i].backward.Start()
 					delta = a.engines[i].backward(delta)
@@ -308,6 +319,7 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 				} else {
 					delta = a.engines[i].backward(delta)
 				}
+				a.flight.Record("core_stage_backward", a.flightImage, flightTrainTrackBase+uint64(i), ft, int64(i))
 			}
 			// One drift tick per processed image; periodic refresh rewrites
 			// drifted conductances from the masters. (The per-batch update
@@ -318,6 +330,7 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 			a.maybeRefresh(images)
 		}
 		for i, e := range a.engines {
+			ft := a.flight.Now()
 			if tel != nil {
 				tm := tel[i].update.Start()
 				e.applyUpdate(lr, batch, a.update)
@@ -327,6 +340,7 @@ func (a *Accelerator) Train(samples []nn.Sample, batch int, lr float64) (Report,
 			} else {
 				e.applyUpdate(lr, batch, a.update)
 			}
+			a.flight.Record("core_stage_update", 0, flightTrainTrackBase+uint64(i), ft, int64(i))
 		}
 	}
 	n := len(samples)

@@ -6,6 +6,7 @@ import (
 	"pipelayer/internal/arch"
 	"pipelayer/internal/fault"
 	"pipelayer/internal/nn"
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 )
 
@@ -52,6 +53,10 @@ type layerEngine interface {
 	// reprogram rewrites the stage's arrays from the float masters — the
 	// drift-refresh tolerance mechanism.
 	reprogram()
+	// withFlight returns an engine whose forward crossbar records its
+	// readouts as flight spans on the given track (depth-2 tracing). The
+	// programmed codes stay shared; weight-free stages return themselves.
+	withFlight(rec *flight.Recorder, track uint64) layerEngine
 }
 
 // buildEngines lowers a float network onto analog layer engines. Supported
@@ -165,6 +170,12 @@ func (e *denseEngine) reprogram() { e.program() }
 func (e *denseEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
 
 func (e *denseEngine) cloneForInference() layerEngine { c := *e; return &c }
+
+func (e *denseEngine) withFlight(rec *flight.Recorder, track uint64) layerEngine {
+	c := *e
+	c.fwd = e.fwd.WithFlight(rec, track)
+	return &c
+}
 
 func (e *denseEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	e.inShape = x.Shape()
@@ -290,6 +301,12 @@ func (e *convEngine) reprogram() { e.program() }
 func (e *convEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
 
 func (e *convEngine) cloneForInference() layerEngine { c := *e; return &c }
+
+func (e *convEngine) withFlight(rec *flight.Recorder, track uint64) layerEngine {
+	c := *e
+	c.fwd = e.fwd.WithFlight(rec, track)
+	return &c
+}
 
 func (e *convEngine) forward(x *tensor.Tensor) *tensor.Tensor {
 	e.lastIn = x.Clone()
@@ -441,3 +458,5 @@ func (e *poolEngine) reprogram() {}
 func (e *poolEngine) weights() []*tensor.Tensor { return nil }
 
 func (e *poolEngine) cloneForInference() layerEngine { c := *e; return &c }
+
+func (e *poolEngine) withFlight(*flight.Recorder, uint64) layerEngine { return e }

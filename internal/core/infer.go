@@ -5,6 +5,7 @@ import (
 
 	"pipelayer/internal/arch"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 )
 
@@ -16,6 +17,11 @@ import (
 type Replica struct {
 	engines []layerEngine
 	spec    networks.Spec
+
+	// flightRec/flightTrack attribute per-layer forward spans to this
+	// replica's timeline row (see AttachFlight); nil means no tracing.
+	flightRec   *flight.Recorder
+	flightTrack uint64
 }
 
 // NewReplica clones the accelerator's engine stack for inference. The
@@ -42,8 +48,10 @@ func (a *Accelerator) Spec() networks.Spec { return a.spec }
 // Infer runs one input through the serial single-request path — the same
 // per-stage forward the training executors and Test use.
 func (r *Replica) Infer(x *tensor.Tensor) *tensor.Tensor {
-	for _, e := range r.engines {
+	for i, e := range r.engines {
+		t0 := r.flightRec.Now()
 		x = e.forward(x)
+		r.flightRec.Record("core_layer_forward", 0, r.flightTrack, t0, int64(i))
 	}
 	return x
 }
@@ -57,8 +65,10 @@ func (r *Replica) InferBatch(xs []*tensor.Tensor) []*tensor.Tensor {
 	if len(xs) == 0 {
 		return nil
 	}
-	for _, e := range r.engines {
+	for i, e := range r.engines {
+		t0 := r.flightRec.Now()
 		xs = e.forwardBatch(xs)
+		r.flightRec.Record("core_layer_forward", 0, r.flightTrack, t0, int64(i))
 	}
 	return xs
 }

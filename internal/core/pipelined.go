@@ -174,6 +174,7 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 		losses := make([]float64, len(ops))
 		runOp := func(oi int) {
 			op := ops[oi]
+			ft := a.flight.Now()
 			var tm telemetry.SpanTimer
 			timed := false
 			if tel != nil {
@@ -217,6 +218,7 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 				a.engines[0].errorBackward(delta, samples[op.image].Input)
 			case opUpdate:
 				for i, e := range a.engines {
+					ut0 := a.flight.Now()
 					if tel != nil {
 						ut := tel[i].update.Start()
 						e.applyUpdate(lr, batch, a.update)
@@ -226,10 +228,24 @@ func (a *Accelerator) TrainPipelined(samples []nn.Sample, batch int, lr float64)
 					} else {
 						e.applyUpdate(lr, batch, a.update)
 					}
+					a.flight.Record("core_stage_update", 0, flightTrainTrackBase+uint64(i), ut0, int64(i))
 				}
 			}
 			if timed {
 				tm.Stop()
+			}
+			// Flight spans replay the Figure 6 schedule from the live machine:
+			// every op times against the stage whose arrays execute it,
+			// attributed to its 1-based image ordinal.
+			switch op.kind {
+			case opForward:
+				a.flight.Record("core_stage_forward", uint64(op.image)+1, flightTrainTrackBase+uint64(op.stage-1), ft, int64(op.stage-1))
+			case opErrLast:
+				a.flight.Record("core_stage_backward", uint64(op.image)+1, flightTrainTrackBase+uint64(L-1), ft, int64(L-1))
+			case opErrChain:
+				a.flight.Record("core_stage_backward", uint64(op.image)+1, flightTrainTrackBase+uint64(op.stage), ft, int64(op.stage))
+			case opGradFirst:
+				a.flight.Record("core_stage_backward", uint64(op.image)+1, flightTrainTrackBase, ft, 0)
 			}
 		}
 		serial := len(ops) == 1

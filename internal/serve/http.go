@@ -9,8 +9,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 )
 
@@ -59,6 +61,12 @@ func DecodePredictRequest(body []byte, wantSize int) (*tensor.Tensor, error) {
 	return tensor.FromSlice(req.Input, wantSize), nil
 }
 
+// FlightTraceHeader carries a request's flight-recorder trace id: send it to
+// attribute the request's spans to a caller-chosen id, and read it off the
+// response to find the span tree a prediction produced (e.g. in the
+// /debug/flight/trace.json download). Absent when tracing is disabled.
+const FlightTraceHeader = "X-Flight-Trace"
+
 // Handler returns the server's HTTP interface:
 //
 //	POST /predict  — PredictRequest in, PredictResponse out
@@ -66,7 +74,8 @@ func DecodePredictRequest(body []byte, wantSize int) (*tensor.Tensor, error) {
 //
 // timeout, when positive, bounds each request's time in the queue and
 // readout via its context. Overload maps to 503 (retryable), a deadline to
-// 504, and any validation failure to 400.
+// 504, and any validation failure to 400. See FlightTraceHeader for trace
+// correlation.
 func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -99,9 +108,17 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
+		if h := r.Header.Get(FlightTraceHeader); h != "" {
+			if id, perr := strconv.ParseUint(h, 10, 64); perr == nil && id != 0 {
+				ctx = flight.WithTrace(ctx, id)
+			}
+		}
 		res, err := s.Predict(ctx, x)
 		switch {
 		case err == nil:
+			if res.Trace != 0 {
+				w.Header().Set(FlightTraceHeader, strconv.FormatUint(res.Trace, 10))
+			}
 			writeJSON(w, http.StatusOK, PredictResponse{Scores: res.Scores.Data(), Class: res.Class})
 		case errors.Is(err, ErrOverloaded):
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pipelayer/internal/telemetry/flight"
 )
 
 func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -63,6 +65,53 @@ func TestHTTPPredict(t *testing.T) {
 	}
 	if _, idx := want.Max(); resp.Class != idx {
 		t.Fatalf("class %d, want %d", resp.Class, idx)
+	}
+}
+
+// TestHTTPFlightTraceHeader: the handler attributes spans to a caller-sent
+// X-Flight-Trace id, allocates one otherwise, and echoes the id on the
+// response; with tracing off the header never appears.
+func TestHTTPFlightTraceHeader(t *testing.T) {
+	a := loadedAccel(t, nil)
+	rec := flight.New(flight.Config{Capacity: 256})
+	s, err := New(a, Config{Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler(time.Second)
+
+	// Caller-chosen id round-trips.
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(validBody(t, s)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(FlightTraceHeader, "777")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(FlightTraceHeader); got != "777" {
+		t.Fatalf("response trace header %q, want 777", got)
+	}
+	if m := spansByTrace(rec)[777]; len(m) == 0 {
+		t.Fatal("no spans attributed to the propagated header id")
+	}
+
+	// Without the header the server allocates an id and reports it.
+	w = postJSON(t, h, "/predict", validBody(t, s))
+	if got := w.Header().Get(FlightTraceHeader); got == "" || got == "0" {
+		t.Fatalf("allocated trace header %q", got)
+	}
+
+	// Tracing off: no header.
+	sOff, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sOff.Close()
+	w = postJSON(t, sOff.Handler(time.Second), "/predict", validBody(t, sOff))
+	if got := w.Header().Get(FlightTraceHeader); got != "" {
+		t.Fatalf("trace header %q with tracing disabled", got)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"pipelayer/internal/core"
 	"pipelayer/internal/telemetry"
+	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
 )
 
@@ -52,9 +53,27 @@ type Config struct {
 	// ErrOverloaded.
 	QueueCap int
 	// Metrics, when non-nil, receives serve_* instruments: queue depth
-	// gauge, batch-size histogram, request latency span, and outcome
-	// counters.
+	// gauge, batch-size histogram, request latency span + histogram, and
+	// outcome counters.
 	Metrics *telemetry.Registry
+
+	// Flight, when non-nil, records every request's per-stage decomposition:
+	// serve_queue_wait (enqueue → batcher dequeue), serve_batch_wait
+	// (dequeue → worker batch start) and serve_compute (batch start →
+	// result) spans on the request track, plus a serve_batch span per
+	// executed batch on the owning replica's track. Adjacent spans share
+	// their boundary timestamps, so the three stages sum to the recorded
+	// end-to-end latency exactly. The serve_queue_wait_seconds /
+	// serve_batch_wait_seconds / serve_compute_seconds histograms in Metrics
+	// are observed from the same boundary instants — aggregate metrics and
+	// traces can never disagree.
+	Flight *flight.Recorder
+
+	// TraceDepth selects how deep the tracing reaches when Flight is set:
+	// 0 records request-stage spans only, 1 adds a core_layer_forward span
+	// per layer per batch, 2 additionally traces each crossbar readout
+	// (arch_readout_cols) on the replica's track.
+	TraceDepth int
 
 	// testHookBeforeBatch, settable only from this package's tests, runs in
 	// each worker before it processes a batch — letting a test stall the
@@ -79,9 +98,12 @@ func (c Config) withDefaults() Config {
 }
 
 // Result is one completed prediction: the class scores and their argmax.
+// Trace is the flight-recorder trace id the request's spans are attributed
+// to (0 when tracing is off), for correlating a response with its span tree.
 type Result struct {
 	Scores *tensor.Tensor
 	Class  int
+	Trace  uint64
 }
 
 type request struct {
@@ -89,6 +111,15 @@ type request struct {
 	x        *tensor.Tensor
 	enqueued time.Time
 	done     chan outcome // buffered(1): a worker send never blocks on an abandoned caller
+
+	// Flight attribution: the trace id and the stage-boundary timestamps
+	// (recorder-clock ns). Each boundary is written by exactly one goroutine
+	// before the request crosses a channel to the next, so later stages read
+	// them race-free. tEnq → tDeq is queue wait, tDeq → worker batch start
+	// is batch-formation wait, batch start → finish is compute.
+	trace uint64
+	tEnq  int64
+	tDeq  int64
 }
 
 type outcome struct {
@@ -110,13 +141,27 @@ type Server struct {
 
 	beforeBatch func() // Config.testHookBeforeBatch, fixed at construction
 
-	queueDepth *telemetry.Gauge
-	batchSize  *telemetry.Histogram
-	latency    *telemetry.Span
-	requests   *telemetry.Counter
-	overloads  *telemetry.Counter
-	canceled   *telemetry.Counter
-	batches    *telemetry.Counter
+	flight *flight.Recorder
+
+	queueDepth  *telemetry.Gauge
+	batchSize   *telemetry.Histogram
+	latency     *telemetry.Span
+	latencyHist *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+	batchWait   *telemetry.Histogram
+	computeTime *telemetry.Histogram
+	requests    *telemetry.Counter
+	overloads   *telemetry.Counter
+	canceled    *telemetry.Counter
+	batches     *telemetry.Counter
+}
+
+// latencyBuckets spans 100 µs – 2.5 s: the sub-millisecond single-sample path
+// through saturated multi-batch queueing, for every serve_*_seconds histogram
+// so stage quantiles compare bucket-for-bucket.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
 // New builds replicas from the trained accelerator and starts the scheduler.
@@ -138,23 +183,42 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 		in:          spec.InC * spec.InH * spec.InW,
 		queue:       make(chan *request, cfg.QueueCap),
 		beforeBatch: cfg.testHookBeforeBatch,
+		flight:      cfg.Flight,
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.queueDepth = reg.Gauge("serve_queue_depth")
 		s.batchSize = reg.Histogram("serve_batch_size", []float64{1, 2, 4, 8, 16, 32, 64})
 		s.latency = reg.Span("serve_request_seconds")
+		s.latencyHist = reg.Histogram("serve_request_latency_seconds", latencyBuckets)
 		s.requests = reg.Counter("serve_requests_total")
 		s.overloads = reg.Counter("serve_overloaded_total")
 		s.canceled = reg.Counter("serve_canceled_total")
 		s.batches = reg.Counter("serve_batches_total")
+		if s.flight.Enabled() {
+			// Attribution histograms are derived from the flight recorder's
+			// boundary timestamps (see finish), so they only exist when the
+			// recorder does — and can never disagree with the trace.
+			s.queueWait = reg.Histogram("serve_queue_wait_seconds", latencyBuckets)
+			s.batchWait = reg.Histogram("serve_batch_wait_seconds", latencyBuckets)
+			s.computeTime = reg.Histogram("serve_compute_seconds", latencyBuckets)
+		}
+	}
+	if s.flight.Enabled() {
+		s.flight.SetTrackName(flight.TrackRequests, "requests")
 	}
 
 	dispatch := make(chan []*request) // unbuffered: the batcher feels worker backpressure
 	s.wg.Add(1)
 	go s.batcher(dispatch)
-	for _, r := range replicas {
+	for i, r := range replicas {
+		// Track 0 is the request lane; replica i owns track i+1.
+		track := uint64(i) + 1
+		if s.flight.Enabled() {
+			s.flight.SetTrackName(track, fmt.Sprintf("replica %d", i))
+			r.AttachFlight(s.flight, track, cfg.TraceDepth)
+		}
 		s.wg.Add(1)
-		go s.worker(r, dispatch)
+		go s.worker(r, track, dispatch)
 	}
 	return s, nil
 }
@@ -173,7 +237,14 @@ func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (Result, error) 
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	r := &request{ctx: ctx, x: x, enqueued: time.Now(), done: make(chan outcome, 1)}
+	// Trace attribution: reuse an id propagated via the context (the HTTP
+	// handler's X-Flight-Trace) or allocate a fresh one. With tracing off
+	// both are 0 and every span call below is a nil no-op.
+	ctx, trace := s.flight.EnsureTrace(ctx)
+	r := &request{
+		ctx: ctx, x: x, enqueued: time.Now(), done: make(chan outcome, 1),
+		trace: trace, tEnq: s.flight.Now(),
+	}
 
 	// The read lock pairs with Close's write lock: the queue can only be
 	// closed while no sender holds the read side, so a send never races a
@@ -225,6 +296,7 @@ func (s *Server) batcher(dispatch chan<- []*request) {
 				return
 			}
 			s.gauge(s.queueDepth, float64(len(s.queue)))
+			s.noteDequeued(r)
 			batch = append(batch, r)
 			if len(batch) >= s.cfg.MaxBatch {
 				flush()
@@ -246,6 +318,7 @@ func (s *Server) batcher(dispatch chan<- []*request) {
 				return
 			}
 			s.gauge(s.queueDepth, float64(len(s.queue)))
+			s.noteDequeued(r)
 			batch = append(batch, r)
 			if len(batch) >= s.cfg.MaxBatch {
 				flush()
@@ -256,11 +329,22 @@ func (s *Server) batcher(dispatch chan<- []*request) {
 	}
 }
 
+// noteDequeued closes a request's queue-wait stage: the batcher has pulled it
+// off the intake queue, so enqueue → now was time spent waiting for the
+// batcher, and now becomes the start of the batch-formation stage.
+func (s *Server) noteDequeued(r *request) {
+	if !s.flight.Enabled() {
+		return
+	}
+	r.tDeq = s.flight.Now()
+	s.flight.RecordAt("serve_queue_wait", r.trace, flight.TrackRequests, r.tEnq, r.tDeq, 0)
+}
+
 // worker serves whole batches on one replica. Requests whose context died in
 // the queue are answered with their context error and excluded from the
 // readout; a batch that shrinks to one request takes the serial
 // single-request path (identical bits, no packing overhead).
-func (s *Server) worker(rep *core.Replica, dispatch <-chan []*request) {
+func (s *Server) worker(rep *core.Replica, track uint64, dispatch <-chan []*request) {
 	defer s.wg.Done()
 	for batch := range dispatch {
 		if s.beforeBatch != nil {
@@ -277,30 +361,62 @@ func (s *Server) worker(rep *core.Replica, dispatch <-chan []*request) {
 		if len(live) == 0 {
 			continue
 		}
+		// The batch starts computing now: every member's batch-formation wait
+		// ends at this shared instant, which is also where its compute stage
+		// begins — the boundaries tile with no gap.
+		tBatch := s.flight.Now()
+		for _, r := range live {
+			s.flight.RecordAt("serve_batch_wait", r.trace, flight.TrackRequests, r.tDeq, tBatch, 0)
+		}
 		s.count(s.batches)
 		if s.batchSize != nil {
 			s.batchSize.Observe(float64(len(live)))
 		}
 		if len(live) == 1 {
-			s.finish(live[0], rep.Infer(live[0].x))
-			continue
+			s.finish(live[0], rep.Infer(live[0].x), tBatch)
+		} else {
+			xs := make([]*tensor.Tensor, len(live))
+			for i, r := range live {
+				xs[i] = r.x
+			}
+			for i, y := range rep.InferBatch(xs) {
+				s.finish(live[i], y, tBatch)
+			}
 		}
-		xs := make([]*tensor.Tensor, len(live))
-		for i, r := range live {
-			xs[i] = r.x
-		}
-		for i, y := range rep.InferBatch(xs) {
-			s.finish(live[i], y)
-		}
+		s.flight.Record("serve_batch", 0, track, tBatch, int64(len(live)))
 	}
 }
 
-func (s *Server) finish(r *request, y *tensor.Tensor) {
+func (s *Server) finish(r *request, y *tensor.Tensor, tBatch int64) {
 	_, class := y.Max()
-	r.done <- outcome{res: Result{Scores: y, Class: class}}
+	if s.flight.Enabled() {
+		tDone := s.flight.Now()
+		s.flight.RecordAt("serve_compute", r.trace, flight.TrackRequests, tBatch, tDone, 0)
+		s.flight.RecordAt("serve_request", r.trace, flight.TrackRequests, r.tEnq, tDone, 0)
+		// The attribution histograms observe the very same boundary
+		// timestamps the spans hold, so a trace and its aggregate can never
+		// tell different stories.
+		s.observeSeconds(s.queueWait, r.tDeq-r.tEnq)
+		s.observeSeconds(s.batchWait, tBatch-r.tDeq)
+		s.observeSeconds(s.computeTime, tDone-tBatch)
+	}
+	r.done <- outcome{res: Result{Scores: y, Class: class, Trace: r.trace}}
 	if s.latency != nil {
 		s.latency.Add(time.Since(r.enqueued))
 	}
+	if s.latencyHist != nil {
+		s.latencyHist.Observe(time.Since(r.enqueued).Seconds())
+	}
+}
+
+func (s *Server) observeSeconds(h *telemetry.Histogram, ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.Observe(float64(ns) / 1e9)
 }
 
 // Close drains the server: no new requests are accepted, every queued

@@ -1,0 +1,279 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// Perfetto and chrome://tracing load). Request-scoped spans (Track ==
+// TrackRequests with a nonzero Trace) export as nestable async begin/end
+// pairs keyed by the trace id, so each request renders as its own lane of
+// queue-wait → batch-wait → compute; everything else exports as a complete
+// ("X") event on its track's thread row — one track per replica worker or
+// pipeline stage, the live Figure 6.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON object form.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// MarshalChrome renders the retained events in Chrome trace_event JSON.
+// The output is valid JSON for any recorder state — empty, torn by ring
+// wraparound, or mid-flight — because every retained event maps to
+// self-contained entries and durations clamp at zero. A nil recorder
+// marshals an empty (still valid) trace.
+func (r *Recorder) MarshalChrome() ([]byte, error) {
+	events, tracks := r.snapshot()
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "pipelayer"},
+	})
+	for _, track := range sortedTracks(events, tracks) {
+		name := tracks[track]
+		if name == "" {
+			if track == TrackRequests {
+				name = "requests"
+			} else {
+				name = fmt.Sprintf("track %d", track)
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: track,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+	for _, e := range events {
+		ts := float64(e.Start) / 1e3
+		dur := float64(e.Dur()) / 1e3
+		args := map[string]any{}
+		if e.Trace != 0 {
+			args["trace"] = e.Trace
+		}
+		if e.Arg != 0 {
+			args["arg"] = e.Arg
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		if e.Track == TrackRequests && e.Trace != 0 {
+			id := fmt.Sprintf("0x%x", e.Trace)
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: e.Name, Ph: "b", Ts: ts, Pid: chromePid, Tid: e.Track, Cat: "request", ID: id, Args: args},
+				chromeEvent{Name: e.Name, Ph: "e", Ts: ts + dur, Pid: chromePid, Tid: e.Track, Cat: "request", ID: id},
+			)
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Name, Ph: "X", Ts: ts, Dur: dur, Pid: chromePid, Tid: e.Track, Args: args,
+		})
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// WriteChrome writes the Chrome trace JSON to w.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	data, err := r.MarshalChrome()
+	if err != nil {
+		return fmt.Errorf("flight: marshal chrome trace: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteChromeFile writes the Chrome trace JSON to path (0644, truncating).
+func (r *Recorder) WriteChromeFile(path string) error {
+	data, err := r.MarshalChrome()
+	if err != nil {
+		return fmt.Errorf("flight: marshal chrome trace: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Timeline renders the retained events as an ASCII chart in the
+// internal/trace Gantt idiom: one row per track, one column per time
+// bucket, the glyph naming the span occupying the bucket (the last digit
+// of the trace id for attributed spans, '#' for unit work). width is the
+// number of columns (minimum 10; 0 means 100).
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	if width < 10 {
+		width = 10
+	}
+	events, tracks := r.snapshot()
+	if len(events) == 0 {
+		return "flight: no events recorded\n"
+	}
+	lo, hi := events[0].Start, events[0].End
+	for _, e := range events {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	bucket := func(ns int64) int {
+		b := int((ns - lo) * int64(width) / span)
+		if b < 0 {
+			b = 0
+		}
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+
+	ids := sortedTracks(events, tracks)
+	rows := make(map[uint64][]byte, len(ids))
+	for _, t := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[t] = row
+	}
+	for _, e := range events {
+		glyph := byte('#')
+		if e.Trace != 0 {
+			glyph = byte('0' + e.Trace%10)
+		}
+		row := rows[e.Track]
+		for b := bucket(e.Start); b <= bucket(e.End); b++ {
+			row[b] = glyph
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flight timeline: %d events over %.3f ms (%d dropped)\n",
+		len(events), float64(span)/1e6, r.Dropped())
+	for _, t := range ids {
+		name := tracks[t]
+		if name == "" {
+			if t == TrackRequests {
+				name = "requests"
+			} else {
+				name = fmt.Sprintf("track %d", t)
+			}
+		}
+		fmt.Fprintf(&sb, "%16s %s\n", name, rows[t])
+	}
+	return sb.String()
+}
+
+// RequestTrace is one request's reconstructed span tree: every retained
+// event attributed to its trace id, ordered by start time.
+type RequestTrace struct {
+	Trace uint64
+	// Start and End bound the request: min start / max end over its events.
+	Start, End int64
+	Events     []Event
+}
+
+// TotalNs returns the request's end-to-end extent in nanoseconds.
+func (rt RequestTrace) TotalNs() int64 {
+	if rt.End < rt.Start {
+		return 0
+	}
+	return rt.End - rt.Start
+}
+
+// Slowest reconstructs per-request span trees from the retained events and
+// returns the n largest by end-to-end extent, slowest first — the
+// tail-latency exemplar capture linking a p99 request to exactly where its
+// time went. Requests whose events were partially overwritten by ring
+// wraparound appear with whatever spans survive.
+func (r *Recorder) Slowest(n int) []RequestTrace {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	events, _ := r.snapshot()
+	byTrace := map[uint64]*RequestTrace{}
+	for _, e := range events {
+		if e.Trace == 0 {
+			continue
+		}
+		rt := byTrace[e.Trace]
+		if rt == nil {
+			rt = &RequestTrace{Trace: e.Trace, Start: e.Start, End: e.End}
+			byTrace[e.Trace] = rt
+		}
+		if e.Start < rt.Start {
+			rt.Start = e.Start
+		}
+		if e.End > rt.End {
+			rt.End = e.End
+		}
+		rt.Events = append(rt.Events, e)
+	}
+	out := make([]RequestTrace, 0, len(byTrace))
+	for _, rt := range byTrace {
+		sort.SliceStable(rt.Events, func(i, j int) bool {
+			if rt.Events[i].Start != rt.Events[j].Start {
+				return rt.Events[i].Start < rt.Events[j].Start
+			}
+			return rt.Events[i].End > rt.Events[j].End
+		})
+		out = append(out, *rt)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if d1, d2 := out[i].TotalNs(), out[j].TotalNs(); d1 != d2 {
+			return d1 > d2
+		}
+		return out[i].Trace < out[j].Trace // deterministic tie-break
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// RenderSlowest formats the slowest-n exemplars as indented text.
+func (r *Recorder) RenderSlowest(n int) string {
+	slow := r.Slowest(n)
+	if len(slow) == 0 {
+		return "flight: no attributed requests recorded\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "slowest %d requests:\n", len(slow))
+	for _, rt := range slow {
+		fmt.Fprintf(&sb, "  trace %d: %.3f ms\n", rt.Trace, float64(rt.TotalNs())/1e6)
+		for _, e := range rt.Events {
+			fmt.Fprintf(&sb, "    %-24s +%.3f ms  %.3f ms", e.Name,
+				float64(e.Start-rt.Start)/1e6, float64(e.Dur())/1e6)
+			if e.Arg != 0 {
+				fmt.Fprintf(&sb, "  (arg %d)", e.Arg)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,200 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return data
+}
+
+// TestChromeRoundTrip is the acceptance check for the trace export: the JSON
+// must unmarshal back into the trace_event object form with every field
+// intact, for a populated recorder including async request lanes.
+func TestChromeRoundTrip(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	r := New(Config{Capacity: 32, Clock: clk.Now})
+	r.SetTrackName(TrackRequests, "requests")
+	r.SetTrackName(1, "replica 0")
+
+	// One decomposed request: queue wait + compute on the worker track.
+	t0 := r.Now()
+	t1 := r.Now()
+	r.RecordAt("serve_queue_wait", 1, TrackRequests, t0, t1, 0)
+	t2 := r.Now()
+	r.RecordAt("serve_compute", 1, TrackRequests, t1, t2, 0)
+	r.RecordAt("serve_batch", 0, 1, t1, t2, 4)
+
+	data, err := r.MarshalChrome()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("round-trip unmarshal: %v\n%s", err, data)
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", got.DisplayTimeUnit)
+	}
+
+	var meta, async, complete int
+	for _, e := range got.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "b", "e":
+			async++
+			if e.Cat != "request" || e.ID == "" {
+				t.Fatalf("async event missing cat/id: %+v", e)
+			}
+		case "X":
+			complete++
+			if e.Dur < 0 {
+				t.Fatalf("negative duration: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	// process_name + 2 thread_names; 2 request spans as b/e pairs; 1 X.
+	if meta != 3 || async != 4 || complete != 1 {
+		t.Fatalf("meta=%d async=%d complete=%d, want 3/4/1", meta, async, complete)
+	}
+
+	// Async begin/end pairs must balance per id.
+	depth := map[string]int{}
+	for _, e := range got.TraceEvents {
+		if e.Ph == "b" {
+			depth[e.ID]++
+		}
+		if e.Ph == "e" {
+			depth[e.ID]--
+		}
+	}
+	for id, d := range depth {
+		if d != 0 {
+			t.Fatalf("unbalanced async pair for id %s: %d", id, d)
+		}
+	}
+}
+
+func TestChromeEmptyAndNil(t *testing.T) {
+	for name, r := range map[string]*Recorder{
+		"nil":   nil,
+		"empty": New(Config{Capacity: 4}),
+	} {
+		data, err := r.MarshalChrome()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var got chromeTrace
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if got.TraceEvents == nil {
+			t.Fatalf("%s: traceEvents must be a JSON array, not null", name)
+		}
+	}
+}
+
+func TestChromeTornRing(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	// Overflow the ring so early spans of surviving traces are torn away.
+	for i := 0; i < 11; i++ {
+		r.RecordAt("torn_span", uint64(i/2+1), TrackRequests, int64(i*10), int64(i*10+5), 0)
+	}
+	data, err := r.MarshalChrome()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("torn ring must still export valid JSON: %v\n%s", err, data)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	r.RecordAt("write_span", 1, TrackRequests, 0, 1000, 0)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("WriteChrome produced invalid JSON: %s", buf.String())
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	r.RecordAt("file_span", 1, TrackRequests, 0, 1000, 0)
+	path := t.TempDir() + "/trace.json"
+	if err := r.WriteChromeFile(path); err != nil {
+		t.Fatalf("write file: %v", err)
+	}
+	data := mustRead(t, path)
+	var got chromeTrace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("file round-trip: %v", err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := New(Config{Capacity: 8})
+	r.SetTrackName(1, "replica 0")
+	r.RecordAt("serve_compute", 7, TrackRequests, 0, 100, 0)
+	r.RecordAt("serve_batch", 0, 1, 50, 100, 2)
+	out := r.Timeline(40)
+	if !strings.Contains(out, "requests") || !strings.Contains(out, "replica 0") {
+		t.Fatalf("timeline missing track rows:\n%s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Fatalf("timeline missing trace glyph (trace 7):\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("timeline missing unit-work glyph:\n%s", out)
+	}
+	if empty := New(Config{Capacity: 4}).Timeline(40); !strings.Contains(empty, "no events") {
+		t.Fatalf("empty timeline: %q", empty)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	r := New(Config{Capacity: 16})
+	// Trace 1: 100ns total; trace 2: 300ns; trace 3: 200ns.
+	r.RecordAt("slow_span", 1, TrackRequests, 0, 100, 0)
+	r.RecordAt("slow_span", 2, TrackRequests, 0, 200, 0)
+	r.RecordAt("slow_span", 2, TrackRequests, 200, 300, 0)
+	r.RecordAt("slow_span", 3, TrackRequests, 50, 250, 0)
+	r.RecordAt("slow_span", 0, 1, 0, 999, 0) // unattributed: excluded
+
+	slow := r.Slowest(2)
+	if len(slow) != 2 {
+		t.Fatalf("got %d traces, want 2", len(slow))
+	}
+	if slow[0].Trace != 2 || slow[1].Trace != 3 {
+		t.Fatalf("order wrong: %d then %d, want 2 then 3", slow[0].Trace, slow[1].Trace)
+	}
+	if slow[0].TotalNs() != 300 {
+		t.Fatalf("trace 2 extent %d, want 300", slow[0].TotalNs())
+	}
+	if len(slow[0].Events) != 2 {
+		t.Fatalf("trace 2 has %d events, want 2", len(slow[0].Events))
+	}
+	if got := r.RenderSlowest(2); !strings.Contains(got, "trace 2") {
+		t.Fatalf("render missing trace 2:\n%s", got)
+	}
+	if got := New(Config{Capacity: 4}).RenderSlowest(3); !strings.Contains(got, "no attributed requests") {
+		t.Fatalf("empty render: %q", got)
+	}
+}

@@ -1,0 +1,214 @@
+package flight
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic injected clock: every reading advances it by
+// step, so span arithmetic in tests is exact.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestNilRecorderIsSafeAndFree(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder must report disabled")
+	}
+	r.Record("x", 1, 2, 3, 4)
+	r.RecordAt("x", 1, 2, 3, 4, 5)
+	r.SetTrackName(1, "a")
+	r.Reset()
+	if r.Now() != 0 || r.NextTrace() != 0 || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder accessors must return zero values")
+	}
+	if r.Events() != nil || r.Slowest(3) != nil {
+		t.Fatal("nil recorder snapshots must be nil")
+	}
+	ctx, id := r.EnsureTrace(context.Background())
+	if id != 0 {
+		t.Fatalf("nil recorder EnsureTrace allocated id %d", id)
+	}
+	if _, ok := TraceFrom(ctx); ok {
+		t.Fatal("nil recorder must not attach a trace id")
+	}
+	if _, err := r.MarshalChrome(); err != nil {
+		t.Fatalf("nil recorder chrome export: %v", err)
+	}
+}
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	r := New(Config{Capacity: 8, Clock: clk.Now})
+	t0 := r.Now()
+	r.RecordAt("first_span", 1, 0, t0, t0+10, 0)
+	r.RecordAt("second_span", 1, 0, t0+10, t0+25, 7)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "first_span" || evs[1].Name != "second_span" {
+		t.Fatalf("order wrong: %q then %q", evs[0].Name, evs[1].Name)
+	}
+	if evs[1].Dur() != 15 || evs[1].Arg != 7 {
+		t.Fatalf("second span dur=%d arg=%d, want 15 and 7", evs[1].Dur(), evs[1].Arg)
+	}
+}
+
+func TestRecordEndsNowOnInjectedClock(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	r := New(Config{Capacity: 8, Clock: clk.Now})
+	start := r.Now() // one tick
+	r.Record("timed_span", 3, 1, start, 0)
+	ev := r.Events()[0]
+	// Record read the clock once more, so exactly one step elapsed.
+	if ev.Dur() != int64(time.Millisecond) {
+		t.Fatalf("span duration %d, want %d", ev.Dur(), int64(time.Millisecond))
+	}
+	if ev.Trace != 3 || ev.Track != 1 {
+		t.Fatalf("event attribution wrong: %+v", ev)
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	clk := newFakeClock(time.Microsecond)
+	r := New(Config{Capacity: 4, Clock: clk.Now})
+	for i := 0; i < 10; i++ {
+		r.RecordAt("wrap_span", uint64(i+1), 0, int64(i), int64(i+1), 0)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Trace != want {
+			t.Fatalf("event %d has trace %d, want %d (oldest-first after wrap)", i, ev.Trace, want)
+		}
+	}
+}
+
+func TestNextTraceMonotonic(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	a, b, c := r.NextTrace(), r.NextTrace(), r.NextTrace()
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("trace ids %d,%d,%d, want 1,2,3", a, b, c)
+	}
+}
+
+func TestTracePropagation(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	ctx := context.Background()
+	ctx1, id1 := r.EnsureTrace(ctx)
+	if id1 == 0 {
+		t.Fatal("EnsureTrace must allocate a nonzero id")
+	}
+	if got, ok := TraceFrom(ctx1); !ok || got != id1 {
+		t.Fatalf("TraceFrom = %d,%v; want %d,true", got, ok, id1)
+	}
+	// An existing id is preserved, not replaced.
+	ctx2, id2 := r.EnsureTrace(ctx1)
+	if id2 != id1 || ctx2 != ctx1 {
+		t.Fatalf("EnsureTrace replaced id %d with %d", id1, id2)
+	}
+	// Upstream-provided ids flow through.
+	ctx3 := WithTrace(ctx, 99)
+	if _, id := r.EnsureTrace(ctx3); id != 99 {
+		t.Fatalf("EnsureTrace ignored the propagated id, got %d", id)
+	}
+	// A zero id does not count as propagated.
+	if _, ok := TraceFrom(WithTrace(ctx, 0)); ok {
+		t.Fatal("zero trace id must read as absent")
+	}
+}
+
+func TestConcurrentRecordIsSafe(t *testing.T) {
+	r := New(Config{Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		//pipelayer:allow-spawn test exercising recorder concurrency, joined below
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				t0 := r.Now()
+				r.Record("concurrent_span", uint64(g*100+i+1), uint64(g), t0, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("ring holds %d, want full 64", r.Len())
+	}
+	if r.Dropped() != 800-64 {
+		t.Fatalf("dropped %d, want %d", r.Dropped(), 800-64)
+	}
+}
+
+func TestTrackNames(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	r.SetTrackName(2, "replica 2")
+	if got := r.TrackName(2); got != "replica 2" {
+		t.Fatalf("track name %q", got)
+	}
+	if got := r.TrackName(9); got != "" {
+		t.Fatalf("unnamed track returned %q", got)
+	}
+}
+
+func TestResetClearsEvents(t *testing.T) {
+	r := New(Config{Capacity: 2})
+	for i := 0; i < 5; i++ {
+		r.RecordAt("reset_span", 1, 0, 0, 1, 0)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset must clear events and drop counts")
+	}
+	r.RecordAt("reset_span", 1, 0, 0, 1, 0)
+	if r.Len() != 1 {
+		t.Fatal("recorder must keep working after Reset")
+	}
+}
+
+// BenchmarkRecordDisabled pins the disabled-path cost: a nil receiver check
+// and nothing else. The serve scheduler keeps its instrumentation inline on
+// the strength of this being free.
+func BenchmarkRecordDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := r.Now()
+		r.Record("bench_span", 1, 0, t0, 0)
+	}
+}
+
+// BenchmarkRecordEnabled pins the enabled-path cost: one lock and one slot
+// store, zero allocations.
+func BenchmarkRecordEnabled(b *testing.B) {
+	r := New(Config{Capacity: 1 << 12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := r.Now()
+		r.Record("bench_span", uint64(i), 0, t0, 0)
+	}
+}

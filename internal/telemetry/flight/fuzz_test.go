@@ -1,0 +1,99 @@
+package flight
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// fuzzEventSize is the packed wire size of one fuzz-decoded event:
+// name selector (1) + trace (8) + track (8) + start (8) + end (8) + arg (8).
+const fuzzEventSize = 41
+
+var fuzzNames = []string{
+	"serve_queue_wait",
+	"serve_batch_wait",
+	"serve_compute",
+	"serve_request",
+	"core_layer_forward",
+	"arch_readout",
+}
+
+// replayEvents decodes data as a packed event stream and records each event
+// into r, so the fuzzer explores arbitrary interleavings, timestamp orders,
+// and ring tearing.
+func replayEvents(r *Recorder, data []byte) {
+	for len(data) >= fuzzEventSize {
+		name := fuzzNames[int(data[0])%len(fuzzNames)]
+		trace := binary.LittleEndian.Uint64(data[1:9])
+		track := binary.LittleEndian.Uint64(data[9:17])
+		start := int64(binary.LittleEndian.Uint64(data[17:25]))
+		end := int64(binary.LittleEndian.Uint64(data[25:33]))
+		arg := int64(binary.LittleEndian.Uint64(data[33:41]))
+		r.RecordAt(name, trace, track, start, end, arg)
+		data = data[fuzzEventSize:]
+	}
+}
+
+// FuzzChromeTrace asserts the export invariant the acceptance criteria pin:
+// the Chrome trace JSON is valid and round-trips for ANY event interleaving,
+// including empty recorders, torn rings, inverted timestamps, and hostile
+// trace/track ids. Seed corpus lives in testdata/fuzz/FuzzChromeTrace.
+func FuzzChromeTrace(f *testing.F) {
+	// Empty input → empty recorder.
+	f.Add([]byte{})
+	// One well-formed request span.
+	one := make([]byte, fuzzEventSize)
+	one[0] = 0
+	binary.LittleEndian.PutUint64(one[1:9], 1)    // trace
+	binary.LittleEndian.PutUint64(one[9:17], 0)   // track: requests
+	binary.LittleEndian.PutUint64(one[17:25], 10) // start
+	binary.LittleEndian.PutUint64(one[25:33], 50) // end
+	f.Add(one)
+	// An inverted span (end < start) on a worker track.
+	inv := make([]byte, fuzzEventSize)
+	inv[0] = 5
+	binary.LittleEndian.PutUint64(inv[1:9], 0)
+	binary.LittleEndian.PutUint64(inv[9:17], 3)
+	binary.LittleEndian.PutUint64(inv[17:25], 90)
+	binary.LittleEndian.PutUint64(inv[25:33], 10)
+	binary.LittleEndian.PutUint64(inv[33:41], 7)
+	f.Add(inv)
+	// Enough events to wrap the small fuzz ring (tearing).
+	torn := make([]byte, fuzzEventSize*9)
+	for i := 0; i < 9; i++ {
+		rec := torn[i*fuzzEventSize:]
+		rec[0] = byte(i)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(i%3))
+		binary.LittleEndian.PutUint64(rec[9:17], uint64(i%2))
+		binary.LittleEndian.PutUint64(rec[17:25], uint64(i*100))
+		binary.LittleEndian.PutUint64(rec[25:33], uint64(i*100+40))
+	}
+	f.Add(torn)
+	// Trailing partial record (must be ignored, not crash).
+	f.Add(append(append([]byte{}, one...), 0xFF, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := New(Config{Capacity: 8})
+		replayEvents(r, data)
+		out, err := r.MarshalChrome()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("invalid JSON: %s", out)
+		}
+		var got chromeTrace
+		if err := json.Unmarshal(out, &got); err != nil {
+			t.Fatalf("round-trip: %v", err)
+		}
+		for _, e := range got.TraceEvents {
+			if e.Ph == "X" && e.Dur < 0 {
+				t.Fatalf("negative duration exported: %+v", e)
+			}
+		}
+		// The ASCII renderers must also hold up under the same interleavings.
+		_ = r.Timeline(40)
+		_ = r.RenderSlowest(3)
+	})
+}

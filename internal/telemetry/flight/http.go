@@ -1,0 +1,55 @@
+package flight
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the human-readable flight view: a summary line, the ASCII
+// timeline, and the slowest-N exemplar capture. Query parameters: width
+// (timeline columns, default 100) and n (exemplars, default 5). With a nil
+// recorder it reports tracing disabled with 404.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "flight recorder disabled (start with tracing enabled)", http.StatusNotFound)
+			return
+		}
+		width := queryInt(req, "width", 100)
+		n := queryInt(req, "n", 5)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(r.Timeline(width)))  //nolint:errcheck
+		w.Write([]byte("\n"))               //nolint:errcheck
+		w.Write([]byte(r.RenderSlowest(n))) //nolint:errcheck
+	})
+}
+
+// TraceHandler serves the retained events as Chrome trace_event JSON —
+// download and load into Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. With a nil recorder it 404s.
+func TraceHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if r == nil {
+			http.Error(w, "flight recorder disabled (start with tracing enabled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		if err := r.WriteChrome(w); err != nil {
+			// Headers are gone; all we can do is log via the error path.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func queryInt(req *http.Request, key string, def int) int {
+	v := req.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}

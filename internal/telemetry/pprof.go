@@ -5,14 +5,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"pipelayer/internal/telemetry/flight"
 )
 
 // StartPprof starts a net/http/pprof listener on addr (e.g. "localhost:6060")
 // in a background goroutine and returns the address actually bound (useful
 // with a ":0" port). The returned shutdown function closes the listener.
 // Profiles are served under /debug/pprof/ as usual; when reg is non-nil the
-// listener additionally serves a live Prometheus scrape at /metrics.
-func StartPprof(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+// listener additionally serves a live Prometheus scrape at /metrics, and when
+// rec is non-nil the flight recorder's timeline at /debug/flight and its
+// Chrome trace download at /debug/flight/trace.json.
+func StartPprof(addr string, reg *Registry, rec *flight.Recorder) (bound string, shutdown func(), err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -22,6 +26,10 @@ func StartPprof(addr string, reg *Registry) (bound string, shutdown func(), err 
 	if reg != nil {
 		mux.Handle("/metrics", MetricsHandler(reg))
 	}
+	// The flight handlers self-404 on a nil recorder, so mount unconditionally:
+	// the endpoint names stay discoverable whether or not tracing is on.
+	mux.Handle("/debug/flight", flight.Handler(rec))
+	mux.Handle("/debug/flight/trace.json", flight.TraceHandler(rec))
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"pipelayer/internal/telemetry/flight"
+)
+
+// TestStartPprofShutdownLeavesNoGoroutines pins the shutdown path: the
+// accept loop StartPprof spawns must be gone once the returned shutdown
+// function runs, even after the listener has served requests.
+func TestStartPprofShutdownLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := NewRegistry()
+	addr, shutdown, err := StartPprof("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		shutdown()
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	shutdown()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after shutdown: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The listener must actually be closed, not just the goroutine gone.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still serving after shutdown")
+	}
+}
+
+// TestStartPprofServesFlight checks the flight mounts: text timeline at
+// /debug/flight, Chrome trace at /debug/flight/trace.json, and a 404 (not a
+// panic) when tracing is disabled.
+func TestStartPprofServesFlight(t *testing.T) {
+	rec := flight.New(flight.Config{Capacity: 16})
+	rec.RecordAt("serve_compute", 1, flight.TrackRequests, 0, 1000, 0)
+	addr, shutdown, err := StartPprof("127.0.0.1:0", nil, rec)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer shutdown()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/flight"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/flight: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/flight/trace.json"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/flight/trace.json: code %d body %q", code, body)
+	}
+
+	addr2, shutdown2, err := StartPprof("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer shutdown2()
+	resp, err := http.Get("http://" + addr2 + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("nil recorder should 404, got %d", resp.StatusCode)
+	}
+}

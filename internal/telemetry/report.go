@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Snapshot is a point-in-time copy of every instrument in a registry, in a
@@ -15,10 +16,16 @@ import (
 // -metrics flag of the cmd binaries and the BENCH_telemetry.json trajectory
 // file both write this).
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]float64           `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	Spans      map[string]SpanSnapshot      `json:"spans,omitempty"`
+	// CapturedAt is the wall-clock capture instant in RFC3339 (UTC), and
+	// UptimeSeconds the monotonic time since NewRegistry — together they let
+	// BENCH_*.json artifacts and trace.json files from the same run be
+	// correlated across commits.
+	CapturedAt    string                       `json:"captured_at"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans         map[string]SpanSnapshot      `json:"spans,omitempty"`
 }
 
 // HistogramSnapshot is one histogram's frozen state. Counts has one entry
@@ -30,6 +37,43 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values by
+// linear interpolation within the bucket containing the target rank — the
+// same estimator Prometheus's histogram_quantile uses, so smoke-run
+// percentiles and CI dashboards read from the same instrument and agree.
+// Values in the +Inf bucket clamp to the highest finite bound. Returns 0 on
+// an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, b := range h.Bounds {
+		next := cum + float64(h.Counts[i])
+		if next >= target && h.Counts[i] > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			frac := (target - cum) / float64(h.Counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac
+		}
+		cum = next
+	}
+	// Rank falls in the +Inf bucket: clamp to the largest finite bound.
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // SpanSnapshot is one span's frozen state, in seconds.
 type SpanSnapshot struct {
 	Count        int64   `json:"count"`
@@ -39,13 +83,16 @@ type SpanSnapshot struct {
 
 // Snapshot freezes the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
+	now := time.Now()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSnapshot{},
-		Spans:      map[string]SpanSnapshot{},
+		CapturedAt:    now.UTC().Format(time.RFC3339),
+		UptimeSeconds: now.Sub(r.start).Seconds(),
+		Counters:      map[string]int64{},
+		Gauges:        map[string]float64{},
+		Histograms:    map[string]HistogramSnapshot{},
+		Spans:         map[string]SpanSnapshot{},
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()

@@ -159,6 +159,68 @@ func TestSnapshotSanitizesNonFiniteGauges(t *testing.T) {
 	}
 }
 
+func TestSnapshotCarriesCaptureTime(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Snapshot()
+	at, err := time.Parse(time.RFC3339, s.CapturedAt)
+	if err != nil {
+		t.Fatalf("captured_at %q is not RFC3339: %v", s.CapturedAt, err)
+	}
+	if d := time.Since(at); d < -time.Minute || d > time.Minute {
+		t.Fatalf("captured_at %q is not recent (off by %v)", s.CapturedAt, d)
+	}
+	if s.UptimeSeconds < 0 {
+		t.Fatalf("uptime_seconds %g negative", s.UptimeSeconds)
+	}
+	later := reg.Snapshot()
+	if later.UptimeSeconds < s.UptimeSeconds {
+		t.Fatalf("uptime_seconds went backwards: %g then %g", s.UptimeSeconds, later.UptimeSeconds)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"captured_at"`) || !strings.Contains(string(data), `"uptime_seconds"`) {
+		t.Fatalf("JSON missing capture-time fields: %s", data)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations uniform over buckets (0,10], (10,20], ..., (90,100].
+	h := HistogramSnapshot{
+		Bounds: []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Counts: []uint64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 0},
+		Count:  100,
+		Sum:    5000,
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50},
+		{0.9, 90},
+		{0.99, 99},
+		{1, 100},
+		{0, 0},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// Rank in the +Inf bucket clamps to the highest finite bound.
+	inf := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []uint64{1, 0, 5},
+		Count:  6,
+	}
+	if got := inf.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %g, want clamp to 2", got)
+	}
+
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
 func TestMetricsHandlerServesPrometheus(t *testing.T) {
 	reg := goldenRegistry()
 	srv := httptest.NewServer(MetricsHandler(reg))
@@ -177,7 +239,7 @@ func TestMetricsHandlerServesPrometheus(t *testing.T) {
 
 func TestStartPprofServesMetrics(t *testing.T) {
 	reg := goldenRegistry()
-	addr, shutdown, err := StartPprof("127.0.0.1:0", reg)
+	addr, shutdown, err := StartPprof("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Skipf("cannot listen: %v", err)
 	}

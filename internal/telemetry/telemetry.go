@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry is a concurrency-safe collection of named instruments. The zero
@@ -32,6 +33,8 @@ import (
 // concurrent use; the instruments they return are themselves safe for
 // concurrent use and may be cached by hot call sites to skip the lookup.
 type Registry struct {
+	start time.Time // process-lifetime anchor for Snapshot's uptime_seconds
+
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
@@ -39,9 +42,12 @@ type Registry struct {
 	spans      map[string]*Span
 }
 
-// NewRegistry creates an empty registry.
+// NewRegistry creates an empty registry anchored at "now": snapshots report
+// their capture time and the uptime since this call, so BENCH_*.json
+// artifacts and trace files can be correlated across commits.
 func NewRegistry() *Registry {
 	return &Registry{
+		start:      time.Now(),
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
