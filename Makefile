@@ -8,7 +8,15 @@ STATICCHECK_VERSION ?= 2025.1
 # go run pkg@version pattern as staticcheck).
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve fault-smoke serve-smoke lint bench bench-smoke clean
+.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
+
+# Scenario-benchmark harness knobs (see DESIGN.md §4h). The glob selects
+# checked-in scenario directories; the baseline is the committed fallback the
+# CI regression gate diffs against when no cached main-branch report exists.
+SCENARIO_GLOB ?= benchmarks/scenarios/*
+BENCH_REPORT_DIR ?= bench-reports
+BENCH_BASELINE ?= benchmarks/baselines/suite.json
+BENCH_DIFF_THRESHOLD ?= 15
 
 build:
 	$(GO) build ./...
@@ -86,6 +94,23 @@ fault-smoke:
 	$(GO) run ./cmd/pipelayer-bench -faults -quick -telemetry "" -faultout BENCH_fault.json > /dev/null
 	@test -s BENCH_fault.json && echo "BENCH_fault.json written"
 
+# bench-scenarios runs every checked-in scenario and writes per-scenario
+# report.json files plus the aggregated suite.json under BENCH_REPORT_DIR.
+bench-scenarios:
+	$(GO) run ./cmd/pipelayer-bench -scenarios '$(SCENARIO_GLOB)' -report-dir $(BENCH_REPORT_DIR)
+
+# bench-diff gates the fresh suite against a baseline: non-zero exit when a
+# gated metric regressed past the threshold (noise- and host-calibrated; see
+# DESIGN.md §4h) or bit-identity broke.
+bench-diff:
+	$(GO) run ./cmd/pipelayer-bench -diff $(BENCH_BASELINE) $(BENCH_REPORT_DIR)/suite.json -threshold $(BENCH_DIFF_THRESHOLD)
+
+# bench-baseline refreshes the committed fallback baseline in-place. Run on a
+# quiet machine, eyeball the diff, and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/pipelayer-bench -scenarios '$(SCENARIO_GLOB)' -report-dir $(BENCH_REPORT_DIR)
+	cp $(BENCH_REPORT_DIR)/suite.json $(BENCH_BASELINE)
+
 # lint needs network access the first time (module proxy fetch of the pinned
 # staticcheck); afterwards the module cache makes it hermetic.
 lint:
@@ -101,3 +126,4 @@ bench-smoke:
 
 clean:
 	rm -f pipelayer-sim pipelayer-train pipelayer-bench pipelayer-serve BENCH_telemetry.json BENCH_fault.json BENCH_serve.json trace.json
+	rm -rf bench-reports

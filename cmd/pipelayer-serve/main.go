@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"pipelayer/internal/benchscenario"
 	"pipelayer/internal/core"
 	"pipelayer/internal/dataset"
 	"pipelayer/internal/energy"
@@ -134,7 +135,7 @@ func main() {
 	}
 
 	if *smoke > 0 {
-		if err := runSmoke(acc, cfg, test, *smoke, *benchOut); err != nil {
+		if err := runSmoke(acc, cfg, test, *smoke, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -249,21 +250,24 @@ func listen(acc *core.Accelerator, cfg serve.Config, addr string, timeout time.D
 // on the same trained machine, batched latency percentiles, and the paired
 // tiny-network benchmark (the bench_test.go BenchmarkServeSerial /
 // BenchmarkServeBatched pair re-measured min-over-reps, robust to a noisy
-// host).
+// host). Provenance pins the artifact to the producing commit, toolchain,
+// timestamp, and effective workers/replicas so two artifacts are never
+// compared across incompatible configs.
 type benchReport struct {
-	Network         string  `json:"network"`
-	Requests        int     `json:"requests"`
-	Replicas        int     `json:"replicas"`
-	MaxBatch        int     `json:"max_batch"`
-	SerialRPS       float64 `json:"serial_rps"`
-	BatchedRPS      float64 `json:"batched_rps"`
-	Speedup         float64 `json:"speedup"`
-	P50Ms           float64 `json:"p50_ms"`
-	P90Ms           float64 `json:"p90_ms"`
-	P99Ms           float64 `json:"p99_ms"`
-	BenchSerialRPS  float64 `json:"bench_serial_rps"`
-	BenchBatchedRPS float64 `json:"bench_batched_rps"`
-	BenchSpeedup    float64 `json:"bench_speedup_x"`
+	Network         string                   `json:"network"`
+	Requests        int                      `json:"requests"`
+	Replicas        int                      `json:"replicas"`
+	MaxBatch        int                      `json:"max_batch"`
+	SerialRPS       float64                  `json:"serial_rps"`
+	BatchedRPS      float64                  `json:"batched_rps"`
+	Speedup         float64                  `json:"speedup"`
+	P50Ms           float64                  `json:"p50_ms"`
+	P90Ms           float64                  `json:"p90_ms"`
+	P99Ms           float64                  `json:"p99_ms"`
+	BenchSerialRPS  float64                  `json:"bench_serial_rps"`
+	BenchBatchedRPS float64                  `json:"bench_batched_rps"`
+	BenchSpeedup    float64                  `json:"bench_speedup_x"`
+	Provenance      benchscenario.Provenance `json:"provenance"`
 }
 
 // pairedBench re-measures the BenchmarkServeSerial vs BenchmarkServeBatched
@@ -340,87 +344,51 @@ func pairedBench() (serialRPS, batchedRPS float64, err error) {
 	return 16 / serialDur.Seconds(), 16 / batchedDur.Seconds(), nil
 }
 
-// runSmoke load-tests the scheduler offline: n requests through a serial
-// (batch-of-1) server, then n concurrent requests through the configured
-// batched server, verifying the batched responses bit-identically match the
-// serial ones before writing the throughput report.
-func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n int, out string) error {
+// runSmoke load-tests the scheduler offline. It is a thin wrapper over the
+// scenario-benchmark runner (internal/benchscenario): the flags become a
+// synthesized serve scenario with compare_serial on, so -smoke and the
+// checked-in benchmarks/scenarios/* exercise the exact same measurement
+// path — and BENCH_serve.json keeps its historical shape while gaining the
+// runner's provenance block.
+func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n int, seed int64, out string) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("smoke: no samples")
 	}
-	ctx := context.Background()
-
-	serialCfg := cfg
-	serialCfg.Replicas, serialCfg.MaxBatch, serialCfg.QueueCap = 1, 1, n
-	serialCfg.Metrics = nil
-	serialCfg.Flight = nil // only the batched pass is traced and measured
-	ss, err := serve.New(acc, serialCfg)
+	eff := cfg.WithDefaults()
+	queue := eff.QueueCap
+	if queue < n {
+		queue = n
+	}
+	load := &benchscenario.LoadSpec{Pattern: benchscenario.PatternBurst, Requests: n}
+	if n > 4096 {
+		// A burst fires everything at once; beyond the validated lane cap,
+		// fall back to a wide closed loop.
+		load = &benchscenario.LoadSpec{Pattern: benchscenario.PatternSteady, Requests: n, Concurrency: 1024}
+	}
+	sc := benchscenario.Scenario{
+		Name:    "serve-smoke",
+		Kind:    benchscenario.KindServe,
+		Network: acc.Spec().Name,
+		Seed:    seed,
+		Serve: &benchscenario.ServeSpec{
+			Replicas:      eff.Replicas,
+			MaxBatch:      eff.MaxBatch,
+			MaxWaitMS:     float64(eff.MaxWait) / float64(time.Millisecond),
+			Queue:         queue,
+			CompareSerial: true,
+		},
+		Load: load,
+	}
+	rep0, err := benchscenario.RunServeOn(acc, samples, sc, benchscenario.Options{
+		Metrics:    cfg.Metrics,
+		Flight:     cfg.Flight,
+		TraceDepth: cfg.TraceDepth,
+	})
 	if err != nil {
 		return err
 	}
-	want := make([]serve.Result, n)
-	serialStart := time.Now()
-	for i := 0; i < n; i++ {
-		r, err := ss.Predict(ctx, samples[i%len(samples)].Input)
-		if err != nil {
-			return fmt.Errorf("smoke serial request %d: %w", i, err)
-		}
-		want[i] = r
-	}
-	serialDur := time.Since(serialStart)
-	if err := ss.Close(); err != nil {
-		return err
-	}
 
-	bcfg := cfg
-	if bcfg.QueueCap < n {
-		bcfg.QueueCap = n
-	}
-	// The latency percentiles come from the server's own
-	// serve_request_latency_seconds histogram — the same instrument CI
-	// scrapes — so give the batched pass a registry even when -metrics is
-	// off.
-	breg := bcfg.Metrics
-	if breg == nil {
-		breg = telemetry.NewRegistry()
-		bcfg.Metrics = breg
-	}
-	bs, err := serve.New(acc, bcfg)
-	if err != nil {
-		return err
-	}
-	errs := make([]error, n)
-	got := make([]serve.Result, n)
-	var wg sync.WaitGroup
-	batchedStart := time.Now()
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			got[i], errs[i] = bs.Predict(ctx, samples[i%len(samples)].Input)
-		}(i)
-	}
-	wg.Wait()
-	batchedDur := time.Since(batchedStart)
-	if err := bs.Close(); err != nil {
-		return err
-	}
-	for i := 0; i < n; i++ {
-		if errs[i] != nil {
-			return fmt.Errorf("smoke batched request %d: %w", i, errs[i])
-		}
-		if got[i].Class != want[i].Class {
-			return fmt.Errorf("smoke request %d: batched class %d != serial %d", i, got[i].Class, want[i].Class)
-		}
-		for j := range want[i].Scores.Data() {
-			if got[i].Scores.At(j) != want[i].Scores.At(j) {
-				return fmt.Errorf("smoke request %d: batched score[%d] %v != serial %v",
-					i, j, got[i].Scores.At(j), want[i].Scores.At(j))
-			}
-		}
-	}
-
-	if rec := bcfg.Flight; rec.Enabled() {
+	if rec := cfg.Flight; rec.Enabled() {
 		checked, err := verifySpanSums(rec)
 		if err != nil {
 			return err
@@ -433,27 +401,21 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 		return err
 	}
 
-	hist, ok := breg.Snapshot().Histograms["serve_request_latency_seconds"]
-	if !ok {
-		return fmt.Errorf("smoke: serve_request_latency_seconds histogram not registered")
-	}
-	pct := func(q float64) float64 {
-		return hist.Quantile(q) * 1e3
-	}
 	rep := benchReport{
 		Network:         acc.Spec().Name,
 		Requests:        n,
-		Replicas:        bcfg.Replicas,
-		MaxBatch:        bcfg.MaxBatch,
-		SerialRPS:       float64(n) / serialDur.Seconds(),
-		BatchedRPS:      float64(n) / batchedDur.Seconds(),
-		Speedup:         serialDur.Seconds() / batchedDur.Seconds(),
-		P50Ms:           pct(0.50),
-		P90Ms:           pct(0.90),
-		P99Ms:           pct(0.99),
+		Replicas:        rep0.Provenance.Replicas,
+		MaxBatch:        rep0.Provenance.MaxBatch,
+		SerialRPS:       rep0.Metrics["serial_rps"],
+		BatchedRPS:      rep0.Metrics["rps"],
+		Speedup:         rep0.Metrics["speedup"],
+		P50Ms:           rep0.Metrics["p50_ms"],
+		P90Ms:           rep0.Metrics["p90_ms"],
+		P99Ms:           rep0.Metrics["p99_ms"],
 		BenchSerialRPS:  benchSerial,
 		BenchBatchedRPS: benchBatched,
 		BenchSpeedup:    benchBatched / benchSerial,
+		Provenance:      rep0.Provenance,
 	}
 	fmt.Printf("smoke     : %d requests bit-identical to serial\n", n)
 	fmt.Printf("smoke     : serial %.0f req/s, batched %.0f req/s (%.2fx), p50 %.2f ms p90 %.2f ms p99 %.2f ms\n",

@@ -1,0 +1,303 @@
+package benchscenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// latencyFloorMS is the minimum absolute latency movement (after host
+// normalization) that can count as a regression: relative thresholds alone
+// turn sub-millisecond scheduler jitter into CI failures.
+const latencyFloorMS = 1.0
+
+// noiseWidenCapPct bounds how far measured noise can widen a timing gate
+// (in percentage points over the configured threshold).
+const noiseWidenCapPct = 30.0
+
+// DiffOptions tunes the regression gate.
+type DiffOptions struct {
+	// ThresholdPct is the allowed change in percent. Relative-gated
+	// metrics (throughput, latency) regress when they move more than this
+	// far in the bad direction after host normalization; absolute-gated
+	// metrics (accuracies, error rate — already in [0,1]) regress when
+	// they move more than ThresholdPct/100 in the bad direction.
+	ThresholdPct float64
+}
+
+// gate describes how the differ treats one metric, keyed by name shape.
+type gate struct {
+	higherBetter bool
+	// absolute compares new-old directly (rate/accuracy points) instead of
+	// relatively; relative gating of a number near zero is meaningless.
+	absolute bool
+	// timing metrics are divided by the report's CalibMFLOPS before the
+	// relative comparison, so a slower host is not mistaken for a slower
+	// commit.
+	timing bool
+	// gated metrics fail the diff on regression; ungated ones are
+	// reported for the record only.
+	gated bool
+}
+
+// metricGate classifies a metric by its name. Unknown names are reported
+// but not gated — but a *gated* metric that disappears between reports is a
+// hard failure (see Diff), so coverage cannot silently erode.
+func metricGate(name string) gate {
+	switch {
+	case name == "error_rate":
+		return gate{higherBetter: false, absolute: true, gated: true}
+	case name == "speedup":
+		// A ratio of two same-host timings: dimensionless, no calibration.
+		return gate{higherBetter: true, gated: true}
+	case name == "rps" || strings.HasSuffix(name, "_rps"):
+		return gate{higherBetter: true, timing: true, gated: true}
+	case name == "p99_ms":
+		// The tail percentile of a short run is its sample max — reported
+		// (and calibrated) for the record, but chaos, not signal.
+		return gate{higherBetter: false, timing: true}
+	case strings.HasSuffix(name, "_ms"):
+		return gate{higherBetter: false, timing: true, gated: true}
+	case strings.HasSuffix(name, "_acc") || strings.HasPrefix(name, "acc_"):
+		return gate{higherBetter: true, absolute: true, gated: true}
+	}
+	return gate{}
+}
+
+// MetricDelta is one compared field.
+type MetricDelta struct {
+	Scenario string
+	Metric   string
+	Old, New float64
+	// ChangePct is the signed change after host normalization: positive
+	// means the metric increased. For absolute-gated metrics it is the raw
+	// delta ×100 (points).
+	ChangePct float64
+	Gated     bool
+	Regressed bool
+}
+
+// DiffResult is the full field-by-field comparison.
+type DiffResult struct {
+	Deltas []MetricDelta
+	// Problems are failures that are not a single metric's movement:
+	// incompatible provenance, digest changes, vanished scenarios or
+	// metrics.
+	Problems []string
+}
+
+// Regressed reports whether the diff must fail the gate.
+func (d DiffResult) Regressed() bool {
+	if len(d.Problems) > 0 {
+		return true
+	}
+	for _, m := range d.Deltas {
+		if m.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares two report sets field by field. Reports pair by scenario
+// id; a pair whose provenance describes incompatible configurations is
+// refused with an error (not a regression — the comparison itself is
+// invalid). A scenario or gated metric present in old but missing in new is
+// a problem: coverage loss must not look like a pass.
+func Diff(oldReps, newReps []Report, opt DiffOptions) (DiffResult, error) {
+	if opt.ThresholdPct < 0 {
+		return DiffResult{}, fmt.Errorf("benchscenario: diff threshold %v must be >= 0", opt.ThresholdPct)
+	}
+	oldBy, err := indexReports(oldReps)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("benchscenario: old reports: %w", err)
+	}
+	newBy, err := indexReports(newReps)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("benchscenario: new reports: %w", err)
+	}
+
+	var res DiffResult
+	for _, name := range sortedScenarioNames(oldBy, newBy) {
+		o, haveOld := oldBy[name]
+		n, haveNew := newBy[name]
+		switch {
+		case !haveNew:
+			res.Problems = append(res.Problems, fmt.Sprintf("scenario %s: present in old report but missing from new — coverage lost", name))
+			continue
+		case !haveOld:
+			res.Problems = append(res.Problems, fmt.Sprintf("scenario %s: new scenario with no baseline — refresh the baseline to cover it", name))
+			continue
+		}
+		if err := o.Provenance.CompatibleWith(n.Provenance); err != nil {
+			return DiffResult{}, fmt.Errorf("benchscenario: scenario %s: refusing to compare: %w", name, err)
+		}
+		if o.Digest != "" && n.Digest != "" && o.Digest != n.Digest {
+			res.Problems = append(res.Problems, fmt.Sprintf(
+				"scenario %s: output digest changed %s → %s — bit-identity broke (if intentional, refresh the baseline)",
+				name, o.Digest, n.Digest))
+		}
+		diffMetrics(name, o, n, opt, &res)
+	}
+	return res, nil
+}
+
+func diffMetrics(scenario string, o, n Report, opt DiffOptions, res *DiffResult) {
+	// The calibration ratio rescales the old report's timing metrics into
+	// the new host's units. Missing calibration (hand-written fixtures, old
+	// artifacts) degrades to raw comparison.
+	calib := 1.0
+	if o.Provenance.CalibMFLOPS > 0 && n.Provenance.CalibMFLOPS > 0 {
+		calib = n.Provenance.CalibMFLOPS / o.Provenance.CalibMFLOPS
+	}
+	for _, metric := range sortedMetricNames(o.Metrics, n.Metrics) {
+		ov, haveOld := o.Metrics[metric]
+		nv, haveNew := n.Metrics[metric]
+		g := metricGate(metric)
+		// An overload run's shed fraction depends on scheduler timing, not
+		// code quality; the pattern is in provenance precisely so the differ
+		// can report it without flaking the gate on it.
+		if metric == "error_rate" && o.Provenance.Pattern == PatternOverload {
+			g.gated = false
+		}
+		switch {
+		case !haveNew:
+			if g.gated {
+				res.Problems = append(res.Problems, fmt.Sprintf("scenario %s: gated metric %s vanished from the new report", scenario, metric))
+			}
+			continue
+		case !haveOld:
+			res.Deltas = append(res.Deltas, MetricDelta{Scenario: scenario, Metric: metric, New: nv})
+			continue
+		}
+		d := MetricDelta{Scenario: scenario, Metric: metric, Old: ov, New: nv, Gated: g.gated}
+		base := ov
+		if g.timing {
+			// Normalize: what the old value "would have measured" on the
+			// new host. Throughput scales with host speed; latency
+			// inversely.
+			if g.higherBetter {
+				base = ov * calib
+			} else {
+				base = ov / calib
+			}
+		}
+		if g.absolute {
+			d.ChangePct = (nv - ov) * 100
+		} else if base != 0 {
+			d.ChangePct = (nv - base) / base * 100
+		} else if nv != 0 {
+			d.ChangePct = 100
+		}
+		if g.gated {
+			bad := d.ChangePct
+			if g.higherBetter {
+				bad = -bad
+			}
+			eff := opt.ThresholdPct
+			if !g.absolute {
+				// Each run measured its own repeat spread; the comparison
+				// cannot resolve changes finer than the noisier side. For
+				// throughput the widening is capped so the gate still
+				// catches a catastrophic regression on a junk host; for
+				// latency it is not — a real regression shifts every
+				// repeat, so it clears even a wide noise band, while a
+				// contended host's tail chaos does not.
+				widen := math.Max(o.Noise[metric], n.Noise[metric]) * 100
+				if g.higherBetter && widen > noiseWidenCapPct {
+					widen = noiseWidenCapPct
+				}
+				eff += widen
+			}
+			d.Regressed = bad > eff
+			if d.Regressed && g.timing && !g.higherBetter && strings.HasSuffix(metric, "_ms") {
+				// Sub-millisecond latency jitter is below what a shared host
+				// can measure; a latency regression must also be one a human
+				// could notice.
+				d.Regressed = nv-base > latencyFloorMS
+			}
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+}
+
+func indexReports(reports []Report) (map[string]Report, error) {
+	by := map[string]Report{}
+	for _, r := range reports {
+		if r.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("report %q has schema v%d, this tool speaks v%d", r.Provenance.Scenario, r.SchemaVersion, SchemaVersion)
+		}
+		if r.Provenance.Scenario == "" {
+			return nil, fmt.Errorf("report without provenance.scenario")
+		}
+		if _, dup := by[r.Provenance.Scenario]; dup {
+			return nil, fmt.Errorf("duplicate report for scenario %q", r.Provenance.Scenario)
+		}
+		by[r.Provenance.Scenario] = r
+	}
+	return by, nil
+}
+
+func sortedScenarioNames(a, b map[string]Report) []string {
+	seen := map[string]bool{}
+	var names []string
+	collect := func(m map[string]Report) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	collect(a)
+	collect(b)
+	sort.Strings(names)
+	return names
+}
+
+func sortedMetricNames(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	names := make([]string, 0, len(seen))
+	for k := range seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render formats the diff as an aligned, deterministic listing — the
+// CI job's log output.
+func (d DiffResult) Render() string {
+	var sb strings.Builder
+	last := ""
+	for _, m := range d.Deltas {
+		if m.Scenario != last {
+			fmt.Fprintf(&sb, "%s\n", m.Scenario)
+			last = m.Scenario
+		}
+		verdict := ""
+		switch {
+		case m.Regressed:
+			verdict = "REGRESSED"
+		case !m.Gated:
+			verdict = "(info)"
+		}
+		fmt.Fprintf(&sb, "  %-24s %14.4f -> %14.4f  %+8.2f%%  %s\n", m.Metric, m.Old, m.New, m.ChangePct, verdict)
+	}
+	for _, p := range d.Problems {
+		fmt.Fprintf(&sb, "PROBLEM: %s\n", p)
+	}
+	return sb.String()
+}

@@ -1,0 +1,341 @@
+package benchscenario
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkRep builds a well-formed report for one scenario with matching config
+// provenance, so diff tests only vary what they mean to vary.
+func mkRep(scenario string, calib float64, digest string, metrics map[string]float64) Report {
+	return Report{
+		SchemaVersion: SchemaVersion,
+		Provenance: Provenance{
+			Scenario: scenario, Kind: KindServe, Network: "tiny-mlp",
+			Seed: 1, Workers: 1, Replicas: 2, MaxBatch: 4,
+			CalibMFLOPS: calib,
+		},
+		Metrics: metrics,
+		Digest:  digest,
+	}
+}
+
+func diffOne(t *testing.T, oldRep, newRep Report, threshold float64) DiffResult {
+	t.Helper()
+	res, err := Diff([]Report{oldRep}, []Report{newRep}, DiffOptions{ThresholdPct: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDiffInjectedRegression is the gate's core promise: a 20% throughput
+// drop fails a 15% threshold, and 5% noise does not.
+func TestDiffInjectedRegression(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"rps": 100})
+
+	res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"rps": 80}), 15)
+	if !res.Regressed() {
+		t.Fatal("20%% rps drop passed a 15%% gate")
+	}
+	if len(res.Deltas) != 1 || !res.Deltas[0].Regressed || res.Deltas[0].Metric != "rps" {
+		t.Fatalf("deltas = %+v, want rps regressed", res.Deltas)
+	}
+	if !strings.Contains(res.Render(), "REGRESSED") {
+		t.Fatalf("Render() does not flag the regression:\n%s", res.Render())
+	}
+
+	if res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"rps": 95}), 15); res.Regressed() {
+		t.Fatalf("5%% noise failed a 15%% gate: %+v", res.Deltas)
+	}
+	// Improvements never regress, however large.
+	if res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"rps": 500}), 15); res.Regressed() {
+		t.Fatal("a 5x speedup was reported as a regression")
+	}
+}
+
+func TestDiffLatencyIsLowerBetter(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"p90_ms": 10})
+	if res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"p90_ms": 12}), 15); !res.Regressed() {
+		t.Fatal("20%% latency increase passed a 15%% gate")
+	}
+	if res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"p90_ms": 5}), 15); res.Regressed() {
+		t.Fatal("a latency improvement was reported as a regression")
+	}
+}
+
+// TestDiffTailPercentileIsInformational: p99 of a short run is its sample
+// max; it is reported but never gates, no matter how far it moves.
+func TestDiffTailPercentileIsInformational(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"p99_ms": 1})
+	res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"p99_ms": 50}), 15)
+	if res.Regressed() {
+		t.Fatalf("p99 gated: %+v", res.Deltas)
+	}
+	if len(res.Deltas) != 1 || res.Deltas[0].Gated {
+		t.Fatalf("p99 delta not reported as informational: %+v", res.Deltas)
+	}
+}
+
+// TestDiffHostCalibration: the new host is half as fast (calib 200 -> 100),
+// so raw rps falling 45% is actually a 10% improvement per unit of host
+// speed, and latency nearly doubling is within budget.
+func TestDiffHostCalibration(t *testing.T) {
+	oldRep := mkRep("s", 200, "", map[string]float64{"rps": 100, "p50_ms": 10})
+	newRep := mkRep("s", 100, "", map[string]float64{"rps": 55, "p50_ms": 18})
+	res := diffOne(t, oldRep, newRep, 15)
+	if res.Regressed() {
+		t.Fatalf("host-speed change was mistaken for a code regression: %+v", res.Deltas)
+	}
+	// Without calibration the same numbers must fail: that is the flake the
+	// calibration exists to kill.
+	oldRep.Provenance.CalibMFLOPS = 0
+	newRep.Provenance.CalibMFLOPS = 0
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("uncalibrated 45%% drop passed — calibration test is vacuous")
+	}
+}
+
+// TestDiffNoiseWidensTimingGate: each report carries its measured repeat
+// spread; the gate cannot resolve changes finer than the combined noise.
+func TestDiffNoiseWidensTimingGate(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"rps": 100})
+	newRep := mkRep("s", 100, "", map[string]float64{"rps": 70})
+	oldRep.Noise = map[string]float64{"rps": 0.20}
+	newRep.Noise = map[string]float64{"rps": 0.15}
+	// -30% against 15% + max(20%, 15%) noise = 35% effective: passes.
+	if res := diffOne(t, oldRep, newRep, 15); res.Regressed() {
+		t.Fatalf("drop within measurement noise failed the gate: %+v", res.Deltas)
+	}
+	// -40% exceeds even the widened gate.
+	newRep.Metrics["rps"] = 60
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("40%% drop passed a 35%% effective gate")
+	}
+	// Absurd noise is capped: the gate never widens past threshold+30, so a
+	// halving of throughput fails no matter how junky the host.
+	oldRep.Noise = map[string]float64{"rps": 5.0}
+	newRep.Noise = map[string]float64{"rps": 5.0}
+	newRep.Metrics["rps"] = 50
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("catastrophic regression hidden by uncapped noise widening")
+	}
+	// Latency widening is uncapped: a real regression shifts every repeat
+	// and clears any band, while tail chaos on a contended host does not.
+	oldRep = mkRep("s", 100, "", map[string]float64{"p90_ms": 4})
+	newRep = mkRep("s", 100, "", map[string]float64{"p90_ms": 7})
+	oldRep.Noise = map[string]float64{"p90_ms": 0.70}
+	newRep.Noise = map[string]float64{"p90_ms": 0.10}
+	if res := diffOne(t, oldRep, newRep, 15); res.Regressed() {
+		t.Fatalf("+75%% within a measured 70%% latency spread failed the gate: %+v", res.Deltas)
+	}
+	// speedup is a ratio of two timed passes, so its recorded noise widens
+	// its gate too.
+	oldRep = mkRep("s", 100, "", map[string]float64{"speedup": 1.85})
+	newRep = mkRep("s", 100, "", map[string]float64{"speedup": 1.48})
+	oldRep.Noise = map[string]float64{"speedup": 0.12}
+	newRep.Noise = map[string]float64{"speedup": 0.10}
+	if res := diffOne(t, oldRep, newRep, 15); res.Regressed() {
+		t.Fatalf("-20%% within 15+12 noise-widened speedup gate failed: %+v", res.Deltas)
+	}
+	// Noise never widens non-timing gates: error_rate stays exact.
+	oldRep = mkRep("s", 100, "", map[string]float64{"error_rate": 0})
+	newRep = mkRep("s", 100, "", map[string]float64{"error_rate": 0.3})
+	oldRep.Noise = map[string]float64{"error_rate": 0.5}
+	newRep.Noise = map[string]float64{"error_rate": 0.5}
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("noise widened an absolute gate")
+	}
+}
+
+// TestDiffLatencyFloor: a relative latency blow-up that moves less than 1ms
+// in absolute terms is scheduler jitter, not a regression.
+func TestDiffLatencyFloor(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"p50_ms": 0.20})
+	newRep := mkRep("s", 100, "", map[string]float64{"p50_ms": 0.35})
+	if res := diffOne(t, oldRep, newRep, 15); res.Regressed() {
+		t.Fatalf("+0.15ms of jitter failed the gate: %+v", res.Deltas)
+	}
+	// The same +75%% at millisecond scale is real.
+	oldRep.Metrics["p50_ms"] = 2.0
+	newRep.Metrics["p50_ms"] = 3.5
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("+1.5ms latency regression passed")
+	}
+}
+
+func TestDiffSpeedupIsNotCalibrated(t *testing.T) {
+	// speedup is a same-host ratio; a calib difference must not rescale it.
+	oldRep := mkRep("s", 200, "", map[string]float64{"speedup": 2.0})
+	newRep := mkRep("s", 100, "", map[string]float64{"speedup": 1.5})
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("25%% speedup drop passed a 15%% gate")
+	}
+}
+
+func TestDiffErrorRateIsAbsolute(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"error_rate": 0.05})
+	// +20 points regresses a 15-point budget...
+	if res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"error_rate": 0.25}), 15); !res.Regressed() {
+		t.Fatal("+20pt error rate passed a 15pt gate")
+	}
+	// ...but +10 points does not, even though it is a 200% relative change.
+	if res := diffOne(t, oldRep, mkRep("s", 100, "", map[string]float64{"error_rate": 0.15}), 15); res.Regressed() {
+		t.Fatal("+10pt error rate failed a 15pt gate (relative gating leaked in)")
+	}
+}
+
+// TestDiffOverloadErrorRateUngated: an overload run's shed fraction swings
+// with scheduler timing, so the differ reports it without gating it — but
+// only when provenance says the pattern was overload.
+func TestDiffOverloadErrorRateUngated(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"error_rate": 0.55})
+	newRep := mkRep("s", 100, "", map[string]float64{"error_rate": 0.90})
+	oldRep.Provenance.Pattern = PatternOverload
+	newRep.Provenance.Pattern = PatternOverload
+	if res := diffOne(t, oldRep, newRep, 15); res.Regressed() {
+		t.Fatalf("overload shed-fraction noise failed the gate: %+v", res.Deltas)
+	}
+	// The same movement under a no-shed pattern is a real regression.
+	oldRep.Provenance.Pattern = PatternSteady
+	newRep.Provenance.Pattern = PatternSteady
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("+35pt error rate under steady load passed the gate")
+	}
+}
+
+func TestDiffAccuracyGatedAbsolute(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"acc_remap_d1": 0.90, "baseline_acc": 0.92})
+	newRep := mkRep("s", 100, "", map[string]float64{"acc_remap_d1": 0.70, "baseline_acc": 0.92})
+	if res := diffOne(t, oldRep, newRep, 15); !res.Regressed() {
+		t.Fatal("-20pt accuracy passed a 15pt gate")
+	}
+}
+
+func TestDiffUngatedMetricIsInformational(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"queue_depth_peak": 3})
+	newRep := mkRep("s", 100, "", map[string]float64{"queue_depth_peak": 300})
+	res := diffOne(t, oldRep, newRep, 15)
+	if res.Regressed() {
+		t.Fatal("an ungated metric failed the gate")
+	}
+	if len(res.Deltas) != 1 || res.Deltas[0].Gated {
+		t.Fatalf("deltas = %+v, want one ungated delta", res.Deltas)
+	}
+}
+
+func TestDiffGatedMetricVanished(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"rps": 100, "note": 1})
+	newRep := mkRep("s", 100, "", map[string]float64{"note": 1})
+	res := diffOne(t, oldRep, newRep, 15)
+	if !res.Regressed() {
+		t.Fatal("losing a gated metric passed the gate")
+	}
+	if len(res.Problems) != 1 || !strings.Contains(res.Problems[0], "vanished") {
+		t.Fatalf("problems = %v, want a vanished-metric problem", res.Problems)
+	}
+}
+
+func TestDiffDigestChangeIsRegression(t *testing.T) {
+	oldRep := mkRep("s", 100, "aaaa", map[string]float64{"rps": 100})
+	newRep := mkRep("s", 100, "bbbb", map[string]float64{"rps": 100})
+	res := diffOne(t, oldRep, newRep, 15)
+	if !res.Regressed() || len(res.Problems) != 1 {
+		t.Fatalf("digest change did not fail the gate: %+v", res)
+	}
+}
+
+func TestDiffScenarioCoverage(t *testing.T) {
+	a := mkRep("alpha", 100, "", map[string]float64{"rps": 1})
+	b := mkRep("beta", 100, "", map[string]float64{"rps": 1})
+	// Scenario lost from the new run.
+	res, err := Diff([]Report{a, b}, []Report{a}, DiffOptions{ThresholdPct: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed() || !strings.Contains(strings.Join(res.Problems, "\n"), "coverage lost") {
+		t.Fatalf("losing scenario beta passed: %+v", res)
+	}
+	// Scenario with no baseline.
+	res, err = Diff([]Report{a}, []Report{a, b}, DiffOptions{ThresholdPct: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed() || !strings.Contains(strings.Join(res.Problems, "\n"), "refresh the baseline") {
+		t.Fatalf("unbaselined scenario beta passed silently: %+v", res)
+	}
+}
+
+func TestDiffRefusesIncompatibleProvenance(t *testing.T) {
+	oldRep := mkRep("s", 100, "", map[string]float64{"rps": 100})
+	newRep := mkRep("s", 100, "", map[string]float64{"rps": 100})
+	newRep.Provenance.Seed = 999
+	if _, err := Diff([]Report{oldRep}, []Report{newRep}, DiffOptions{ThresholdPct: 15}); err == nil || !strings.Contains(err.Error(), "provenance mismatch") {
+		t.Fatalf("Diff() = %v, want provenance-mismatch refusal", err)
+	}
+	// Build info differing is fine — that is the whole point of a diff.
+	newRep.Provenance.Seed = oldRep.Provenance.Seed
+	newRep.Provenance.Commit = "deadbeef"
+	if _, err := Diff([]Report{oldRep}, []Report{newRep}, DiffOptions{ThresholdPct: 15}); err != nil {
+		t.Fatalf("Diff() refused a commit change: %v", err)
+	}
+}
+
+func TestDiffRefusesBadInputs(t *testing.T) {
+	r := mkRep("s", 100, "", map[string]float64{"rps": 1})
+	if _, err := Diff([]Report{r}, []Report{r}, DiffOptions{ThresholdPct: -1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	stale := r
+	stale.SchemaVersion = SchemaVersion + 1
+	if _, err := Diff([]Report{stale}, []Report{r}, DiffOptions{ThresholdPct: 15}); err == nil {
+		t.Fatal("schema-version mismatch accepted")
+	}
+	if _, err := Diff([]Report{r, r}, []Report{r}, DiffOptions{ThresholdPct: 15}); err == nil {
+		t.Fatal("duplicate scenario reports accepted")
+	}
+}
+
+func TestReadReportsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	suite := Suite{SchemaVersion: SchemaVersion, Reports: []Report{
+		mkRep("alpha", 100, "aa", map[string]float64{"rps": 1}),
+		mkRep("beta", 100, "bb", map[string]float64{"rps": 2}),
+	}}
+	suitePath := filepath.Join(dir, "suite.json")
+	if err := suite.WriteFile(suitePath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReports(suitePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Provenance.Scenario != "alpha" || got[1].Digest != "bb" {
+		t.Fatalf("ReadReports(suite) = %+v", got)
+	}
+
+	// A single report file works too (per-scenario report.json).
+	repPath := filepath.Join(dir, "report.json")
+	if err := suite.Reports[0].WriteFile(repPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadReports(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Provenance.Scenario != "alpha" {
+		t.Fatalf("ReadReports(report) = %+v", got)
+	}
+
+	// Future schema versions are refused, not misread.
+	future := suite
+	future.SchemaVersion = SchemaVersion + 1
+	if err := future.WriteFile(suitePath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReports(suitePath); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("ReadReports(future schema) = %v, want schema refusal", err)
+	}
+}

@@ -1,0 +1,36 @@
+package benchscenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the scenario parser. The invariants:
+// never panic, and anything that parses must survive its own validation —
+// Parse is the only gate between a file and the runner, so an inconsistency
+// here would let a hostile scenario reach real compute.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(validServeJSON))
+	f.Add([]byte(validFaultJSON))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"name":`))
+	f.Add([]byte(`{"name": "x", "kind": "serve", "unknown": 1}`))
+	f.Add([]byte(`{"name": "x", "seed": -9223372036854775808, "workers": 1e9}`))
+	f.Add([]byte(`{"faults": {"densities": [1e308, -1e308]}}`))
+	f.Add([]byte(validServeJSON + validFaultJSON))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever Parse accepts must be idempotently valid and name-safe.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario that Validate rejects: %v", err)
+		}
+		if strings.ContainsAny(sc.Name, "/\\.") {
+			t.Fatalf("validated name %q contains path characters", sc.Name)
+		}
+	})
+}

@@ -1,0 +1,515 @@
+package benchscenario
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"pipelayer/internal/core"
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/energy"
+	"pipelayer/internal/experiments"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/parallel"
+	"pipelayer/internal/serve"
+	"pipelayer/internal/telemetry"
+	"pipelayer/internal/telemetry/flight"
+	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
+)
+
+// Options tunes one Run. The zero value is fully usable: build info and
+// calibration are collected on demand and the runner keeps its own
+// telemetry registry.
+type Options struct {
+	// Env carries the suite-wide build info + calibration so a multi-
+	// scenario run stamps every report identically; nil collects fresh.
+	Env *Env
+	// Metrics, when non-nil, receives the serve_* instruments instead of a
+	// private registry (the -smoke wrapper threads its -metrics registry
+	// through here).
+	Metrics *telemetry.Registry
+	// Flight/TraceDepth are forwarded to the measured (batched) server so a
+	// scenario run can leave a Perfetto trace behind.
+	Flight     *flight.Recorder
+	TraceDepth int
+	// Repeats is how many times the timed passes run; the fastest repeat is
+	// reported (0 means 1). Interference from a shared host only ever slows
+	// a run down, so best-of-k is the low-variance estimator of what the
+	// code can do — and the no-shed digest must agree across every repeat,
+	// which turns the repetition into a free determinism check.
+	Repeats int
+}
+
+// Run executes one scenario end to end — train, measure, scrape — and
+// returns its uniform report.
+func Run(sc Scenario, opt Options) (Report, error) {
+	if err := sc.Validate(); err != nil {
+		return Report{}, err
+	}
+	if opt.Env == nil {
+		env := CollectEnv()
+		opt.Env = &env
+	}
+	if sc.Workers > 0 {
+		prev := parallel.Workers()
+		parallel.SetWorkers(sc.Workers)
+		defer parallel.SetWorkers(prev)
+	}
+	switch sc.Kind {
+	case KindServe:
+		acc, test, err := trainAccelerator(sc)
+		if err != nil {
+			return Report{}, err
+		}
+		return RunServeOn(acc, test, sc, opt)
+	case KindFault:
+		return runFault(sc, *opt.Env), nil
+	}
+	return Report{}, fmt.Errorf("benchscenario: unknown kind %q", sc.Kind) // unreachable after Validate
+}
+
+// resolveNetwork maps a scenario's network name to its spec: the shared
+// testutil fixtures by their kebab names, or a servable evaluation network
+// case-insensitively.
+func resolveNetwork(name string) (networks.Spec, error) {
+	switch strings.ToLower(name) {
+	case "tiny-mlp":
+		return testutil.TinyMLP("tiny-mlp"), nil
+	case "tiny-deep-mlp":
+		return testutil.TinyDeepMLP("tiny-deep-mlp"), nil
+	case "tiny-cnn":
+		return testutil.TinyDeepCNN("tiny-cnn"), nil
+	}
+	for _, s := range []networks.Spec{networks.MnistA(), networks.MnistB(), networks.MnistC(), networks.Mnist0()} {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return networks.Spec{}, fmt.Errorf("unknown network %q (want tiny-mlp, tiny-deep-mlp, tiny-cnn, or a servable Mnist-* spec)", name)
+}
+
+// trainAccelerator builds and trains the scenario's machine, returning it
+// with the held-out samples that feed the load generator.
+func trainAccelerator(sc Scenario) (*core.Accelerator, []nn.Sample, error) {
+	spec, err := resolveNetwork(sc.Network)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchscenario: %w", err)
+	}
+	acc := core.New(energy.DefaultModel())
+	if err := acc.TopologySet(spec, 1); err != nil {
+		return nil, nil, fmt.Errorf("benchscenario: %w", err)
+	}
+	if err := acc.WeightLoad(nil, rand.New(rand.NewSource(sc.Seed))); err != nil {
+		return nil, nil, fmt.Errorf("benchscenario: %w", err)
+	}
+	flat := spec.Layers[0].Kind == mapping.KindFC
+	train, test := dataset.TrainTest(sc.Train.Images, sc.Train.TestImages, dataset.DefaultOptions(flat), sc.Seed)
+	for e := 0; e < sc.Train.Epochs; e++ {
+		if _, err := acc.Train(train, sc.Train.Batch, sc.Train.LR); err != nil {
+			return nil, nil, fmt.Errorf("benchscenario: train: %w", err)
+		}
+	}
+	return acc, test, nil
+}
+
+// RunServeOn measures a serve scenario against an already-trained machine.
+// It is the entry point pipelayer-serve's -smoke wraps, so the ad-hoc smoke
+// flags and the checked-in scenarios exercise the same runner and emit the
+// same schema. Only the serve/load halves of sc are consulted (and
+// re-validated): training already happened.
+func RunServeOn(acc *core.Accelerator, samples []nn.Sample, sc Scenario, opt Options) (Report, error) {
+	if sc.Serve == nil || sc.Load == nil {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: serve and load sections required", sc.Name)
+	}
+	if err := sc.Serve.validate(); err != nil {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+	}
+	effective := sc.Serve.ToConfig().WithDefaults()
+	if err := sc.Load.validate(effective); err != nil {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+	}
+	if len(samples) == 0 {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: no samples", sc.Name)
+	}
+	if opt.Env == nil {
+		env := CollectEnv()
+		opt.Env = &env
+	}
+	n := sc.Load.Requests
+	input := func(i int) *tensor.Tensor { return samples[i%len(samples)].Input }
+
+	// Bit-exact reference: one serial inference per distinct sample. Every
+	// accepted response — batched, replicated, overloaded or not — must
+	// match these bits; that is the repo's determinism contract, measured.
+	ref, err := referenceOutputs(acc, samples)
+	if err != nil {
+		return Report{}, err
+	}
+
+	repeats := opt.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+
+	metrics := map[string]float64{}
+	spread := newSpreadTracker()
+
+	if sc.Serve.CompareSerial {
+		bestSerial := 0.0
+		for r := 0; r < repeats; r++ {
+			serialRPS, err := runSerialPass(acc, ref, input, n)
+			if err != nil {
+				return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+			}
+			spread.observe("serial_rps", serialRPS)
+			if serialRPS > bestSerial {
+				bestSerial = serialRPS
+			}
+		}
+		metrics["serial_rps"] = bestSerial
+	}
+
+	// Each repeat gets a fresh server (and, unless the caller threaded a
+	// registry through, a fresh registry, so its percentiles describe that
+	// repeat alone). Timing metrics merge per metric across repeats — max
+	// for throughput, min for latency — because interference noise is
+	// one-sided per metric, not per run: the repeat with the best rps is not
+	// necessarily the one with the cleanest p99.
+	var best Report
+	digest := ""
+	for r := 0; r < repeats; r++ {
+		rep, runDigest, err := runBatchedPass(acc, ref, input, sc, opt, effective, metrics)
+		if err != nil {
+			return Report{}, err
+		}
+		if runDigest != "" {
+			if digest != "" && digest != runDigest {
+				return Report{}, fmt.Errorf("benchscenario: scenario %s: repeats produced different digests %s vs %s — determinism broke", sc.Name, digest, runDigest)
+			}
+			digest = runDigest
+		}
+		spread.observe("rps", rep.Metrics["rps"])
+		for _, q := range []string{"p50_ms", "p90_ms", "p99_ms"} {
+			spread.observe(q, rep.Metrics[q])
+		}
+		if r == 0 {
+			best = rep
+			continue
+		}
+		if rep.Metrics["rps"] > best.Metrics["rps"] {
+			// Non-timing fields (error_rate, telemetry) follow the cleanest
+			// throughput measurement.
+			best.Metrics["rps"] = rep.Metrics["rps"]
+			best.Metrics["error_rate"] = rep.Metrics["error_rate"]
+			best.Telemetry = rep.Telemetry
+		}
+		for _, q := range []string{"p50_ms", "p90_ms", "p99_ms"} {
+			if rep.Metrics[q] < best.Metrics[q] {
+				best.Metrics[q] = rep.Metrics[q]
+			}
+		}
+	}
+	if s, ok := best.Metrics["serial_rps"]; ok && s > 0 {
+		best.Metrics["speedup"] = best.Metrics["rps"] / s
+	}
+	best.Digest = digest
+	best.Noise = spread.noise()
+	// speedup inherits both of its operands' uncertainties.
+	if _, ok := best.Metrics["speedup"]; ok {
+		best.Noise["speedup"] = best.Noise["rps"] + best.Noise["serial_rps"]
+	}
+	return best, nil
+}
+
+// spreadTracker accumulates per-metric min/max over repeated measurements to
+// quantify how noisy this run of the benchmark actually was.
+type spreadTracker struct {
+	min, max map[string]float64
+}
+
+func newSpreadTracker() *spreadTracker {
+	return &spreadTracker{min: map[string]float64{}, max: map[string]float64{}}
+}
+
+func (s *spreadTracker) observe(metric string, v float64) {
+	if lo, ok := s.min[metric]; !ok || v < lo {
+		s.min[metric] = v
+	}
+	if hi, ok := s.max[metric]; !ok || v > hi {
+		s.max[metric] = v
+	}
+}
+
+// noise reports each observed metric's (max-min)/max. A single repeat yields
+// zeros: one sample has no measurable spread (the differ then gates at the
+// bare threshold, exactly the pre-noise behavior).
+func (s *spreadTracker) noise() map[string]float64 {
+	out := map[string]float64{}
+	for metric, hi := range s.max {
+		if hi > 0 {
+			out[metric] = (hi - s.min[metric]) / hi
+		}
+	}
+	return out
+}
+
+// runBatchedPass is one timed measurement of the batching server under the
+// scenario's load: verify every accepted response against the reference,
+// then assemble the uniform report. The digest is returned separately so the
+// repeat loop can cross-check it; base carries pre-measured metrics
+// (serial_rps) into the report.
+func runBatchedPass(acc *core.Accelerator, ref []refOutput, input func(int) *tensor.Tensor, sc Scenario, opt Options, effective serve.Config, base map[string]float64) (Report, string, error) {
+	n := sc.Load.Requests
+	reg := opt.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	cfg := effective
+	cfg.Metrics = reg
+	cfg.Flight = opt.Flight
+	cfg.TraceDepth = opt.TraceDepth
+	srv, err := serve.New(acc, cfg)
+	if err != nil {
+		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+	}
+	results, errs, elapsed := fire(srv, input, n, sc.Load.lanes())
+	if err := srv.Close(); err != nil {
+		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: close: %w", sc.Name, err)
+	}
+
+	shed := 0
+	accepted := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case errs[i] == nil:
+			accepted++
+			want := ref[i%len(ref)]
+			if results[i].Class != want.class || !equalBits(results[i].Scores, want.scores) {
+				return Report{}, "", fmt.Errorf("benchscenario: scenario %s: request %d diverged from the serial reference", sc.Name, i)
+			}
+		case sc.Load.Pattern == PatternOverload && errors.Is(errs[i], serve.ErrOverloaded):
+			shed++
+		default:
+			return Report{}, "", fmt.Errorf("benchscenario: scenario %s: request %d: %w", sc.Name, i, errs[i])
+		}
+	}
+	if accepted == 0 {
+		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: every request was shed", sc.Name)
+	}
+	if sc.Load.Pattern == PatternOverload && shed == 0 {
+		// An overload scenario that never overloads is measuring the wrong
+		// thing; its config needs more lanes or a smaller queue.
+		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: overload pattern shed nothing — not actually overloaded", sc.Name)
+	}
+
+	metrics := map[string]float64{}
+	for k, v := range base {
+		metrics[k] = v
+	}
+	metrics["rps"] = float64(accepted) / elapsed.Seconds()
+	metrics["error_rate"] = float64(shed) / float64(n)
+	if s, ok := metrics["serial_rps"]; ok && s > 0 {
+		metrics["speedup"] = metrics["rps"] / s
+	}
+	hist, ok := reg.Snapshot().Histograms["serve_request_latency_seconds"]
+	if !ok {
+		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: serve_request_latency_seconds not registered", sc.Name)
+	}
+	metrics["p50_ms"] = hist.Quantile(0.50) * 1e3
+	metrics["p90_ms"] = hist.Quantile(0.90) * 1e3
+	metrics["p99_ms"] = hist.Quantile(0.99) * 1e3
+
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		Provenance:    provenanceFor(sc, *opt.Env, effective),
+		Metrics:       metrics,
+		Telemetry:     reg.Snapshot().ScrapeCounters("serve_"),
+	}
+	// The digest only exists when the run is closed under determinism: an
+	// overload pattern sheds a timing-dependent subset, so its output set
+	// is not comparable bit-for-bit across runs.
+	digest := ""
+	if sc.Load.Pattern != PatternOverload {
+		digest = digestResults(results)
+	}
+	return rep, digest, nil
+}
+
+type refOutput struct {
+	scores *tensor.Tensor
+	class  int
+}
+
+func referenceOutputs(acc *core.Accelerator, samples []nn.Sample) ([]refOutput, error) {
+	rep, err := acc.NewReplica()
+	if err != nil {
+		return nil, fmt.Errorf("benchscenario: reference replica: %w", err)
+	}
+	out := make([]refOutput, len(samples))
+	for i, sm := range samples {
+		y := rep.Infer(sm.Input)
+		_, class := y.Max()
+		out[i] = refOutput{scores: y, class: class}
+	}
+	return out, nil
+}
+
+// runSerialPass pushes all n requests one at a time through a batch-of-1
+// server, verifying bit-identity against the reference, and returns the
+// serial throughput — the denominator of the batched-vs-serial speedup.
+func runSerialPass(acc *core.Accelerator, ref []refOutput, input func(int) *tensor.Tensor, n int) (float64, error) {
+	srv, err := serve.New(acc, serve.Config{Replicas: 1, MaxBatch: 1, QueueCap: 32})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		r, err := srv.Predict(ctx, input(i))
+		if err != nil {
+			return 0, fmt.Errorf("serial request %d: %w", i, err)
+		}
+		want := ref[i%len(ref)]
+		if r.Class != want.class || !equalBits(r.Scores, want.scores) {
+			return 0, fmt.Errorf("serial request %d diverged from the reference replica", i)
+		}
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// fire drives the closed-loop load: `lanes` concurrent lanes each issue its
+// share of the n requests back to back, so at most `lanes` requests are
+// outstanding at any instant (for burst, lanes == n — everything at once).
+// Results and errors land at the request's index; timing covers first send
+// to last response.
+func fire(srv *serve.Server, input func(int) *tensor.Tensor, n, lanes int) ([]serve.Result, []error, time.Duration) {
+	if lanes > n {
+		lanes = n
+	}
+	results := make([]serve.Result, n)
+	errs := make([]error, n)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	// All lanes arm before any fires: without the barrier, the server can
+	// drain the early lanes' requests while later lanes are still being
+	// spawned, so "concurrency 64" quietly degrades into a ramp.
+	release := make(chan struct{})
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		//pipelayer:allow-spawn bounded load-generator fan-out (≤ validated lane cap), joined right below before any result is read
+		go func(lane int) {
+			defer wg.Done()
+			<-release
+			for i := lane; i < n; i += lanes {
+				results[i], errs[i] = srv.Predict(ctx, input(i))
+			}
+		}(lane)
+	}
+	start := time.Now()
+	close(release)
+	wg.Wait()
+	return results, errs, time.Since(start)
+}
+
+// runFault executes the fault-density sweep and flattens it into the
+// uniform metric map: baseline_acc plus acc_<mode>_d<i> per (tolerance
+// mode, density index). All of these are deterministic given the seed, so
+// the whole report is digest-gated.
+func runFault(sc Scenario, env Env) Report {
+	cfg := experiments.FaultSweepConfig{
+		TrainSamples: sc.Train.Images,
+		TestSamples:  sc.Train.TestImages,
+		Epochs:       sc.Train.Epochs,
+		Batch:        sc.Train.Batch,
+		LearningRate: sc.Train.LR,
+		Hidden:       32,
+		Seed:         sc.Seed,
+		Densities:    sc.Faults.Densities,
+		Spares:       sc.Faults.Spares,
+		Drift:        sc.Faults.Drift,
+		Refresh:      sc.Faults.Refresh,
+	}
+	res := experiments.FaultSweep(cfg)
+
+	metrics := map[string]float64{"baseline_acc": res.BaselineAcc}
+	h := fnv.New64a()
+	hashFloat(h, res.BaselineAcc)
+	for _, row := range res.Rows {
+		mode := sanitizeMetric(row.Mode)
+		for di, acc := range row.Accuracies {
+			metrics[fmt.Sprintf("acc_%s_d%d", mode, di)] = acc
+			hashFloat(h, acc)
+		}
+	}
+	return Report{
+		SchemaVersion: SchemaVersion,
+		Provenance:    provenanceFor(sc, env, serve.Config{}),
+		Metrics:       metrics,
+		Digest:        fmt.Sprintf("%016x", h.Sum64()),
+	}
+}
+
+// provenanceFor stamps the report with the scenario's identity, the
+// *effective* serving shape, and the suite environment.
+func provenanceFor(sc Scenario, env Env, effective serve.Config) Provenance {
+	p := Provenance{
+		Scenario:    sc.Name,
+		Kind:        sc.Kind,
+		Network:     sc.Network,
+		Seed:        sc.Seed,
+		Workers:     parallel.Workers(),
+		BuildInfo:   env.Build,
+		CalibMFLOPS: env.CalibMFLOPS,
+	}
+	if sc.Kind == KindServe {
+		p.Replicas = effective.Replicas
+		p.MaxBatch = effective.MaxBatch
+		p.Pattern = sc.Load.Pattern
+	}
+	return p
+}
+
+func equalBits(a, b *tensor.Tensor) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// digestResults fingerprints the responses' exact bits in request order:
+// FNV-1a over each class and every score's IEEE-754 representation.
+func digestResults(results []serve.Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range results {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.Class))
+		h.Write(buf[:])
+		for i := 0; i < r.Scores.Size(); i++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.Scores.At(i)))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func hashFloat(h interface{ Write([]byte) (int, error) }, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
+}

@@ -1,0 +1,172 @@
+package benchscenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// microServe is a scenario small enough to train and load-test in well under
+// a second, with compare_serial on so every serve metric is exercised.
+func microServe() Scenario {
+	return Scenario{
+		Name: "micro-serve", Kind: KindServe, Network: "tiny-mlp",
+		Seed: 7, Workers: 1,
+		Train: TrainSpec{Images: 24, TestImages: 8, Epochs: 1, Batch: 8, LR: 0.1},
+		Serve: &ServeSpec{Replicas: 2, MaxBatch: 4, Queue: 64, CompareSerial: true},
+		Load:  &LoadSpec{Pattern: PatternSteady, Requests: 24, Concurrency: 6},
+	}
+}
+
+// testEnv skips the ~30ms calibration burn per Run.
+func testEnv() *Env {
+	return &Env{CalibMFLOPS: 1}
+}
+
+func TestRunServeScenarioDeterministic(t *testing.T) {
+	sc := microServe()
+	rep1, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep1.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep1.SchemaVersion, SchemaVersion)
+	}
+	if rep1.Digest == "" {
+		t.Fatal("no-shed serve run emitted no digest")
+	}
+	if rep1.Digest != rep2.Digest {
+		t.Fatalf("same scenario, different digests: %s vs %s — determinism broke", rep1.Digest, rep2.Digest)
+	}
+	for _, m := range []string{"rps", "serial_rps", "speedup", "error_rate", "p50_ms", "p90_ms", "p99_ms"} {
+		if _, ok := rep1.Metrics[m]; !ok {
+			t.Fatalf("metric %s missing from report: %v", m, rep1.Metrics)
+		}
+	}
+	if rep1.Metrics["error_rate"] != 0 {
+		t.Fatalf("steady pattern shed requests: error_rate = %v", rep1.Metrics["error_rate"])
+	}
+	if rep1.Metrics["rps"] <= 0 || rep1.Metrics["p99_ms"] <= 0 {
+		t.Fatalf("degenerate timings: %v", rep1.Metrics)
+	}
+
+	p := rep1.Provenance
+	if p.Scenario != "micro-serve" || p.Kind != KindServe || p.Seed != 7 || p.Workers != 1 {
+		t.Fatalf("provenance = %+v", p)
+	}
+	// Effective (defaulted) serving shape, not the raw spec.
+	if p.Replicas != 2 || p.MaxBatch != 4 {
+		t.Fatalf("provenance serving shape = replicas=%d max_batch=%d", p.Replicas, p.MaxBatch)
+	}
+	if len(rep1.Telemetry) == 0 {
+		t.Fatal("no serve_* telemetry scraped")
+	}
+	for name := range rep1.Telemetry {
+		if !strings.HasPrefix(name, "serve_") {
+			t.Fatalf("non-serve counter %q leaked into the report", name)
+		}
+	}
+}
+
+// TestRunServeDigestStableAcrossWorkers pins the repo's core contract into
+// the benchmark harness: the output digest must be bit-identical at any
+// worker-pool size, so only the provenance (which records the pool) differs.
+func TestRunServeDigestStableAcrossWorkers(t *testing.T) {
+	sc := microServe()
+	sc.Serve.CompareSerial = false // halve the runtime; digest is the point here
+
+	sc.Workers = 1
+	rep1, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Workers = 2
+	rep2, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Digest != rep2.Digest {
+		t.Fatalf("digest differs across worker counts: %s (w=1) vs %s (w=2)", rep1.Digest, rep2.Digest)
+	}
+	if rep1.Provenance.Workers != 1 || rep2.Provenance.Workers != 2 {
+		t.Fatalf("provenance workers = %d, %d; want 1, 2", rep1.Provenance.Workers, rep2.Provenance.Workers)
+	}
+}
+
+func TestRunOverloadScenario(t *testing.T) {
+	sc := microServe()
+	sc.Name = "micro-overload"
+	sc.Serve.CompareSerial = false
+	// Structurally saturating: 64 lanes against ~6 slots of effective
+	// capacity, so shedding is certain, not a scheduler coin flip. Workers
+	// must be >1: a pool of 1 on a single-core host round-robins so politely
+	// that the queue never fills (same reason the checked-in scenario pins 2).
+	sc.Workers = 2
+	sc.Serve = &ServeSpec{Replicas: 1, MaxBatch: 2, Queue: 2}
+	sc.Load = &LoadSpec{Pattern: PatternOverload, Requests: 512, Concurrency: 64}
+
+	rep, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shedding is the scenario's purpose; the shed fraction is reported, not
+	// fatal. The shed subset is timing-dependent, so no digest is emitted.
+	if rep.Digest != "" {
+		t.Fatalf("overload run emitted digest %s; shed subsets are not comparable", rep.Digest)
+	}
+	er, ok := rep.Metrics["error_rate"]
+	if !ok {
+		t.Fatal("overload report missing error_rate")
+	}
+	if !(er > 0 && er < 1) {
+		t.Fatalf("error_rate = %v, want (0,1): overload must shed some and accept some", er)
+	}
+	if rep.Provenance.Pattern != PatternOverload {
+		t.Fatalf("provenance pattern = %q, want %q", rep.Provenance.Pattern, PatternOverload)
+	}
+}
+
+func TestRunFaultScenario(t *testing.T) {
+	sc := Scenario{
+		Name: "micro-fault", Kind: KindFault, Network: "tiny-mlp",
+		Seed: 11, Workers: 1,
+		Train:  TrainSpec{Images: 16, TestImages: 8, Epochs: 1, Batch: 8, LR: 0.08},
+		Faults: &FaultSpec{Densities: []float64{0, 0.001}, Spares: 4},
+	}
+	rep, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest == "" {
+		t.Fatal("fault sweep is deterministic but emitted no digest")
+	}
+	if _, ok := rep.Metrics["baseline_acc"]; !ok {
+		t.Fatalf("no baseline_acc in %v", rep.Metrics)
+	}
+	// 3 tolerance modes × 2 densities, each flattened to acc_<mode>_d<i>.
+	for _, m := range []string{"acc_none_d0", "acc_remap_d1", "acc_remap_degrade_d0"} {
+		if _, ok := rep.Metrics[m]; !ok {
+			t.Fatalf("metric %s missing from %v", m, rep.Metrics)
+		}
+	}
+	// Density 0 with the injector attached must equal the injector-free
+	// baseline bit-for-bit — the fault path is inert at density 0.
+	if rep.Metrics["acc_none_d0"] != rep.Metrics["baseline_acc"] {
+		t.Fatalf("density-0 accuracy %v != baseline %v", rep.Metrics["acc_none_d0"], rep.Metrics["baseline_acc"])
+	}
+	if rep.Provenance.Kind != KindFault || rep.Provenance.Replicas != 0 {
+		t.Fatalf("provenance = %+v", rep.Provenance)
+	}
+}
+
+func TestRunRejectsInvalidScenario(t *testing.T) {
+	sc := microServe()
+	sc.Kind = "turbo"
+	if _, err := Run(sc, Options{Env: testEnv()}); err == nil {
+		t.Fatal("Run() accepted an invalid scenario")
+	}
+}

@@ -1,0 +1,397 @@
+// Package benchscenario is the declarative scenario-benchmark harness:
+// checked-in scenario directories (benchmarks/scenarios/<name>/scenario.json)
+// describe points in the sweep space PipeLayer's claims live in — network ×
+// batch size × fault density × worker count × replica count × load pattern,
+// including sustained overload — and one runner executes them against the
+// real serve/train/fault paths, emitting a uniform report schema with full
+// provenance (scenario id, commit, go version, timestamp, effective config).
+//
+// The companion differ compares two reports field-by-field, normalizes
+// timing metrics by a per-host calibration constant so same-commit runs on
+// different machines stay comparable, refuses reports whose provenance
+// describes incompatible configurations, and fails on any gated metric that
+// regresses beyond a threshold — which is what lets CI turn "measurably
+// faster" claims into an enforced gate instead of an anecdote.
+package benchscenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"pipelayer/internal/serve"
+)
+
+// Scenario kinds: which execution path the runner drives.
+const (
+	// KindServe trains a network and load-tests the batching inference
+	// server with the configured pattern.
+	KindServe = "serve"
+	// KindFault runs the accuracy-vs-fault-density sweep (deterministic:
+	// its gated metrics are accuracies, not timings).
+	KindFault = "fault"
+)
+
+// Load patterns for KindServe scenarios.
+const (
+	// PatternSteady fires Requests total from Concurrency closed-loop lanes;
+	// the queue must absorb the lanes, so nothing is shed and every
+	// response is digest-checked.
+	PatternSteady = "steady"
+	// PatternBurst fires all Requests concurrently at once; the queue must
+	// hold the whole burst, so nothing is shed.
+	PatternBurst = "burst"
+	// PatternOverload fires Requests from Concurrency closed-loop lanes into
+	// a deliberately undersized queue: ErrOverloaded sheds are expected,
+	// counted into error_rate, and every *accepted* response is still
+	// verified bit-identical to the serial reference.
+	PatternOverload = "overload"
+)
+
+// Scenario is one checked-in benchmark definition. JSON decoding is strict:
+// unknown fields are rejected so a typoed knob can never silently become a
+// no-op benchmark.
+type Scenario struct {
+	// Name must equal the scenario directory's base name (lower-case
+	// letters, digits, dashes) and becomes the report's scenario id.
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Kind selects the execution path: KindServe or KindFault.
+	Kind string `json:"kind"`
+	// Network names the topology: tiny-mlp / tiny-deep-mlp / tiny-cnn
+	// (the shared testutil fixtures) or a servable evaluation network
+	// (Mnist-A, Mnist-B, Mnist-C, Mnist-0).
+	Network string `json:"network"`
+	// Seed feeds weight init and the synthetic dataset; a fixed seed is
+	// what makes the digest reproducible across runs and hosts.
+	Seed int64 `json:"seed"`
+	// Workers pins the parallel compute backend's pool size for the run
+	// (0 keeps the process default). Pinning it is what makes provenance
+	// comparable across hosts with different core counts.
+	Workers int `json:"workers"`
+
+	Train TrainSpec `json:"train"`
+
+	// Serve and Load configure KindServe scenarios (required for them,
+	// forbidden for KindFault).
+	Serve *ServeSpec `json:"serve,omitempty"`
+	Load  *LoadSpec  `json:"load,omitempty"`
+
+	// Faults configures KindFault scenarios (required for them, forbidden
+	// for KindServe).
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// TrainSpec sizes the synthetic training run that precedes measurement.
+type TrainSpec struct {
+	Images     int     `json:"images"`
+	TestImages int     `json:"test_images"`
+	Epochs     int     `json:"epochs"`
+	Batch      int     `json:"batch"`
+	LR         float64 `json:"lr"`
+}
+
+// ServeSpec mirrors serve.Config; zero fields take the server's documented
+// defaults, and the *effective* values land in report provenance.
+type ServeSpec struct {
+	Replicas  int     `json:"replicas,omitempty"`
+	MaxBatch  int     `json:"max_batch,omitempty"`
+	MaxWaitMS float64 `json:"max_wait_ms,omitempty"`
+	Queue     int     `json:"queue,omitempty"`
+	// CompareSerial additionally runs the whole request set through a
+	// batch-of-1 server, verifies bit-identity, and reports serial_rps +
+	// speedup — the batched-vs-serial scenario.
+	CompareSerial bool `json:"compare_serial,omitempty"`
+}
+
+// ToConfig converts the spec into a serve.Config (without defaults applied).
+func (s ServeSpec) ToConfig() serve.Config {
+	return serve.Config{
+		Replicas: s.Replicas,
+		MaxBatch: s.MaxBatch,
+		MaxWait:  time.Duration(s.MaxWaitMS * float64(time.Millisecond)),
+		QueueCap: s.Queue,
+	}
+}
+
+// LoadSpec shapes the request stream of a KindServe scenario.
+type LoadSpec struct {
+	Pattern     string `json:"pattern"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency,omitempty"`
+}
+
+// FaultSpec parameterizes the fault-density sweep.
+type FaultSpec struct {
+	Densities []float64 `json:"densities"`
+	Spares    int       `json:"spares,omitempty"`
+	Drift     float64   `json:"drift,omitempty"`
+	Refresh   int       `json:"refresh,omitempty"`
+}
+
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Validation bounds. Scenario files are checked-in config, but they are
+// also parsed from fuzzed and third-party bytes, so every count is bounded:
+// a hostile value can waste at most a small, fixed amount of work.
+const (
+	maxName        = 64
+	maxTrainImages = 10000
+	maxEpochs      = 50
+	maxTrainBatch  = 256
+	maxReplicas    = 16
+	maxMaxBatch    = 256
+	maxWaitMSCap   = 1000
+	maxQueue       = 65536
+	maxRequests    = 100000
+	maxConcurrency = 4096
+	maxDensities   = 16
+)
+
+// Validate checks the scenario against the schema's bounds and cross-field
+// rules. It is the only gate between a JSON file and the runner.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" || len(sc.Name) > maxName || !nameRE.MatchString(sc.Name) {
+		return fmt.Errorf("scenario name %q: need 1-%d chars of [a-z0-9-], starting alphanumeric", sc.Name, maxName)
+	}
+	if _, err := resolveNetwork(sc.Network); err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if sc.Workers < 0 || sc.Workers > 64 {
+		return fmt.Errorf("scenario %s: workers %d out of range [0,64]", sc.Name, sc.Workers)
+	}
+	if err := sc.Train.validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	switch sc.Kind {
+	case KindServe:
+		if sc.Faults != nil {
+			return fmt.Errorf("scenario %s: kind %q does not take a faults section", sc.Name, sc.Kind)
+		}
+		if sc.Serve == nil || sc.Load == nil {
+			return fmt.Errorf("scenario %s: kind %q needs both serve and load sections", sc.Name, sc.Kind)
+		}
+		if err := sc.Serve.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if err := sc.Load.validate(sc.Serve.ToConfig().WithDefaults()); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	case KindFault:
+		if sc.Serve != nil || sc.Load != nil {
+			return fmt.Errorf("scenario %s: kind %q does not take serve/load sections", sc.Name, sc.Kind)
+		}
+		if sc.Faults == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a faults section", sc.Name, sc.Kind)
+		}
+		if err := sc.Faults.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown kind %q (want %q or %q)", sc.Name, sc.Kind, KindServe, KindFault)
+	}
+	return nil
+}
+
+func (t TrainSpec) validate() error {
+	if t.Images < 1 || t.Images > maxTrainImages {
+		return fmt.Errorf("train.images %d out of range [1,%d]", t.Images, maxTrainImages)
+	}
+	if t.TestImages < 1 || t.TestImages > maxTrainImages {
+		return fmt.Errorf("train.test_images %d out of range [1,%d]", t.TestImages, maxTrainImages)
+	}
+	if t.Epochs < 1 || t.Epochs > maxEpochs {
+		return fmt.Errorf("train.epochs %d out of range [1,%d]", t.Epochs, maxEpochs)
+	}
+	if t.Batch < 1 || t.Batch > maxTrainBatch {
+		return fmt.Errorf("train.batch %d out of range [1,%d]", t.Batch, maxTrainBatch)
+	}
+	if !(t.LR > 0 && t.LR <= 1) {
+		return fmt.Errorf("train.lr %v out of range (0,1]", t.LR)
+	}
+	return nil
+}
+
+func (s ServeSpec) validate() error {
+	if s.Replicas < 0 || s.Replicas > maxReplicas {
+		return fmt.Errorf("serve.replicas %d out of range [0,%d]", s.Replicas, maxReplicas)
+	}
+	if s.MaxBatch < 0 || s.MaxBatch > maxMaxBatch {
+		return fmt.Errorf("serve.max_batch %d out of range [0,%d]", s.MaxBatch, maxMaxBatch)
+	}
+	if !(s.MaxWaitMS >= 0 && s.MaxWaitMS <= maxWaitMSCap) { // negated form also rejects NaN
+		return fmt.Errorf("serve.max_wait_ms %v out of range [0,%d]", s.MaxWaitMS, maxWaitMSCap)
+	}
+	if s.Queue < 0 || s.Queue > maxQueue {
+		return fmt.Errorf("serve.queue %d out of range [0,%d]", s.Queue, maxQueue)
+	}
+	return nil
+}
+
+// validate cross-checks the load shape against the *effective* server
+// config: the no-shed patterns must be physically unable to shed, or the
+// digest (and the determinism claim it carries) would be a lie.
+func (l LoadSpec) validate(effective serve.Config) error {
+	if l.Requests < 1 || l.Requests > maxRequests {
+		return fmt.Errorf("load.requests %d out of range [1,%d]", l.Requests, maxRequests)
+	}
+	if l.Concurrency < 0 || l.Concurrency > maxConcurrency {
+		return fmt.Errorf("load.concurrency %d out of range [0,%d]", l.Concurrency, maxConcurrency)
+	}
+	switch l.Pattern {
+	case PatternSteady:
+		if c := l.lanes(); c > effective.QueueCap {
+			return fmt.Errorf("load: steady needs queue >= concurrency (%d < %d) so nothing is shed", effective.QueueCap, c)
+		}
+	case PatternBurst:
+		if l.Requests > maxConcurrency {
+			return fmt.Errorf("load: burst fires all requests at once; requests %d > %d", l.Requests, maxConcurrency)
+		}
+		if l.Requests > effective.QueueCap {
+			return fmt.Errorf("load: burst needs queue >= requests (%d < %d) so nothing is shed", effective.QueueCap, l.Requests)
+		}
+	case PatternOverload:
+		if c := l.lanes(); c <= effective.QueueCap {
+			return fmt.Errorf("load: overload needs concurrency > queue (%d <= %d) to actually overload", c, effective.QueueCap)
+		}
+	default:
+		return fmt.Errorf("load.pattern %q: want %q, %q or %q", l.Pattern, PatternSteady, PatternBurst, PatternOverload)
+	}
+	return nil
+}
+
+func (f FaultSpec) validate() error {
+	if len(f.Densities) < 1 || len(f.Densities) > maxDensities {
+		return fmt.Errorf("faults.densities: need 1-%d entries, got %d", maxDensities, len(f.Densities))
+	}
+	for i, d := range f.Densities {
+		if !(d >= 0 && d < 1) {
+			return fmt.Errorf("faults.densities[%d] %v out of range [0,1)", i, d)
+		}
+	}
+	if f.Spares < 0 || f.Spares > 64 {
+		return fmt.Errorf("faults.spares %d out of range [0,64]", f.Spares)
+	}
+	if !(f.Drift >= 0 && f.Drift <= 10) { // negated form also rejects NaN
+		return fmt.Errorf("faults.drift %v out of range [0,10]", f.Drift)
+	}
+	if f.Refresh < 0 || f.Refresh > 1000000 {
+		return fmt.Errorf("faults.refresh %d out of range [0,1000000]", f.Refresh)
+	}
+	return nil
+}
+
+// lanes is the number of concurrent closed-loop request lanes the pattern
+// drives: Concurrency (default 16) for steady/overload, everything at once
+// for burst.
+func (l LoadSpec) lanes() int {
+	if l.Pattern == PatternBurst {
+		return l.Requests
+	}
+	if l.Concurrency <= 0 {
+		return 16
+	}
+	return l.Concurrency
+}
+
+// Parse decodes one scenario from r, rejecting unknown fields, then
+// validates it.
+func Parse(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("benchscenario: parse: %w", err)
+	}
+	// Trailing garbage after the object is a malformed file, not an
+	// extension point.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return Scenario{}, fmt.Errorf("benchscenario: parse: trailing data after scenario object")
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("benchscenario: %w", err)
+	}
+	return sc, nil
+}
+
+// ScenarioFile is the file each scenario directory must contain.
+const ScenarioFile = "scenario.json"
+
+// LoadDir reads and validates <dir>/scenario.json, additionally requiring
+// the scenario's name to equal the directory's base name so globs, report
+// ids, and artifact names can never drift apart.
+func LoadDir(dir string) (Scenario, error) {
+	f, err := os.Open(filepath.Join(dir, ScenarioFile))
+	if err != nil {
+		return Scenario{}, fmt.Errorf("benchscenario: %w", err)
+	}
+	defer f.Close()
+	sc, err := Parse(f)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w (in %s)", err, dir)
+	}
+	if base := filepath.Base(filepath.Clean(dir)); sc.Name != base {
+		return Scenario{}, fmt.Errorf("benchscenario: scenario name %q != directory name %q", sc.Name, base)
+	}
+	return sc, nil
+}
+
+// Discover loads every scenario directory matching the glob (e.g.
+// "benchmarks/scenarios/*"), sorted by name. A glob matching nothing is an
+// error — an empty benchmark suite passing CI silently is worse than a
+// loud one.
+func Discover(glob string) ([]Scenario, error) {
+	matches, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("benchscenario: glob %q: %w", glob, err)
+	}
+	var out []Scenario
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil {
+			return nil, fmt.Errorf("benchscenario: %w", err)
+		}
+		if !info.IsDir() {
+			// Stray files next to scenario dirs (README.md, baselines) are
+			// not scenarios.
+			continue
+		}
+		sc, err := LoadDir(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchscenario: glob %q matched no scenario directories", glob)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for i := 1; i < len(out); i++ {
+		if out[i].Name == out[i-1].Name {
+			return nil, fmt.Errorf("benchscenario: duplicate scenario name %q", out[i].Name)
+		}
+	}
+	return out, nil
+}
+
+// sanitizeMetric lowers a free-form token (a fault mode like
+// "remap+degrade") into the [a-z0-9_] namespace metric names live in.
+func sanitizeMetric(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

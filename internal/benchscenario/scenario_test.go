@@ -1,0 +1,205 @@
+package benchscenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validServeJSON is the smallest serve scenario the schema accepts; tests
+// derive hostile variants from it.
+const validServeJSON = `{
+  "name": "tiny-serve",
+  "kind": "serve",
+  "network": "tiny-mlp",
+  "seed": 1,
+  "workers": 1,
+  "train": {"images": 32, "test_images": 16, "epochs": 1, "batch": 8, "lr": 0.1},
+  "serve": {"replicas": 1, "max_batch": 4, "queue": 64},
+  "load": {"pattern": "steady", "requests": 24, "concurrency": 6}
+}`
+
+const validFaultJSON = `{
+  "name": "fault-density",
+  "kind": "fault",
+  "network": "tiny-mlp",
+  "seed": 11,
+  "workers": 1,
+  "train": {"images": 24, "test_images": 16, "epochs": 1, "batch": 8, "lr": 0.08},
+  "faults": {"densities": [0, 0.0005], "spares": 4}
+}`
+
+func TestParseTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string // substring; empty means must parse
+	}{
+		{"valid serve", validServeJSON, ""},
+		{"valid fault", validFaultJSON, ""},
+		{"unknown top-level field", strings.Replace(validServeJSON, `"seed": 1,`, `"seed": 1, "spee": 9,`, 1), "unknown field"},
+		{"unknown nested field", strings.Replace(validServeJSON, `"max_batch": 4,`, `"max_batch": 4, "maxbatch": 4,`, 1), "unknown field"},
+		{"trailing garbage", validServeJSON + `{"again": true}`, "trailing data"},
+		{"not json", "pipelayer", "parse"},
+		{"empty object", "{}", "scenario name"},
+		{"bad kind", strings.Replace(validServeJSON, `"kind": "serve"`, `"kind": "turbo"`, 1), "unknown kind"},
+		{"uppercase name", strings.Replace(validServeJSON, `"name": "tiny-serve"`, `"name": "Tiny-Serve"`, 1), "scenario name"},
+		{"path-traversal name", strings.Replace(validServeJSON, `"name": "tiny-serve"`, `"name": "../../etc"`, 1), "scenario name"},
+		{"unknown network", strings.Replace(validServeJSON, `"network": "tiny-mlp"`, `"network": "skynet"`, 1), "unknown network"},
+		{"negative seed ok", strings.Replace(validServeJSON, `"seed": 1,`, `"seed": -7,`, 1), ""},
+		{"workers too big", strings.Replace(validServeJSON, `"workers": 1,`, `"workers": 9999,`, 1), "workers"},
+		{"zero train images", strings.Replace(validServeJSON, `"images": 32,`, `"images": 0,`, 1), "train.images"},
+		{"huge train images", strings.Replace(validServeJSON, `"images": 32,`, `"images": 1000000000,`, 1), "train.images"},
+		{"negative epochs", strings.Replace(validServeJSON, `"epochs": 1,`, `"epochs": -3,`, 1), "train.epochs"},
+		{"lr zero", strings.Replace(validServeJSON, `"lr": 0.1`, `"lr": 0`, 1), "train.lr"},
+		{"lr huge", strings.Replace(validServeJSON, `"lr": 0.1`, `"lr": 50`, 1), "train.lr"},
+		{"negative queue", strings.Replace(validServeJSON, `"queue": 64`, `"queue": -1`, 1), "serve.queue"},
+		{"replicas out of range", strings.Replace(validServeJSON, `"replicas": 1,`, `"replicas": 128,`, 1), "serve.replicas"},
+		{"max_wait negative", strings.Replace(validServeJSON, `"max_batch": 4,`, `"max_batch": 4, "max_wait_ms": -2,`, 1), "serve.max_wait_ms"},
+		{"huge requests", strings.Replace(validServeJSON, `"requests": 24,`, `"requests": 100000000,`, 1), "load.requests"},
+		{"bad pattern", strings.Replace(validServeJSON, `"pattern": "steady"`, `"pattern": "stampede"`, 1), "load.pattern"},
+		{"steady outruns queue", strings.Replace(validServeJSON, `"concurrency": 6`, `"concurrency": 100`, 1), "queue >= concurrency"},
+		{
+			"burst outruns queue",
+			strings.Replace(strings.Replace(validServeJSON, `"pattern": "steady"`, `"pattern": "burst"`, 1), `"requests": 24,`, `"requests": 100,`, 1),
+			"queue >= requests",
+		},
+		{"overload must overload", strings.Replace(validServeJSON, `"pattern": "steady"`, `"pattern": "overload"`, 1), "concurrency > queue"},
+		{"serve kind with faults", strings.Replace(validServeJSON, `"load":`, `"faults": {"densities": [0]}, "load":`, 1), "does not take a faults"},
+		{"fault kind missing faults", strings.Replace(validFaultJSON, `"faults": {"densities": [0, 0.0005], "spares": 4}`, `"faults": null`, 1), "needs a faults"},
+		{"fault kind with load", strings.Replace(validFaultJSON, `"faults":`, `"load": {"pattern": "steady", "requests": 1}, "faults":`, 1), "does not take serve/load"},
+		{"density out of range", strings.Replace(validFaultJSON, `[0, 0.0005]`, `[0, 1.5]`, 1), "densities[1]"},
+		{"negative density", strings.Replace(validFaultJSON, `[0, 0.0005]`, `[-0.1]`, 1), "densities[0]"},
+		{"no densities", strings.Replace(validFaultJSON, `[0, 0.0005]`, `[]`, 1), "densities"},
+		{"spares out of range", strings.Replace(validFaultJSON, `"spares": 4`, `"spares": 1000`, 1), "faults.spares"},
+		{"serve kind missing load", strings.Replace(validServeJSON, `"load": {"pattern": "steady", "requests": 24, "concurrency": 6}`, `"load": null`, 1), "needs both serve and load"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.json))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Parse() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Parse() accepted invalid scenario, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse() error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseDefaultsAndEffectiveConfig(t *testing.T) {
+	sc, err := Parse(strings.NewReader(validServeJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := sc.Serve.ToConfig().WithDefaults()
+	if eff.Replicas != 1 || eff.MaxBatch != 4 || eff.QueueCap != 64 {
+		t.Fatalf("effective config = %+v, want replicas=1 max_batch=4 queue=64", eff)
+	}
+	if eff.MaxWait <= 0 {
+		t.Fatalf("effective MaxWait %v not defaulted", eff.MaxWait)
+	}
+}
+
+func writeScenarioDir(t *testing.T, root, name, body string) string {
+	t.Helper()
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ScenarioFile), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadDirNameMustMatchDirectory(t *testing.T) {
+	root := t.TempDir()
+	dir := writeScenarioDir(t, root, "renamed-dir", validServeJSON)
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "directory name") {
+		t.Fatalf("LoadDir() = %v, want directory-name mismatch error", err)
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	root := t.TempDir()
+	writeScenarioDir(t, root, "tiny-serve", validServeJSON)
+	writeScenarioDir(t, root, "fault-density", validFaultJSON)
+	// Stray files next to scenario dirs are ignored; files inside matching
+	// the glob are skipped as non-directories.
+	if err := os.WriteFile(filepath.Join(root, "README.md"), []byte("not a scenario"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scs, err := Discover(filepath.Join(root, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("Discover() = %d scenarios, want 2", len(scs))
+	}
+	// Sorted by name.
+	if scs[0].Name != "fault-density" || scs[1].Name != "tiny-serve" {
+		t.Fatalf("Discover() order = %s, %s; want fault-density, tiny-serve", scs[0].Name, scs[1].Name)
+	}
+
+	// Glob selection narrows the suite.
+	scs, err = Discover(filepath.Join(root, "tiny-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || scs[0].Name != "tiny-serve" {
+		t.Fatalf("Discover(tiny-*) = %+v, want just tiny-serve", scs)
+	}
+
+	// An empty suite is an error, not a silent pass.
+	if _, err := Discover(filepath.Join(root, "nope-*")); err == nil {
+		t.Fatal("Discover() accepted a glob matching nothing")
+	}
+
+	// One bad scenario fails the whole discovery.
+	writeScenarioDir(t, root, "broken", `{"name": "broken"`)
+	if _, err := Discover(filepath.Join(root, "*")); err == nil {
+		t.Fatal("Discover() ignored a malformed scenario")
+	}
+}
+
+// TestCheckedInScenarios parses every scenario shipped in the repo, so a
+// config typo fails unit tests before it fails the CI bench job.
+func TestCheckedInScenarios(t *testing.T) {
+	glob := filepath.Join("..", "..", "benchmarks", "scenarios", "*")
+	scs, err := Discover(glob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 4 {
+		t.Fatalf("checked-in suite has %d scenarios, want >= 4", len(scs))
+	}
+	kinds := map[string]bool{}
+	patterns := map[string]bool{}
+	for _, sc := range scs {
+		kinds[sc.Kind] = true
+		if sc.Load != nil {
+			patterns[sc.Load.Pattern] = true
+		}
+	}
+	if !kinds[KindServe] || !kinds[KindFault] {
+		t.Fatalf("checked-in suite kinds = %v, want both serve and fault", kinds)
+	}
+	if !patterns[PatternOverload] {
+		t.Fatal("checked-in suite has no sustained-overload scenario")
+	}
+}
+
+func TestSanitizeMetric(t *testing.T) {
+	if got := sanitizeMetric("remap+degrade"); got != "remap_degrade" {
+		t.Fatalf("sanitizeMetric = %q, want remap_degrade", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"pipelayer/internal/fault"
 	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/telemetry"
 )
 
 // FaultSweepConfig controls the accuracy-vs-fault-density robustness study.
@@ -51,14 +52,36 @@ type FaultSweepRow struct {
 	Counters   []fault.Counters `json:"counters"`
 }
 
+// FaultSweepProvenance pins a BENCH_fault.json artifact to the build and
+// configuration that produced it, so two sweeps are never compared across
+// incompatible configs (the benchscenario differ refuses mismatches).
+type FaultSweepProvenance struct {
+	telemetry.BuildInfo
+	Workers int   `json:"workers"`
+	Seed    int64 `json:"seed"`
+}
+
 // FaultSweepResult is the robustness study: accelerator training accuracy as
 // a function of stuck-cell density, with the fault-tolerance mechanisms
 // switched on incrementally.
 type FaultSweepResult struct {
-	Densities []float64 `json:"densities"`
+	// Provenance is stamped via Stamp before the artifact is written; a
+	// result that was never stamped marshals without the field.
+	Provenance *FaultSweepProvenance `json:"provenance,omitempty"`
+	Densities  []float64             `json:"densities"`
 	// BaselineAcc is the fault-free accelerator's accuracy (nil injector).
 	BaselineAcc float64         `json:"baseline_acc"`
 	Rows        []FaultSweepRow `json:"rows"`
+}
+
+// Stamp records the artifact's provenance: commit, Go version, RFC3339
+// timestamp, the worker-pool size the sweep ran with, and its seed.
+func (r *FaultSweepResult) Stamp(workers int, seed int64) {
+	r.Provenance = &FaultSweepProvenance{
+		BuildInfo: telemetry.CollectBuildInfo(),
+		Workers:   workers,
+		Seed:      seed,
+	}
 }
 
 // faultSweepModes are the tolerance configurations compared: bare silicon,

@@ -76,3 +76,46 @@ func TestFaultSweep(t *testing.T) {
 		t.Fatal("JSON round trip lost data")
 	}
 }
+
+func TestFaultSweepStamp(t *testing.T) {
+	res := FaultSweepResult{BaselineAcc: 0.5}
+
+	// Unstamped results must omit the field entirely, so old artifacts and
+	// ad-hoc runs stay readable.
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "" && json.Valid(raw) {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m["provenance"]; ok {
+			t.Fatal("unstamped result marshaled a provenance field")
+		}
+	}
+
+	res.Stamp(4, 11)
+	if res.Provenance == nil {
+		t.Fatal("Stamp did not attach provenance")
+	}
+	if res.Provenance.Workers != 4 || res.Provenance.Seed != 11 {
+		t.Fatalf("provenance = %+v, want workers=4 seed=11", res.Provenance)
+	}
+	if res.Provenance.GoVersion == "" || res.Provenance.CapturedAt == "" || res.Provenance.Commit == "" {
+		t.Fatalf("build info incomplete: %+v", res.Provenance.BuildInfo)
+	}
+
+	raw, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FaultSweepResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Provenance == nil || back.Provenance.Workers != 4 || back.Provenance.Commit != res.Provenance.Commit {
+		t.Fatal("provenance did not survive the JSON round trip")
+	}
+}

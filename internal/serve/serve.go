@@ -81,7 +81,12 @@ type Config struct {
 	testHookBeforeBatch func()
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with every zero field replaced by its
+// documented default (one replica, batches of 16, 2 ms window, 64-deep
+// queue). New applies it automatically; external callers — the scenario
+// benchmark runner in particular — use it to record the *effective*
+// configuration in report provenance instead of zeros.
+func (c Config) WithDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 1
 	}
@@ -168,7 +173,7 @@ var latencyBuckets = []float64{
 // The accelerator must have weights loaded (NewReplica's requirement); it is
 // not otherwise touched, so training-side state stays where it was.
 func New(a *core.Accelerator, cfg Config) (*Server, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	replicas := make([]*core.Replica, cfg.Replicas)
 	for i := range replicas {
 		r, err := a.NewReplica()
