@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2025.1
 # go run pkg@version pattern as staticcheck).
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
+.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve race-online fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
 
 # Scenario-benchmark harness knobs (see DESIGN.md §4h). The glob selects
 # checked-in scenario directories; the baseline is the committed fallback the
@@ -74,6 +74,14 @@ race-fault:
 # the race detector.
 race-serve:
 	$(GO) test -race ./internal/serve/...
+
+# The train-while-serve supervisor hot-swaps weight versions into the live
+# serving replicas while requests are in flight; this suite — including the
+# 200-lane soak spanning multiple promotions with goroutine-leak checks, and
+# the checkpoint store's resume-vs-save races — must hold under the race
+# detector.
+race-online:
+	$(GO) test -race -count=1 ./internal/online/... ./internal/checkpoint/...
 
 # serve-smoke is the end-to-end load test: train a small network, fire 200
 # concurrent requests through the batching scheduler, verify every response

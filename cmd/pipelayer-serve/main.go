@@ -57,6 +57,13 @@ func main() {
 	queueCap := flag.Int("queue", 64, "request queue depth (full queue → 503)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	smoke := flag.Int("smoke", 0, "run an offline load test with this many requests instead of listening")
+	onlineMode := flag.Bool("online", false, "train-while-serve: keep training in the background and hot-swap promoted weight versions into serving")
+	onlineDir := flag.String("online-dir", "checkpoints", "versioned checkpoint directory for -online (resumes from the newest valid checkpoint)")
+	snapshotEvery := flag.Int("snapshot-every", 1, "-online: snapshot a candidate version every N training rounds")
+	roundImages := flag.Int("round-images", 0, "-online: synthetic samples per training round (0 = 4×batch)")
+	tolerance := flag.Float64("tolerance", 0.02, "-online: allowed eval-accuracy drop before a candidate is rolled back")
+	maxRegressions := flag.Int("max-regressions", 3, "-online: consecutive rollbacks before promotion pins")
+	keepCheckpoints := flag.Int("keep-checkpoints", 0, "-online: prune the store to the newest N versions (0 = keep all)")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "where -smoke writes its JSON report")
 	workers := flag.Int("workers", 0, "worker pool size for the parallel compute backend (0 = PIPELAYER_WORKERS or GOMAXPROCS, 1 = serial); results are bit-identical at every size")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this path on exit")
@@ -119,6 +126,29 @@ func main() {
 		}
 	}
 
+	cfg := serve.Config{
+		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait,
+		QueueCap: *queueCap, Metrics: reg,
+		Flight: rec, TraceDepth: *traceDepth,
+	}
+
+	if *onlineMode {
+		tc := trainConfig{
+			trainImages: *trainImages, testImages: *testImages,
+			epochs: *epochs, batch: *batch, lr: *lr, seed: *seed,
+		}
+		of := onlineFlags{
+			dir: *onlineDir, snapshotEvery: *snapshotEvery, roundImages: *roundImages,
+			tolerance: *tolerance, maxRegressions: *maxRegressions, keepCheckpoints: *keepCheckpoints,
+		}
+		if err := runOnline(spec, cfg, of, tc, reg, rec, inj, *addr, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeArtifacts(rec, *traceOut, reg, *metricsPath)
+		return
+	}
+
 	acc, test, err := trainMachine(spec, inj, reg, trainConfig{
 		trainImages: *trainImages, testImages: *testImages,
 		epochs: *epochs, batch: *batch, lr: *lr, seed: *seed,
@@ -126,12 +156,6 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-
-	cfg := serve.Config{
-		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait,
-		QueueCap: *queueCap, Metrics: reg,
-		Flight: rec, TraceDepth: *traceDepth,
 	}
 
 	if *smoke > 0 {
@@ -146,23 +170,29 @@ func main() {
 		}
 	}
 
+	writeArtifacts(rec, *traceOut, reg, *metricsPath)
+}
+
+// writeArtifacts flushes the optional exit artifacts: the Perfetto trace and
+// the telemetry snapshot.
+func writeArtifacts(rec *flight.Recorder, traceOut string, reg *telemetry.Registry, metricsPath string) {
 	if rec != nil {
-		if err := rec.WriteChromeFile(*traceOut); err != nil {
+		if err := rec.WriteChromeFile(traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace     : %d spans written to %s (open at https://ui.perfetto.dev)\n", rec.Len(), *traceOut)
+		fmt.Printf("trace     : %d spans written to %s (open at https://ui.perfetto.dev)\n", rec.Len(), traceOut)
 		if d := rec.Dropped(); d > 0 {
 			fmt.Printf("trace     : ring overwrote %d oldest spans (lower -trace-depth to keep more requests)\n", d)
 		}
 	}
 
-	if *metricsPath != "" {
-		if err := reg.WriteJSONFile(*metricsPath); err != nil {
+	if metricsPath != "" {
+		if err := reg.WriteJSONFile(metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry : snapshot written to %s\n", *metricsPath)
+		fmt.Printf("telemetry : snapshot written to %s\n", metricsPath)
 	}
 }
 

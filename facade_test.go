@@ -134,3 +134,38 @@ func TestFacadeDefaultExperimentSetup(t *testing.T) {
 		t.Fatalf("unexpected defaults: %+v", s)
 	}
 }
+
+func TestFacadeOnlineSupervisor(t *testing.T) {
+	_, eval := pipelayer.SyntheticDigits(1, 32, true, 5)
+	sup, err := pipelayer.NewOnlineSupervisor(pipelayer.NewSyntheticFeed(true, 3), pipelayer.OnlineConfig{
+		Spec:      pipelayer.EvaluationNetworks()[0],
+		Seed:      7,
+		Dir:       t.TempDir(),
+		Eval:      eval,
+		Tolerance: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if sup.Health() != pipelayer.OnlineHealthy {
+		t.Fatalf("health = %v, want healthy", sup.Health())
+	}
+	if err := sup.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.Version(); got != 2 {
+		t.Fatalf("version after one promoting step = %d, want 2", got)
+	}
+}
+
+func TestFacadeCheckpointStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := pipelayer.OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store.Manifest().Entries); got != 0 {
+		t.Fatalf("fresh store has %d manifest entries", got)
+	}
+}

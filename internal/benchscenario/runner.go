@@ -74,6 +74,8 @@ func Run(sc Scenario, opt Options) (Report, error) {
 		return RunServeOn(acc, test, sc, opt)
 	case KindFault:
 		return runFault(sc, *opt.Env), nil
+	case KindOnline:
+		return runOnline(sc, opt)
 	}
 	return Report{}, fmt.Errorf("benchscenario: unknown kind %q", sc.Kind) // unreachable after Validate
 }
@@ -472,10 +474,15 @@ func provenanceFor(sc Scenario, env Env, effective serve.Config) Provenance {
 		BuildInfo:   env.Build,
 		CalibMFLOPS: env.CalibMFLOPS,
 	}
-	if sc.Kind == KindServe {
+	switch sc.Kind {
+	case KindServe:
 		p.Replicas = effective.Replicas
 		p.MaxBatch = effective.MaxBatch
 		p.Pattern = sc.Load.Pattern
+	case KindOnline:
+		p.Replicas = effective.Replicas
+		p.MaxBatch = effective.MaxBatch
+		p.Pattern = KindOnline
 	}
 	return p
 }

@@ -1,0 +1,229 @@
+package benchscenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"pipelayer/internal/checkpoint"
+	"pipelayer/internal/core"
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/energy"
+	"pipelayer/internal/mapping"
+	"pipelayer/internal/networks"
+	"pipelayer/internal/online"
+	"pipelayer/internal/telemetry"
+	"pipelayer/internal/tensor"
+)
+
+// runOnline measures the train-while-serve path: Concurrency closed-loop
+// lanes predict continuously while the supervisor trains and hot-swaps
+// until the promotion target lands. Every response must carry a weight
+// version and be bit-identical to that version's checkpointed weights —
+// the scenario fails on any torn, versionless, or shed response. No output
+// digest is emitted: which requests land on which version is scheduler
+// timing, not code determinism.
+func runOnline(sc Scenario, opt Options) (Report, error) {
+	spec, err := resolveNetwork(sc.Network)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchscenario: %w", err)
+	}
+	flat := spec.Layers[0].Kind == mapping.KindFC
+	dir, err := os.MkdirTemp("", "pipelayer-online-")
+	if err != nil {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+	}
+	defer os.RemoveAll(dir)
+
+	reg := opt.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	effective := sc.Serve.ToConfig().WithDefaults()
+	tol := sc.Online.Tolerance
+	if tol == 0 {
+		tol = 1 // never roll back: the run must reach its promotion target
+	}
+	serveCfg := sc.Serve.ToConfig()
+	serveCfg.Metrics = reg
+	serveCfg.Flight = opt.Flight
+	serveCfg.TraceDepth = opt.TraceDepth
+	cfg := online.Config{
+		Spec:          spec,
+		Seed:          sc.Seed,
+		Dir:           dir,
+		Eval:          dataset.Generate(sc.Train.TestImages, dataset.DefaultOptions(flat), sc.Seed+1),
+		Serve:         serveCfg,
+		Batch:         sc.Train.Batch,
+		RoundImages:   sc.Train.Images,
+		LR:            sc.Train.LR,
+		SnapshotEvery: sc.Online.SnapshotEvery,
+		Tolerance:     tol,
+		Metrics:       reg,
+		Flight:        opt.Flight,
+	}
+	sup, err := online.New(online.NewSyntheticFeed(flat, sc.Seed), cfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+	}
+
+	inputs := make([]*tensor.Tensor, len(cfg.Eval))
+	for i, sm := range cfg.Eval {
+		inputs[i] = sm.Input
+	}
+	type obs struct {
+		input   int
+		version uint64
+		scores  []float64
+	}
+	lanes := sc.Online.lanes()
+	perLane := make([][]obs, lanes)
+	laneErr := make([]error, lanes)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	start := time.Now()
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		//pipelayer:allow-spawn bounded load-generator fan-out (≤ validated lane cap), joined below before any result is read
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in := (lane + i) % len(inputs)
+				res, err := sup.Server().Predict(ctx, inputs[in])
+				if err != nil {
+					laneErr[lane] = fmt.Errorf("lane %d request %d: %w", lane, i, err)
+					return
+				}
+				if res.Version == 0 {
+					laneErr[lane] = fmt.Errorf("lane %d request %d: response without a weight version", lane, i)
+					return
+				}
+				perLane[lane] = append(perLane[lane], obs{in, res.Version, res.Scores.Data()})
+			}
+		}(lane)
+	}
+
+	var stepErr error
+	for sup.Promotions() < int64(sc.Online.Promotions) {
+		if stepErr = sup.Step(); stepErr != nil {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if stepErr != nil {
+		sup.Close()
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, stepErr)
+	}
+	for _, err := range laneErr {
+		if err != nil {
+			sup.Close()
+			return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+		}
+	}
+
+	// Bit-verify every response against its version's checkpoint. The store
+	// is reopened read-only style after training stopped; references are
+	// rebuilt once per observed version.
+	refs := map[uint64][][]float64{}
+	seen := map[uint64]int{}
+	total := 0
+	for _, lane := range perLane {
+		for _, o := range lane {
+			ref, ok := refs[o.version]
+			if !ok {
+				ref, err = onlineReference(dir, spec, o.version, inputs)
+				if err != nil {
+					sup.Close()
+					return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
+				}
+				refs[o.version] = ref
+			}
+			if !equalFloats(o.scores, ref[o.input]) {
+				sup.Close()
+				return Report{}, fmt.Errorf("benchscenario: scenario %s: torn response — input %d under v%d does not match that version's checkpoint", sc.Name, o.input, o.version)
+			}
+			seen[o.version]++
+			total++
+		}
+	}
+	if total == 0 {
+		sup.Close()
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: no responses observed", sc.Name)
+	}
+	if err := sup.Close(); err != nil {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: close: %w", sc.Name, err)
+	}
+
+	metrics := map[string]float64{
+		"rps":               float64(total) / elapsed.Seconds(),
+		"error_rate":        0, // validation sized the queue: nothing may shed
+		"promotions":        float64(sup.Promotions()),
+		"rounds":            float64(sup.Rounds()),
+		"rollbacks":         float64(sup.Rollbacks()),
+		"versions_observed": float64(len(seen)),
+	}
+	hist, ok := reg.Snapshot().Histograms["serve_request_latency_seconds"]
+	if !ok {
+		return Report{}, fmt.Errorf("benchscenario: scenario %s: serve_request_latency_seconds not registered", sc.Name)
+	}
+	metrics["p50_ms"] = hist.Quantile(0.50) * 1e3
+	metrics["p90_ms"] = hist.Quantile(0.90) * 1e3
+	metrics["p99_ms"] = hist.Quantile(0.99) * 1e3
+
+	return Report{
+		SchemaVersion: SchemaVersion,
+		Provenance:    provenanceFor(sc, *opt.Env, effective),
+		Metrics:       metrics,
+		Telemetry:     reg.Snapshot().ScrapeCounters("serve_"),
+	}, nil
+}
+
+// onlineReference rebuilds version v from the checkpoint directory and runs
+// every input through a fresh replica — the ground truth the scenario holds
+// each response to.
+func onlineReference(dir string, spec networks.Spec, v uint64, inputs []*tensor.Tensor) ([][]float64, error) {
+	store, err := checkpoint.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	net := networks.BuildTrainable(spec, rand.New(rand.NewSource(0)))
+	if _, err := store.Load(v, net); err != nil {
+		return nil, fmt.Errorf("reference for v%d: %w", v, err)
+	}
+	machine, err := core.NewFromSnapshot(energy.DefaultModel(), spec, 1, net)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := machine.NewReplica()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(inputs))
+	for i, x := range inputs {
+		out[i] = rep.Infer(x).Data()
+	}
+	return out, nil
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

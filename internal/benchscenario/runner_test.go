@@ -163,6 +163,45 @@ func TestRunFaultScenario(t *testing.T) {
 	}
 }
 
+// TestRunOnlineScenario drives the train-while-serve kind end to end: the
+// run must reach its promotion target, shed nothing, verify every response
+// against its weight version, and emit no digest (version attribution is
+// timing, not determinism).
+func TestRunOnlineScenario(t *testing.T) {
+	sc := Scenario{
+		Name: "micro-online", Kind: KindOnline, Network: "tiny-mlp",
+		Seed: 7, Workers: 1,
+		Train:  TrainSpec{Images: 16, TestImages: 16, Epochs: 1, Batch: 8, LR: 0.1},
+		Serve:  &ServeSpec{Replicas: 2, MaxBatch: 4, Queue: 64},
+		Online: &OnlineSpec{Promotions: 2, Concurrency: 4},
+	}
+	rep, err := Run(sc, Options{Env: testEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest != "" {
+		t.Fatalf("online run emitted digest %q; version attribution is timing-dependent", rep.Digest)
+	}
+	for _, m := range []string{"rps", "error_rate", "promotions", "rounds", "versions_observed", "p50_ms", "p90_ms", "p99_ms"} {
+		if _, ok := rep.Metrics[m]; !ok {
+			t.Fatalf("metric %s missing from report: %v", m, rep.Metrics)
+		}
+	}
+	if got := rep.Metrics["promotions"]; got < 2 {
+		t.Fatalf("promotions = %v, want >= 2", got)
+	}
+	if rep.Metrics["error_rate"] != 0 {
+		t.Fatalf("online run shed requests: error_rate = %v", rep.Metrics["error_rate"])
+	}
+	if rep.Metrics["rps"] <= 0 {
+		t.Fatalf("degenerate timings: %v", rep.Metrics)
+	}
+	p := rep.Provenance
+	if p.Kind != KindOnline || p.Pattern != KindOnline || p.Replicas != 2 || p.MaxBatch != 4 {
+		t.Fatalf("provenance = %+v", p)
+	}
+}
+
 func TestRunRejectsInvalidScenario(t *testing.T) {
 	sc := microServe()
 	sc.Kind = "turbo"

@@ -37,6 +37,11 @@ const (
 	// KindFault runs the accuracy-vs-fault-density sweep (deterministic:
 	// its gated metrics are accuracies, not timings).
 	KindFault = "fault"
+	// KindOnline runs the train-while-serve supervisor: closed-loop request
+	// lanes keep predicting while the trainer promotes new weight versions
+	// underneath them, and every accepted response is verified bit-identical
+	// to its version's checkpointed weights.
+	KindOnline = "online"
 )
 
 // Load patterns for KindServe scenarios.
@@ -87,6 +92,10 @@ type Scenario struct {
 	// Faults configures KindFault scenarios (required for them, forbidden
 	// for KindServe).
 	Faults *FaultSpec `json:"faults,omitempty"`
+
+	// Online configures KindOnline scenarios (required for them, forbidden
+	// for the other kinds; pairs with a Serve section).
+	Online *OnlineSpec `json:"online,omitempty"`
 }
 
 // TrainSpec sizes the synthetic training run that precedes measurement.
@@ -128,6 +137,33 @@ type LoadSpec struct {
 	Concurrency int    `json:"concurrency,omitempty"`
 }
 
+// OnlineSpec shapes a KindOnline run: closed-loop lanes predict
+// continuously while the supervisor trains and promotes until Promotions
+// versions have been hot-swapped in.
+type OnlineSpec struct {
+	// Promotions is how many promoted versions the run waits for.
+	Promotions int `json:"promotions"`
+	// Concurrency is the number of closed-loop request lanes kept open
+	// while training runs (default 16). The queue must absorb all lanes so
+	// nothing is shed and every response is bit-verified.
+	Concurrency int `json:"concurrency,omitempty"`
+	// SnapshotEvery snapshots a candidate every N training rounds
+	// (default 1).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// Tolerance is the supervisor's allowed eval-accuracy drop before a
+	// candidate rolls back; 0 means 1.0 (never roll back), so the run
+	// always reaches its promotion target.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// lanes is the number of concurrent request lanes the run keeps open.
+func (o OnlineSpec) lanes() int {
+	if o.Concurrency <= 0 {
+		return 16
+	}
+	return o.Concurrency
+}
+
 // FaultSpec parameterizes the fault-density sweep.
 type FaultSpec struct {
 	Densities []float64 `json:"densities"`
@@ -153,6 +189,8 @@ const (
 	maxRequests    = 100000
 	maxConcurrency = 4096
 	maxDensities   = 16
+	maxPromotions  = 32
+	maxSnapEvery   = 100
 )
 
 // Validate checks the scenario against the schema's bounds and cross-field
@@ -172,8 +210,8 @@ func (sc Scenario) Validate() error {
 	}
 	switch sc.Kind {
 	case KindServe:
-		if sc.Faults != nil {
-			return fmt.Errorf("scenario %s: kind %q does not take a faults section", sc.Name, sc.Kind)
+		if sc.Faults != nil || sc.Online != nil {
+			return fmt.Errorf("scenario %s: kind %q does not take faults/online sections", sc.Name, sc.Kind)
 		}
 		if sc.Serve == nil || sc.Load == nil {
 			return fmt.Errorf("scenario %s: kind %q needs both serve and load sections", sc.Name, sc.Kind)
@@ -185,8 +223,8 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
 	case KindFault:
-		if sc.Serve != nil || sc.Load != nil {
-			return fmt.Errorf("scenario %s: kind %q does not take serve/load sections", sc.Name, sc.Kind)
+		if sc.Serve != nil || sc.Load != nil || sc.Online != nil {
+			return fmt.Errorf("scenario %s: kind %q does not take serve/load/online sections", sc.Name, sc.Kind)
 		}
 		if sc.Faults == nil {
 			return fmt.Errorf("scenario %s: kind %q needs a faults section", sc.Name, sc.Kind)
@@ -194,8 +232,29 @@ func (sc Scenario) Validate() error {
 		if err := sc.Faults.validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
+	case KindOnline:
+		if sc.Faults != nil || sc.Load != nil {
+			return fmt.Errorf("scenario %s: kind %q does not take faults/load sections", sc.Name, sc.Kind)
+		}
+		if sc.Serve == nil || sc.Online == nil {
+			return fmt.Errorf("scenario %s: kind %q needs both serve and online sections", sc.Name, sc.Kind)
+		}
+		if sc.Serve.CompareSerial {
+			return fmt.Errorf("scenario %s: kind %q does not take serve.compare_serial", sc.Name, sc.Kind)
+		}
+		if sc.Train.Epochs != 1 {
+			// Training length is driven by the promotion target, not epochs;
+			// any other value would be a silent no-op knob.
+			return fmt.Errorf("scenario %s: kind %q requires train.epochs = 1 (rounds are driven by online.promotions)", sc.Name, sc.Kind)
+		}
+		if err := sc.Serve.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if err := sc.Online.validate(sc.Serve.ToConfig().WithDefaults()); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
 	default:
-		return fmt.Errorf("scenario %s: unknown kind %q (want %q or %q)", sc.Name, sc.Kind, KindServe, KindFault)
+		return fmt.Errorf("scenario %s: unknown kind %q (want %q, %q or %q)", sc.Name, sc.Kind, KindServe, KindFault, KindOnline)
 	}
 	return nil
 }
@@ -263,6 +322,28 @@ func (l LoadSpec) validate(effective serve.Config) error {
 		}
 	default:
 		return fmt.Errorf("load.pattern %q: want %q, %q or %q", l.Pattern, PatternSteady, PatternBurst, PatternOverload)
+	}
+	return nil
+}
+
+// validate cross-checks the online shape against the *effective* server
+// config: all lanes must fit in the queue so nothing is shed and every
+// response can be bit-verified against its weight version.
+func (o OnlineSpec) validate(effective serve.Config) error {
+	if o.Promotions < 1 || o.Promotions > maxPromotions {
+		return fmt.Errorf("online.promotions %d out of range [1,%d]", o.Promotions, maxPromotions)
+	}
+	if o.Concurrency < 0 || o.Concurrency > maxConcurrency {
+		return fmt.Errorf("online.concurrency %d out of range [0,%d]", o.Concurrency, maxConcurrency)
+	}
+	if c := o.lanes(); c > effective.QueueCap {
+		return fmt.Errorf("online: needs queue >= concurrency (%d < %d) so nothing is shed", effective.QueueCap, c)
+	}
+	if o.SnapshotEvery < 0 || o.SnapshotEvery > maxSnapEvery {
+		return fmt.Errorf("online.snapshot_every %d out of range [0,%d]", o.SnapshotEvery, maxSnapEvery)
+	}
+	if !(o.Tolerance >= 0 && o.Tolerance <= 1) { // negated form also rejects NaN
+		return fmt.Errorf("online.tolerance %v out of range [0,1]", o.Tolerance)
 	}
 	return nil
 }

@@ -20,6 +20,17 @@ const validServeJSON = `{
   "load": {"pattern": "steady", "requests": 24, "concurrency": 6}
 }`
 
+const validOnlineJSON = `{
+  "name": "train-while-serve",
+  "kind": "online",
+  "network": "tiny-mlp",
+  "seed": 7,
+  "workers": 1,
+  "train": {"images": 32, "test_images": 16, "epochs": 1, "batch": 8, "lr": 0.1},
+  "serve": {"replicas": 1, "max_batch": 4, "queue": 64},
+  "online": {"promotions": 2, "concurrency": 4}
+}`
+
 const validFaultJSON = `{
   "name": "fault-density",
   "kind": "fault",
@@ -38,6 +49,15 @@ func TestParseTable(t *testing.T) {
 	}{
 		{"valid serve", validServeJSON, ""},
 		{"valid fault", validFaultJSON, ""},
+		{"valid online", validOnlineJSON, ""},
+		{"online missing online section", strings.Replace(validOnlineJSON, `"online": {"promotions": 2, "concurrency": 4}`, `"online": null`, 1), "needs both serve and online"},
+		{"online with load", strings.Replace(validOnlineJSON, `"online":`, `"load": {"pattern": "steady", "requests": 1}, "online":`, 1), "does not take faults/load"},
+		{"online zero promotions", strings.Replace(validOnlineJSON, `"promotions": 2`, `"promotions": 0`, 1), "online.promotions"},
+		{"online too many promotions", strings.Replace(validOnlineJSON, `"promotions": 2`, `"promotions": 1000`, 1), "online.promotions"},
+		{"online lanes outrun queue", strings.Replace(validOnlineJSON, `"concurrency": 4`, `"concurrency": 100`, 1), "queue >= concurrency"},
+		{"online bad tolerance", strings.Replace(validOnlineJSON, `"concurrency": 4`, `"concurrency": 4, "tolerance": 2`, 1), "online.tolerance"},
+		{"online epochs not one", strings.Replace(validOnlineJSON, `"epochs": 1,`, `"epochs": 2,`, 1), "train.epochs = 1"},
+		{"online compare_serial", strings.Replace(validOnlineJSON, `"replicas": 1,`, `"replicas": 1, "compare_serial": true,`, 1), "compare_serial"},
 		{"unknown top-level field", strings.Replace(validServeJSON, `"seed": 1,`, `"seed": 1, "spee": 9,`, 1), "unknown field"},
 		{"unknown nested field", strings.Replace(validServeJSON, `"max_batch": 4,`, `"max_batch": 4, "maxbatch": 4,`, 1), "unknown field"},
 		{"trailing garbage", validServeJSON + `{"again": true}`, "trailing data"},
@@ -66,7 +86,7 @@ func TestParseTable(t *testing.T) {
 			"queue >= requests",
 		},
 		{"overload must overload", strings.Replace(validServeJSON, `"pattern": "steady"`, `"pattern": "overload"`, 1), "concurrency > queue"},
-		{"serve kind with faults", strings.Replace(validServeJSON, `"load":`, `"faults": {"densities": [0]}, "load":`, 1), "does not take a faults"},
+		{"serve kind with faults", strings.Replace(validServeJSON, `"load":`, `"faults": {"densities": [0]}, "load":`, 1), "does not take faults/online"},
 		{"fault kind missing faults", strings.Replace(validFaultJSON, `"faults": {"densities": [0, 0.0005], "spares": 4}`, `"faults": null`, 1), "needs a faults"},
 		{"fault kind with load", strings.Replace(validFaultJSON, `"faults":`, `"load": {"pattern": "steady", "requests": 1}, "faults":`, 1), "does not take serve/load"},
 		{"density out of range", strings.Replace(validFaultJSON, `[0, 0.0005]`, `[0, 1.5]`, 1), "densities[1]"},

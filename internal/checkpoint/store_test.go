@@ -1,0 +1,403 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pipelayer/internal/networks"
+	"pipelayer/internal/nn"
+	"pipelayer/internal/tensor"
+)
+
+func storeNet(seed int64) *nn.Network {
+	return networks.BuildTrainable(networks.MnistA(), rand.New(rand.NewSource(seed)))
+}
+
+func scramble(net *nn.Network, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range net.Params() {
+		p.Value.RandNormal(rng, 0, 0.3)
+	}
+}
+
+func sameParams(t *testing.T, a, b *nn.Network, msg string) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !tensor.Equal(pa[i].Value, pb[i].Value, 0) {
+			t.Fatalf("%s: param %s differs", msg, pa[i].Name)
+		}
+	}
+}
+
+func TestStoreSaveLoadManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := storeNet(1)
+	if err := st.Save(v1, 3, 1, StatePromoted); err != nil {
+		t.Fatal(err)
+	}
+	v2 := storeNet(2)
+	scramble(v2, 20)
+	if err := st.Save(v2, 9, 2, StateCandidate); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetState(2, StateRolledBack); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetState(99, StatePromoted); err == nil {
+		t.Fatal("SetState on unknown version must error")
+	}
+
+	got := storeNet(3)
+	epoch, err := st.Load(2, got)
+	if err != nil || epoch != 9 {
+		t.Fatalf("Load(2): epoch=%d err=%v, want 9, nil", epoch, err)
+	}
+	sameParams(t, v2, got, "Load(2)")
+
+	// Reopening must see the same manifest, states intact.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := st2.Manifest()
+	if len(man.Entries) != 2 {
+		t.Fatalf("manifest has %d entries, want 2", len(man.Entries))
+	}
+	if man.Entries[0].Version != 1 || man.Entries[0].State != StatePromoted {
+		t.Fatalf("entry 0 = %+v, want version 1 promoted", man.Entries[0])
+	}
+	if man.Entries[1].Version != 2 || man.Entries[1].State != StateRolledBack {
+		t.Fatalf("entry 1 = %+v, want version 2 rolled-back", man.Entries[1])
+	}
+	// Atomic writes must leave no temp litter.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestStoreLatestValidSkipsCorrupt is the crash-safe resume contract: torn
+// and bit-rotted checkpoint files are skipped via the CRC path and the
+// newest file that validates wins.
+func TestStoreLatestValidSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty store: cold start, not an error.
+	if _, _, ok, err := st.LatestValid(storeNet(0)); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v, want false, nil", ok, err)
+	}
+
+	nets := map[uint64]*nn.Network{}
+	for v := uint64(1); v <= 3; v++ {
+		n := storeNet(int64(v))
+		scramble(n, int64(100+v))
+		if err := st.Save(n, int(v)*10, v, StateCandidate); err != nil {
+			t.Fatal(err)
+		}
+		nets[v] = n
+	}
+
+	// Tear v3 (truncate mid-file) and bit-rot v2.
+	raw3, err := os.ReadFile(st.Path(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.Path(3), raw3[:len(raw3)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(st.Path(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2[len(raw2)/3] ^= 0x04
+	if err := os.WriteFile(st.Path(2), raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := storeNet(9)
+	version, epoch, ok, err := st.LatestValid(got)
+	if err != nil || !ok {
+		t.Fatalf("LatestValid: ok=%v err=%v, want true, nil", ok, err)
+	}
+	if version != 1 || epoch != 10 {
+		t.Fatalf("LatestValid = (v%d, epoch %d), want (v1, epoch 10)", version, epoch)
+	}
+	sameParams(t, nets[1], got, "resumed weights")
+
+	// All corrupt: back to cold start, net untouched by the failed attempts.
+	raw1, err := os.ReadFile(st.Path(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1[8] ^= 0xFF
+	if err := os.WriteFile(st.Path(1), raw1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := got.Params()[0].Value.Clone()
+	if _, _, ok, err := st.LatestValid(got); err != nil || ok {
+		t.Fatalf("all-corrupt store: ok=%v err=%v, want false, nil", ok, err)
+	}
+	if !tensor.Equal(got.Params()[0].Value, before, 0) {
+		t.Fatal("failed discovery mutated the network")
+	}
+}
+
+// LatestValid must skip versions the manifest marks rolled_back: those
+// weights failed the accuracy gate, and a restart must not undo the
+// rollback by resuming onto them.
+func TestStoreLatestValidSkipsRolledBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := storeNet(1)
+	scramble(promoted, 11)
+	if err := st.Save(promoted, 10, 1, StatePromoted); err != nil {
+		t.Fatal(err)
+	}
+	rejected := storeNet(2)
+	scramble(rejected, 22)
+	if err := st.Save(rejected, 20, 2, StateRolledBack); err != nil {
+		t.Fatal(err)
+	}
+
+	got := storeNet(9)
+	version, epoch, ok, err := st.LatestValid(got)
+	if err != nil || !ok {
+		t.Fatalf("LatestValid: ok=%v err=%v, want true, nil", ok, err)
+	}
+	if version != 1 || epoch != 10 {
+		t.Fatalf("LatestValid = (v%d, epoch %d), want the promoted (v1, epoch 10)", version, epoch)
+	}
+	sameParams(t, promoted, got, "resumed weights")
+
+	// Same answer through a fresh open: the rolled_back state survives the
+	// manifest round-trip.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version, _, ok, err := st2.LatestValid(storeNet(9)); err != nil || !ok || version != 1 {
+		t.Fatalf("reopened LatestValid = (v%d, ok=%v, err=%v), want v1", version, ok, err)
+	}
+}
+
+// A corrupt manifest must not block opening the store: lifecycle history is
+// advisory and gets rebuilt from the version files on disk.
+func TestStoreCorruptManifestRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(storeNet(1), 1, 1, StatePromoted); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the manifest mid-stream — the torn-write shape.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := st2.Manifest()
+	if len(man.Entries) != 1 || man.Entries[0].Version != 1 || man.Entries[0].State != StateCandidate {
+		t.Fatalf("rebuilt manifest = %+v, want one candidate entry for v1", man.Entries)
+	}
+	// And discovery still works off the files.
+	if _, _, ok, err := st2.LatestValid(storeNet(2)); err != nil || !ok {
+		t.Fatalf("LatestValid after manifest loss: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStorePruneKeepsProtected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 5; v++ {
+		if err := st.Save(storeNet(int64(v)), int(v), v, StateCandidate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep the newest 2, but version 2 is promoted and must survive.
+	if err := st.Prune(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{2: true, 4: true, 5: true}
+	versions, err := st.scanVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != len(want) {
+		t.Fatalf("after prune versions = %v, want {2,4,5}", versions)
+	}
+	for _, v := range versions {
+		if !want[v] {
+			t.Fatalf("after prune versions = %v, want {2,4,5}", versions)
+		}
+	}
+	man := st.Manifest()
+	if len(man.Entries) != 3 {
+		t.Fatalf("manifest entries = %+v, want 3", man.Entries)
+	}
+}
+
+// TestResumeRacesSaveFile covers the satellite requirement: Resume racing a
+// concurrent SaveFile into the same path must never observe a partial write
+// (SaveFile publishes by atomic rename), and once the writer finishes the
+// newest checkpoint wins.
+func TestResumeRacesSaveFile(t *testing.T) {
+	const rounds = 25
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.plkp")
+
+	writer := storeNet(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := 1; e <= rounds; e++ {
+			scramble(writer, int64(e))
+			if err := SaveFile(path, writer, e); err != nil {
+				t.Errorf("SaveFile epoch %d: %v", e, err)
+				return
+			}
+		}
+	}()
+
+	reader := storeNet(2)
+	maxSeen := 0
+	for i := 0; i < 4*rounds; i++ {
+		epoch, ok, err := Resume(path, reader)
+		if err != nil {
+			t.Fatalf("Resume observed a partial write: %v", err)
+		}
+		if !ok {
+			continue // before the first save landed
+		}
+		if epoch < 1 || epoch > rounds {
+			t.Fatalf("Resume returned epoch %d outside [1, %d]", epoch, rounds)
+		}
+		if epoch < maxSeen {
+			t.Fatalf("Resume went backwards: epoch %d after %d", epoch, maxSeen)
+		}
+		maxSeen = epoch
+	}
+	wg.Wait()
+
+	// Newest-valid-wins once the dust settles.
+	final := storeNet(3)
+	epoch, ok, err := Resume(path, final)
+	if err != nil || !ok || epoch != rounds {
+		t.Fatalf("final Resume: (%d, %v, %v), want (%d, true, nil)", epoch, ok, err, rounds)
+	}
+	sameParams(t, writer, final, "final resume")
+}
+
+// TestStoreConcurrentSaveAndDiscover exercises the store under the race
+// detector: one goroutine publishes new versions while another repeatedly
+// discovers the newest valid one.
+func TestStoreConcurrentSaveAndDiscover(t *testing.T) {
+	const versions = 12
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := storeNet(1)
+		for v := uint64(1); v <= versions; v++ {
+			scramble(n, int64(v))
+			if err := st.Save(n, int(v), v, StateCandidate); err != nil {
+				t.Errorf("Save v%d: %v", v, err)
+				return
+			}
+		}
+	}()
+	probe := storeNet(2)
+	var lastV uint64
+	for i := 0; i < 3*versions; i++ {
+		v, _, ok, err := st.LatestValid(probe)
+		if err != nil {
+			t.Fatalf("LatestValid: %v", err)
+		}
+		if ok && v < lastV {
+			t.Fatalf("discovery went backwards: v%d after v%d", v, lastV)
+		}
+		if ok {
+			lastV = v
+		}
+	}
+	wg.Wait()
+	v, _, ok, err := st.LatestValid(probe)
+	if err != nil || !ok || v != versions {
+		t.Fatalf("final LatestValid = (v%d, %v, %v), want (v%d, true, nil)", v, ok, err, uint64(versions))
+	}
+}
+
+// FuzzManifest feeds arbitrary bytes to the manifest parser: errors are
+// expected, panics are not. Includes the satellite-required truncated
+// manifest among the seeds.
+func FuzzManifest(f *testing.F) {
+	valid, err := json.MarshalIndent(Manifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Entries: []ManifestEntry{
+			{Version: 1, Epoch: 3, File: versionFileName(1), State: StatePromoted},
+			{Version: 2, Epoch: 6, File: versionFileName(2), State: StateCandidate},
+		},
+	}, "", "  ")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated manifest — the torn-write shape
+	f.Add([]byte{})
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	f.Add(append(append([]byte(nil), valid...), []byte("{}")...)) // trailing data
+	f.Add([]byte(`{"schema_version":1,"entries":[{"version":0}]}`))
+	f.Add([]byte(`{"schema_version":1,"entries":[{"version":2,"state":"promoted"},{"version":1,"state":"candidate"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		var last uint64
+		for i, e := range m.Entries {
+			if e.Version == 0 || (i > 0 && e.Version <= last) {
+				t.Fatalf("accepted manifest with invalid version ordering: %+v", m.Entries)
+			}
+			last = e.Version
+		}
+	})
+}

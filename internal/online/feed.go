@@ -1,0 +1,35 @@
+package online
+
+import (
+	"pipelayer/internal/dataset"
+	"pipelayer/internal/nn"
+)
+
+// Feed is a streaming source of labelled training samples — the online
+// supervisor pulls one round's worth at a time. Implementations need not be
+// safe for concurrent use: only the training loop calls Next.
+type Feed interface {
+	// Next returns the next n samples from the stream.
+	Next(n int) []nn.Sample
+}
+
+// SyntheticFeed streams the synthetic digit task deterministically: call i
+// draws from seed+i, so the sequence of batches is reproducible for a given
+// seed yet every round sees fresh data.
+type SyntheticFeed struct {
+	opts  dataset.Options
+	seed  int64
+	calls int64
+}
+
+// NewSyntheticFeed returns a deterministic synthetic stream; flat selects
+// rank-1 784-element inputs (MLP) over 1×28×28 images (CNN).
+func NewSyntheticFeed(flat bool, seed int64) *SyntheticFeed {
+	return &SyntheticFeed{opts: dataset.DefaultOptions(flat), seed: seed}
+}
+
+// Next returns the stream's next n samples.
+func (f *SyntheticFeed) Next(n int) []nn.Sample {
+	f.calls++
+	return dataset.Generate(n, f.opts, f.seed+f.calls)
+}

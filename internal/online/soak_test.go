@@ -1,0 +1,159 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pipelayer/internal/serve"
+	"pipelayer/internal/tensor"
+)
+
+// TestOnlineSoak is the acceptance load test: 200 concurrent requesters
+// hammer the server while the trainer promotes at least 3 new versions
+// underneath them. Every response must be attributable to exactly one weight
+// version and bit-identical to that version's checkpointed weights — no
+// dropped, duplicated, or torn responses — and the drain leaks nothing.
+// Run it under -race (make race-online) for the full soak.
+func TestOnlineSoak(t *testing.T) {
+	const (
+		lanes      = 200
+		promotions = 3
+	)
+	base := runtime.NumGoroutine()
+	cfg := testConfig(t)
+	cfg.Serve = serve.Config{Replicas: 2, MaxBatch: 4, QueueCap: 512, MaxWait: time.Millisecond}
+	s := newSupervisor(t, cfg)
+
+	xs := evalInputs(t, 16)
+	type obs struct {
+		input   int
+		version uint64
+		scores  []float64
+	}
+	var (
+		stop   = make(chan struct{})
+		wg     sync.WaitGroup
+		perLn  = make([][]obs, lanes)
+		failMu sync.Mutex
+		fail   error
+	)
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in := (lane + i) % len(xs)
+				res, err := s.Server().Predict(context.Background(), xs[in])
+				if errors.Is(err, serve.ErrOverloaded) {
+					continue // fail-fast backpressure is working as designed; retry
+				}
+				if err != nil {
+					failMu.Lock()
+					if fail == nil {
+						fail = err
+					}
+					failMu.Unlock()
+					return
+				}
+				if res.Version == 0 {
+					failMu.Lock()
+					if fail == nil {
+						fail = errors.New("response without a weight version")
+					}
+					failMu.Unlock()
+					return
+				}
+				perLn[lane] = append(perLn[lane], obs{in, res.Version, res.Scores.Data()})
+			}
+		}(lane)
+	}
+
+	// The trainer runs on its own lane and halts once enough versions have
+	// been promoted, so the version set stays small enough to verify fully.
+	trainErr := make(chan error, 1)
+	go func() {
+		for s.Promotions() < promotions {
+			if err := s.Step(); err != nil {
+				trainErr <- err
+				return
+			}
+		}
+		trainErr <- nil
+	}()
+	select {
+	case err := <-trainErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("trainer did not reach the promotion target in time")
+	}
+	// Let the requesters observe the final version before stopping them.
+	final := s.Version()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if res, err := s.Server().Predict(context.Background(), xs[0]); err == nil && res.Version == final {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if got := s.Promotions(); got < promotions {
+		t.Fatalf("promotions = %d, want >= %d", got, promotions)
+	}
+
+	// Every observed version must match its checkpoint bit-for-bit.
+	refs := make(map[uint64][]*tensor.Tensor)
+	seen := make(map[uint64]int)
+	total := 0
+	for _, lane := range perLn {
+		for _, o := range lane {
+			ref, ok := refs[o.version]
+			if !ok {
+				ref = refScores(t, cfg.Dir, cfg.Spec, o.version, xs)
+				refs[o.version] = ref
+			}
+			want := ref[o.input].Data()
+			if len(o.scores) != len(want) {
+				t.Fatalf("v%d input %d: score length %d, want %d", o.version, o.input, len(o.scores), len(want))
+			}
+			for j := range want {
+				if o.scores[j] != want[j] {
+					t.Fatalf("v%d input %d: torn response (score[%d] %v != %v)",
+						o.version, o.input, j, o.scores[j], want[j])
+				}
+			}
+			seen[o.version]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no responses observed during the soak")
+	}
+	if len(seen) < 2 {
+		t.Fatalf("soak observed %d distinct versions, want >= 2 (swaps must have happened under load)", len(seen))
+	}
+	t.Logf("soak: %d responses across %d versions (final v%d)", total, len(seen), final)
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After the drain, new requests are refused and nothing leaks.
+	if _, err := s.Server().Predict(context.Background(), xs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("predict after close = %v, want ErrClosed", err)
+	}
+	assertNoGoroutineLeaks(t, base)
+}

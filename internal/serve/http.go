@@ -67,23 +67,37 @@ func DecodePredictRequest(body []byte, wantSize int) (*tensor.Tensor, error) {
 // /debug/flight/trace.json download). Absent when tracing is disabled.
 const FlightTraceHeader = "X-Flight-Trace"
 
+// WeightVersionHeader echoes, on every successful prediction, the weight
+// version that computed the response — the HTTP face of Result.Version.
+const WeightVersionHeader = "X-Weight-Version"
+
+// HealthResponse is the GET /healthz body: the readiness state ("ok",
+// "lagging", "pinned" with a 200, or "draining" with a 503) and the weight
+// version currently being served.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	WeightVersion uint64 `json:"weight_version"`
+}
+
 // Handler returns the server's HTTP interface:
 //
 //	POST /predict  — PredictRequest in, PredictResponse out
-//	GET  /healthz  — 200 while serving, 503 once draining
+//	GET  /healthz  — HealthResponse: 200 while serving (status ok, lagging,
+//	                 or pinned — see Readiness), 503 once draining
 //
 // timeout, when positive, bounds each request's time in the queue and
-// readout via its context. Overload maps to 503 (retryable), a deadline to
-// 504, and any validation failure to 400. See FlightTraceHeader for trace
-// correlation.
+// readout via its context. Overload maps to 503 (retryable, with a
+// Retry-After estimate from the current queue depth), a deadline to 504,
+// and any validation failure to 400. See FlightTraceHeader for trace
+// correlation and WeightVersionHeader for version attribution.
 func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Closed() {
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining", WeightVersion: s.Version()})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, HealthResponse{Status: s.Readiness().String(), WeightVersion: s.Version()})
 	})
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -119,8 +133,10 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 			if res.Trace != 0 {
 				w.Header().Set(FlightTraceHeader, strconv.FormatUint(res.Trace, 10))
 			}
+			w.Header().Set(WeightVersionHeader, strconv.FormatUint(res.Version, 10))
 			writeJSON(w, http.StatusOK, PredictResponse{Scores: res.Scores.Data(), Class: res.Class})
 		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		case errors.Is(err, ErrClosed):
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})

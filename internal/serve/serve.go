@@ -19,10 +19,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipelayer/internal/core"
+	"pipelayer/internal/networks"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
@@ -75,6 +78,12 @@ type Config struct {
 	// (arch_readout_cols) on the replica's track.
 	TraceDepth int
 
+	// InitialVersion is the weight version the initial replicas serve as
+	// (defaults to 1). Every response is attributed to exactly one version:
+	// the one its batch's worker held when the batch started computing. Hot
+	// swaps install later versions via Swap.
+	InitialVersion uint64
+
 	// testHookBeforeBatch, settable only from this package's tests, runs in
 	// each worker before it processes a batch — letting a test stall the
 	// pipeline deterministically to fill the queue.
@@ -99,16 +108,56 @@ func (c Config) WithDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 64
 	}
+	if c.InitialVersion == 0 {
+		c.InitialVersion = 1
+	}
 	return c
+}
+
+// Readiness is the health state /healthz reports while the server accepts
+// traffic. The online supervisor drives transitions: Lagging after an eval
+// regression rolled a candidate back, Pinned once rollover is disabled
+// (repeated regressions or a trainer fault) and serving is frozen on the
+// last good version. Draining is implied by Close and not settable.
+type Readiness int32
+
+const (
+	ReadinessOK Readiness = iota
+	ReadinessLagging
+	ReadinessPinned
+)
+
+// String returns the wire form used by /healthz.
+func (r Readiness) String() string {
+	switch r {
+	case ReadinessLagging:
+		return "lagging"
+	case ReadinessPinned:
+		return "pinned"
+	default:
+		return "ok"
+	}
 }
 
 // Result is one completed prediction: the class scores and their argmax.
 // Trace is the flight-recorder trace id the request's spans are attributed
 // to (0 when tracing is off), for correlating a response with its span tree.
+// Version is the weight version that computed the scores — exactly one per
+// response, taken from the worker's replica snapshot at batch start, so a
+// response can never mix weights from two versions.
 type Result struct {
-	Scores *tensor.Tensor
-	Class  int
-	Trace  uint64
+	Scores  *tensor.Tensor
+	Class   int
+	Trace   uint64
+	Version uint64
+}
+
+// replicaState pairs one worker's replica with the weight version it was
+// built from. Workers load their slot's pointer once per batch, so a swap
+// lands between batches, never inside one.
+type replicaState struct {
+	rep     *core.Replica
+	version uint64
 }
 
 type request struct {
@@ -136,8 +185,16 @@ type outcome struct {
 // one with New; it serves until Close.
 type Server struct {
 	cfg   Config
-	in    int // expected input size (elements)
+	in    int           // expected input size (elements)
+	spec  networks.Spec // served geometry; Swap requires an identical spec
 	queue chan *request
+
+	// slots holds one atomically swappable replica+version per worker;
+	// version mirrors the most recently installed version for reporting.
+	// readiness is the /healthz state (Readiness values).
+	slots     []atomic.Pointer[replicaState]
+	version   atomic.Uint64
+	readiness atomic.Int32
 
 	mu     sync.RWMutex // guards closed against the queue close in Close
 	closed bool
@@ -159,6 +216,8 @@ type Server struct {
 	overloads   *telemetry.Counter
 	canceled    *telemetry.Counter
 	batches     *telemetry.Counter
+	swaps       *telemetry.Counter
+	weightVer   *telemetry.Gauge
 }
 
 // latencyBuckets spans 100 µs – 2.5 s: the sub-millisecond single-sample path
@@ -186,6 +245,7 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		in:          spec.InC * spec.InH * spec.InW,
+		spec:        spec,
 		queue:       make(chan *request, cfg.QueueCap),
 		beforeBatch: cfg.testHookBeforeBatch,
 		flight:      cfg.Flight,
@@ -199,6 +259,8 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 		s.overloads = reg.Counter("serve_overloaded_total")
 		s.canceled = reg.Counter("serve_canceled_total")
 		s.batches = reg.Counter("serve_batches_total")
+		s.swaps = reg.Counter("serve_swaps_total")
+		s.weightVer = reg.Gauge("serve_weight_version")
 		if s.flight.Enabled() {
 			// Attribution histograms are derived from the flight recorder's
 			// boundary timestamps (see finish), so they only exist when the
@@ -211,10 +273,13 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 	if s.flight.Enabled() {
 		s.flight.SetTrackName(flight.TrackRequests, "requests")
 	}
+	s.version.Store(cfg.InitialVersion)
+	s.gauge(s.weightVer, float64(cfg.InitialVersion))
 
 	dispatch := make(chan []*request) // unbuffered: the batcher feels worker backpressure
 	s.wg.Add(1)
 	go s.batcher(dispatch)
+	s.slots = make([]atomic.Pointer[replicaState], len(replicas))
 	for i, r := range replicas {
 		// Track 0 is the request lane; replica i owns track i+1.
 		track := uint64(i) + 1
@@ -222,11 +287,64 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 			s.flight.SetTrackName(track, fmt.Sprintf("replica %d", i))
 			r.AttachFlight(s.flight, track, cfg.TraceDepth)
 		}
+		s.slots[i].Store(&replicaState{rep: r, version: cfg.InitialVersion})
 		s.wg.Add(1)
-		go s.worker(r, track, dispatch)
+		go s.worker(i, track, dispatch)
 	}
 	return s, nil
 }
+
+// Swap atomically installs a new replica set as the given weight version:
+// each worker slot's pointer is replaced, so batches already computing
+// finish on their old replica (and report its version) while every
+// subsequent batch runs the new one. No request is dropped, delayed, or
+// torn — the queue and batcher are untouched. The replicas must serve the
+// same network spec and match the slot count (one per worker); they should be
+// freshly built from a weight snapshot (core.NewFromSnapshot + ReplicaSet),
+// not clones of a machine still training.
+func (s *Server) Swap(replicas []*core.Replica, version uint64) error {
+	if len(replicas) != len(s.slots) {
+		return fmt.Errorf("serve: swap with %d replicas, server has %d worker slots", len(replicas), len(s.slots))
+	}
+	if version == 0 {
+		return errors.New("serve: swap to version 0")
+	}
+	for i, r := range replicas {
+		if r == nil {
+			return fmt.Errorf("serve: swap replica %d is nil", i)
+		}
+		if !reflect.DeepEqual(r.Spec(), s.spec) {
+			return fmt.Errorf("serve: swap replica %d serves spec %q, server serves %q — the topology must not change across versions",
+				i, r.Spec().Name, s.spec.Name)
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for i, r := range replicas {
+		track := uint64(i) + 1
+		if s.flight.Enabled() {
+			r.AttachFlight(s.flight, track, s.cfg.TraceDepth)
+		}
+		s.slots[i].Store(&replicaState{rep: r, version: version})
+	}
+	s.version.Store(version)
+	s.gauge(s.weightVer, float64(version))
+	s.count(s.swaps)
+	return nil
+}
+
+// Version returns the most recently installed weight version.
+func (s *Server) Version() uint64 { return s.version.Load() }
+
+// SetReadiness publishes the health state /healthz reports; the online
+// supervisor calls this on Lagging/Pinned transitions.
+func (s *Server) SetReadiness(r Readiness) { s.readiness.Store(int32(r)) }
+
+// Readiness returns the current published health state.
+func (s *Server) Readiness() Readiness { return Readiness(s.readiness.Load()) }
 
 // Predict submits one input and waits for its result, the request context's
 // cancellation, or its deadline — whichever comes first. A canceled request
@@ -345,13 +463,18 @@ func (s *Server) noteDequeued(r *request) {
 	s.flight.RecordAt("serve_queue_wait", r.trace, flight.TrackRequests, r.tEnq, r.tDeq, 0)
 }
 
-// worker serves whole batches on one replica. Requests whose context died in
-// the queue are answered with their context error and excluded from the
-// readout; a batch that shrinks to one request takes the serial
-// single-request path (identical bits, no packing overhead).
-func (s *Server) worker(rep *core.Replica, track uint64, dispatch <-chan []*request) {
+// worker serves whole batches on its slot's replica. The slot pointer is
+// read once per batch, so a concurrent Swap takes effect at the next batch
+// boundary: every request in a batch is computed by, and attributed to,
+// exactly one weight version. Requests whose context died in the queue are
+// answered with their context error and excluded from the readout; a batch
+// that shrinks to one request takes the serial single-request path
+// (identical bits, no packing overhead).
+func (s *Server) worker(slot int, track uint64, dispatch <-chan []*request) {
 	defer s.wg.Done()
 	for batch := range dispatch {
+		st := s.slots[slot].Load()
+		rep := st.rep
 		if s.beforeBatch != nil {
 			s.beforeBatch()
 		}
@@ -378,26 +501,28 @@ func (s *Server) worker(rep *core.Replica, track uint64, dispatch <-chan []*requ
 			s.batchSize.Observe(float64(len(live)))
 		}
 		if len(live) == 1 {
-			s.finish(live[0], rep.Infer(live[0].x), tBatch)
+			s.finish(live[0], rep.Infer(live[0].x), tBatch, st.version)
 		} else {
 			xs := make([]*tensor.Tensor, len(live))
 			for i, r := range live {
 				xs[i] = r.x
 			}
 			for i, y := range rep.InferBatch(xs) {
-				s.finish(live[i], y, tBatch)
+				s.finish(live[i], y, tBatch, st.version)
 			}
 		}
 		s.flight.Record("serve_batch", 0, track, tBatch, int64(len(live)))
 	}
 }
 
-func (s *Server) finish(r *request, y *tensor.Tensor, tBatch int64) {
+func (s *Server) finish(r *request, y *tensor.Tensor, tBatch int64, version uint64) {
 	_, class := y.Max()
 	if s.flight.Enabled() {
 		tDone := s.flight.Now()
+		// The request span's arg carries the weight version that computed
+		// the response, so a trace is attributable to its version too.
 		s.flight.RecordAt("serve_compute", r.trace, flight.TrackRequests, tBatch, tDone, 0)
-		s.flight.RecordAt("serve_request", r.trace, flight.TrackRequests, r.tEnq, tDone, 0)
+		s.flight.RecordAt("serve_request", r.trace, flight.TrackRequests, r.tEnq, tDone, int64(version))
 		// The attribution histograms observe the very same boundary
 		// timestamps the spans hold, so a trace and its aggregate can never
 		// tell different stories.
@@ -405,7 +530,7 @@ func (s *Server) finish(r *request, y *tensor.Tensor, tBatch int64) {
 		s.observeSeconds(s.batchWait, tBatch-r.tDeq)
 		s.observeSeconds(s.computeTime, tDone-tBatch)
 	}
-	r.done <- outcome{res: Result{Scores: y, Class: class, Trace: r.trace}}
+	r.done <- outcome{res: Result{Scores: y, Class: class, Trace: r.trace, Version: version}}
 	if s.latency != nil {
 		s.latency.Add(time.Since(r.enqueued))
 	}
@@ -449,6 +574,20 @@ func (s *Server) Closed() bool {
 
 // InputSize returns the expected number of input elements per request.
 func (s *Server) InputSize() int { return s.in }
+
+// RetryAfter estimates how long an overloaded caller should back off before
+// retrying: the current queue depth divided into MaxBatch-sized batches,
+// each taking at most one MaxWait window to form — rounded up to whole
+// seconds (the Retry-After header's unit), never less than 1.
+func (s *Server) RetryAfter() int {
+	batches := len(s.queue)/s.cfg.MaxBatch + 1
+	d := time.Duration(batches) * s.cfg.MaxWait
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
 
 func (s *Server) count(c *telemetry.Counter) {
 	if c != nil {

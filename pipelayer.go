@@ -39,6 +39,7 @@ import (
 	"pipelayer/internal/memsys"
 	"pipelayer/internal/networks"
 	"pipelayer/internal/nn"
+	"pipelayer/internal/online"
 	"pipelayer/internal/parallel"
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/planner"
@@ -125,8 +126,34 @@ type (
 	// ServeConfig tunes the Server's batching scheduler (replicas, batch
 	// size, batching window, queue depth, metrics).
 	ServeConfig = serve.Config
-	// ServeResult is one completed prediction: class scores and argmax.
+	// ServeResult is one completed prediction: class scores, argmax, and
+	// the weight version that computed it.
 	ServeResult = serve.Result
+	// OnlineSupervisor is the train-while-serve supervisor: a background
+	// trainer over a streaming feed whose accuracy-gated candidate versions
+	// hot-swap atomically into the serving replicas; crash-safe via the
+	// versioned checkpoint store.
+	OnlineSupervisor = online.Supervisor
+	// OnlineConfig tunes the supervisor (spec, checkpoint dir, eval set,
+	// snapshot cadence, regression tolerance, serving shape).
+	OnlineConfig = online.Config
+	// OnlineFeed is the streaming sample source the supervisor trains from.
+	OnlineFeed = online.Feed
+	// OnlineHealth is the supervisor's degradation state: OnlineHealthy,
+	// OnlineLagging (last candidate rolled back) or OnlinePinned (promotion
+	// disabled; serving frozen on the last good version).
+	OnlineHealth = online.Health
+	// CheckpointStore is the versioned, manifest-tracked checkpoint
+	// directory behind the supervisor's candidate→promoted/rolled-back
+	// lifecycle.
+	CheckpointStore = checkpoint.Store
+)
+
+// OnlineHealth states.
+const (
+	OnlineHealthy = online.Healthy
+	OnlineLagging = online.Lagging
+	OnlinePinned  = online.Pinned
 )
 
 // Serving errors a caller can branch on.
@@ -228,6 +255,24 @@ func ResumeCheckpoint(path string, net *Network) (epoch int, ok bool, err error)
 // the batching scheduler; the server serves Predict (and, via
 // Server.Handler, HTTP) until Close drains it.
 func NewServer(a *Accelerator, cfg ServeConfig) (*Server, error) { return serve.New(a, cfg) }
+
+// NewOnlineSupervisor assembles the train-while-serve stack: it opens (or
+// resumes from) cfg.Dir's checkpoint store, starts serving the newest valid
+// version, and prepares the background trainer. Call Start to begin the
+// train→snapshot→evaluate→promote loop, and Close to stop training and
+// drain serving.
+func NewOnlineSupervisor(feed OnlineFeed, cfg OnlineConfig) (*OnlineSupervisor, error) {
+	return online.New(feed, cfg)
+}
+
+// NewSyntheticFeed streams the synthetic digit task deterministically for
+// online training; flat selects rank-1 784-element inputs (MLP) over
+// 1×28×28 images (CNN).
+func NewSyntheticFeed(flat bool, seed int64) OnlineFeed { return online.NewSyntheticFeed(flat, seed) }
+
+// OpenCheckpointStore opens (creating if needed) a versioned checkpoint
+// directory with its lifecycle manifest.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return checkpoint.OpenStore(dir) }
 
 // NewFaultInjector creates a seeded, deterministic fault injector: the same
 // config yields the same stuck cells, write failures and repair decisions at
