@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2025.1
 # go run pkg@version pattern as staticcheck).
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve race-online fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
+.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve race-shard race-online fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
 
 # Scenario-benchmark harness knobs (see DESIGN.md §4h). The glob selects
 # checked-in scenario directories; the baseline is the committed fallback the
@@ -74,6 +74,13 @@ race-fault:
 # the race detector.
 race-serve:
 	$(GO) test -race ./internal/serve/...
+
+# The layer-sharded pipeline backend threads batches through bounded
+# inter-shard channels while swaps retire chains mid-flight; its conformance
+# matrix, chaos soak, backpressure and drain suites — plus the serve suite it
+# plugs into — must hold under the race detector.
+race-shard:
+	$(GO) test -race -count=1 ./internal/shard/... ./internal/serve/...
 
 # The train-while-serve supervisor hot-swaps weight versions into the live
 # serving replicas while requests are in flight; this suite — including the

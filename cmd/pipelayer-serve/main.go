@@ -7,6 +7,7 @@
 //
 //	pipelayer-serve                          # train Mnist-A, listen on :8093
 //	pipelayer-serve -net Mnist-0 -replicas 2 # serve the CNN with two replicas
+//	pipelayer-serve -net Mnist-0 -shards 3   # pipeline the CNN across 3 layer shards
 //	pipelayer-serve -smoke 200               # offline load test → BENCH_serve.json
 //	pipelayer-serve -list                    # servable networks
 package main
@@ -51,7 +52,8 @@ func main() {
 	batch := flag.Int("batch", 10, "training batch size")
 	lr := flag.Float64("lr", 0.05, "training learning rate")
 	seed := flag.Int64("seed", 1, "random seed for weights and data")
-	replicas := flag.Int("replicas", 1, "inference replicas serving batches concurrently")
+	replicas := flag.Int("replicas", 1, "inference replicas serving batches concurrently (with -shards: concurrent in-flight batches, default = shards)")
+	shards := flag.Int("shards", 0, "split the network into this many contiguous layer-range pipeline shards (0/1 = unsharded replicas); outputs stay bit-identical")
 	maxBatch := flag.Int("max-batch", 16, "largest coalesced inference batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "batching window for a partial batch")
 	queueCap := flag.Int("queue", 64, "request queue depth (full queue → 503)")
@@ -128,8 +130,11 @@ func main() {
 
 	cfg := serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait,
-		QueueCap: *queueCap, Metrics: reg,
+		QueueCap: *queueCap, Shards: *shards, Metrics: reg,
 		Flight: rec, TraceDepth: *traceDepth,
+	}
+	if *shards >= 2 && *replicas <= 1 {
+		cfg.Replicas = 0 // let WithDefaults size the pipeline fill to the shard count
 	}
 
 	if *onlineMode {
@@ -405,6 +410,7 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 			MaxBatch:      eff.MaxBatch,
 			MaxWaitMS:     float64(eff.MaxWait) / float64(time.Millisecond),
 			Queue:         queue,
+			Shards:        eff.Shards,
 			CompareSerial: true,
 		},
 		Load: load,

@@ -8,9 +8,12 @@ import (
 )
 
 // TestGoSpawn proves the analyzer forbids raw go statements in ordinary
-// packages, exempts internal/parallel-shaped and cmd/-shaped import paths,
-// and enforces the reason on //pipelayer:allow-spawn.
+// packages, exempts internal/parallel-, internal/shard- and cmd/-shaped
+// import paths, enforces the reason on //pipelayer:allow-spawn, and still
+// flags a package merely *named* shard outside internal/ (the exemption
+// matches path segments, not package names).
 func TestGoSpawn(t *testing.T) {
 	analysistest.Run(t, analysis.AnalyzerGoSpawn,
-		"gospawn/app", "gospawn/internal/parallel", "gospawn/cmd/app")
+		"gospawn/app", "gospawn/internal/parallel", "gospawn/internal/shard",
+		"gospawn/shard", "gospawn/cmd/app")
 }

@@ -1,0 +1,10 @@
+// Package shard is a gospawn fixture standing in for the shard-chain
+// pipeline (its import path ends in internal/shard): per-shard worker
+// goroutines are sanctioned there, like the serve and parallel packages.
+package shard
+
+func chain(stages int, f func(int)) {
+	for k := 0; k < stages; k++ {
+		go f(k)
+	}
+}

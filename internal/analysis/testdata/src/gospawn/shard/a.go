@@ -1,0 +1,8 @@
+// Package shard (NOT under internal/) is the gospawn reject twin of the
+// internal/shard fixture: the exemption matches the internal/shard path
+// segment pair, so a package merely named shard is still flagged.
+package shard
+
+func sneaky(f func()) {
+	go f() // want "raw go statement outside internal/parallel, internal/serve, internal/shard, internal/online, and cmd/"
+}

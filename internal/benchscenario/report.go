@@ -26,6 +26,10 @@ type Provenance struct {
 	Workers  int    `json:"workers"`
 	Replicas int    `json:"replicas,omitempty"`
 	MaxBatch int    `json:"max_batch,omitempty"`
+	// Shards is the layer-pipeline shard count of a sharded serve run (0 for
+	// the plain replicated backend). Part of the config half: a sharded and
+	// an unsharded run of the same scenario are not comparable.
+	Shards int `json:"shards,omitempty"`
 	// Pattern is the serve scenario's load pattern. The differ consults it:
 	// an overload run's shed fraction is timing-dependent by design, so its
 	// error_rate is reported but not gated.
@@ -62,6 +66,8 @@ func (p Provenance) CompatibleWith(q Provenance) error {
 		return mismatch("replicas", p.Replicas, q.Replicas)
 	case p.MaxBatch != q.MaxBatch:
 		return mismatch("max_batch", p.MaxBatch, q.MaxBatch)
+	case p.Shards != q.Shards:
+		return mismatch("shards", p.Shards, q.Shards)
 	case p.Pattern != q.Pattern:
 		return mismatch("pattern", p.Pattern, q.Pattern)
 	}

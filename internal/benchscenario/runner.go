@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -209,10 +210,15 @@ func RunServeOn(acc *core.Accelerator, samples []nn.Sample, sc Scenario, opt Opt
 			continue
 		}
 		if rep.Metrics["rps"] > best.Metrics["rps"] {
-			// Non-timing fields (error_rate, telemetry) follow the cleanest
-			// throughput measurement.
+			// Non-timing fields (error_rate, telemetry, shard utilization)
+			// follow the cleanest throughput measurement.
 			best.Metrics["rps"] = rep.Metrics["rps"]
 			best.Metrics["error_rate"] = rep.Metrics["error_rate"]
+			for k, v := range rep.Metrics {
+				if strings.HasPrefix(k, "shard_") {
+					best.Metrics[k] = v
+				}
+			}
 			best.Telemetry = rep.Telemetry
 		}
 		for _, q := range []string{"p50_ms", "p90_ms", "p99_ms"} {
@@ -284,6 +290,10 @@ func runBatchedPass(acc *core.Accelerator, ref []refOutput, input func(int) *ten
 	if err != nil {
 		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
 	}
+	// Pre-pass span baseline: the registry may be shared across repeats (or
+	// threaded in by the caller), so per-shard busy time is the delta over
+	// this pass, not the absolute total.
+	pre := reg.Snapshot()
 	results, errs, elapsed := fire(srv, input, n, sc.Load.lanes())
 	if err := srv.Close(); err != nil {
 		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: close: %w", sc.Name, err)
@@ -323,19 +333,29 @@ func runBatchedPass(acc *core.Accelerator, ref []refOutput, input func(int) *ten
 	if s, ok := metrics["serial_rps"]; ok && s > 0 {
 		metrics["speedup"] = metrics["rps"] / s
 	}
-	hist, ok := reg.Snapshot().Histograms["serve_request_latency_seconds"]
+	snap := reg.Snapshot()
+	hist, ok := snap.Histograms["serve_request_latency_seconds"]
 	if !ok {
 		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: serve_request_latency_seconds not registered", sc.Name)
 	}
 	metrics["p50_ms"] = hist.Quantile(0.50) * 1e3
 	metrics["p90_ms"] = hist.Quantile(0.90) * 1e3
 	metrics["p99_ms"] = hist.Quantile(0.99) * 1e3
+	// Per-shard pipeline utilization: fraction of the measured window each
+	// shard spent computing. Reported (not gated) — the balance across shards
+	// is the forensic signal when a sharded scenario's rps moves.
+	for k := 0; k < effective.Shards; k++ {
+		name := telemetry.Name("serve_shard_busy_seconds", map[string]string{"shard": strconv.Itoa(k)})
+		if busy := snap.Spans[name].TotalSeconds - pre.Spans[name].TotalSeconds; busy > 0 && elapsed > 0 {
+			metrics[fmt.Sprintf("shard_%d_util", k)] = busy / elapsed.Seconds()
+		}
+	}
 
 	rep := Report{
 		SchemaVersion: SchemaVersion,
 		Provenance:    provenanceFor(sc, *opt.Env, effective),
 		Metrics:       metrics,
-		Telemetry:     reg.Snapshot().ScrapeCounters("serve_"),
+		Telemetry:     snap.ScrapeCounters("serve_"),
 	}
 	// The digest only exists when the run is closed under determinism: an
 	// overload pattern sheds a timing-dependent subset, so its output set
@@ -478,10 +498,12 @@ func provenanceFor(sc Scenario, env Env, effective serve.Config) Provenance {
 	case KindServe:
 		p.Replicas = effective.Replicas
 		p.MaxBatch = effective.MaxBatch
+		p.Shards = effective.Shards
 		p.Pattern = sc.Load.Pattern
 	case KindOnline:
 		p.Replicas = effective.Replicas
 		p.MaxBatch = effective.MaxBatch
+		p.Shards = effective.Shards
 		p.Pattern = KindOnline
 	}
 	return p

@@ -114,6 +114,11 @@ type ServeSpec struct {
 	MaxBatch  int     `json:"max_batch,omitempty"`
 	MaxWaitMS float64 `json:"max_wait_ms,omitempty"`
 	Queue     int     `json:"queue,omitempty"`
+	// Shards >= 2 serves through the layer-sharded pipeline backend instead
+	// of independent replicas: the network is split into Shards contiguous
+	// layer ranges, each on its own pipeline stage. Replicas then means
+	// pipeline fill (concurrent in-flight batches), defaulting to Shards.
+	Shards int `json:"shards,omitempty"`
 	// CompareSerial additionally runs the whole request set through a
 	// batch-of-1 server, verifies bit-identity, and reports serial_rps +
 	// speedup — the batched-vs-serial scenario.
@@ -127,6 +132,7 @@ func (s ServeSpec) ToConfig() serve.Config {
 		MaxBatch: s.MaxBatch,
 		MaxWait:  time.Duration(s.MaxWaitMS * float64(time.Millisecond)),
 		QueueCap: s.Queue,
+		Shards:   s.Shards,
 	}
 }
 
@@ -183,6 +189,7 @@ const (
 	maxEpochs      = 50
 	maxTrainBatch  = 256
 	maxReplicas    = 16
+	maxShards      = 16
 	maxMaxBatch    = 256
 	maxWaitMSCap   = 1000
 	maxQueue       = 65536
@@ -290,6 +297,9 @@ func (s ServeSpec) validate() error {
 	}
 	if s.Queue < 0 || s.Queue > maxQueue {
 		return fmt.Errorf("serve.queue %d out of range [0,%d]", s.Queue, maxQueue)
+	}
+	if s.Shards < 0 || s.Shards > maxShards {
+		return fmt.Errorf("serve.shards %d out of range [0,%d]", s.Shards, maxShards)
 	}
 	return nil
 }

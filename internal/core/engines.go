@@ -57,6 +57,10 @@ type layerEngine interface {
 	// readouts as flight spans on the given track (depth-2 tracing). The
 	// programmed codes stay shared; weight-free stages return themselves.
 	withFlight(rec *flight.Recorder, track uint64) layerEngine
+	// forwardCost is the stage's analytic forward work in MAC-equivalents —
+	// the balance weight shard planning falls back to when no measured
+	// per-stage telemetry is available.
+	forwardCost() float64
 }
 
 // buildEngines lowers a float network onto analog layer engines. Supported
@@ -170,6 +174,8 @@ func (e *denseEngine) reprogram() { e.program() }
 func (e *denseEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
 
 func (e *denseEngine) cloneForInference() layerEngine { c := *e; return &c }
+
+func (e *denseEngine) forwardCost() float64 { return float64(e.in) * float64(e.out) }
 
 func (e *denseEngine) withFlight(rec *flight.Recorder, track uint64) layerEngine {
 	c := *e
@@ -301,6 +307,11 @@ func (e *convEngine) reprogram() { e.program() }
 func (e *convEngine) weights() []*tensor.Tensor { return []*tensor.Tensor{e.w, e.bias} }
 
 func (e *convEngine) cloneForInference() layerEngine { c := *e; return &c }
+
+func (e *convEngine) forwardCost() float64 {
+	oh, ow := e.outShape()
+	return float64(e.outC) * float64(e.inC) * float64(e.k*e.k) * float64(oh*ow)
+}
 
 func (e *convEngine) withFlight(rec *flight.Recorder, track uint64) layerEngine {
 	c := *e
@@ -458,5 +469,7 @@ func (e *poolEngine) reprogram() {}
 func (e *poolEngine) weights() []*tensor.Tensor { return nil }
 
 func (e *poolEngine) cloneForInference() layerEngine { c := *e; return &c }
+
+func (e *poolEngine) forwardCost() float64 { return float64(e.inC) * float64(e.inH) * float64(e.inW) }
 
 func (e *poolEngine) withFlight(*flight.Recorder, uint64) layerEngine { return e }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"pipelayer/internal/arch"
 	"pipelayer/internal/networks"
@@ -40,6 +41,50 @@ func (a *Accelerator) NewReplica() (*Replica, error) {
 
 // Spec returns the network geometry the replica serves.
 func (r *Replica) Spec() networks.Spec { return r.spec }
+
+// Engines returns the number of layer engines in the replica's stack —
+// the granularity shard planning partitions over.
+func (r *Replica) Engines() int { return len(r.engines) }
+
+// ForwardCosts returns the analytic forward cost (MAC-equivalents) of each
+// layer engine, in stack order. Shard planning uses these weights to balance
+// contiguous layer ranges when no measured telemetry is available.
+func (r *Replica) ForwardCosts() []float64 {
+	costs := make([]float64, len(r.engines))
+	for i, e := range r.engines {
+		costs[i] = e.forwardCost()
+	}
+	return costs
+}
+
+// Sub returns a replica covering only engines [lo, hi): the building block
+// for layer-range sharding. Each engine is a fresh inference clone, so the
+// sub-replica shares the programmed crossbar arrays (and any attached fault
+// state) with its parent but owns private activation buffers — independent
+// sub-replicas over disjoint ranges may run concurrently. The sub-replica
+// keeps the full network spec; its Infer/InferBatch accept the output shape
+// of engine lo-1 and produce the output of engine hi-1.
+func (r *Replica) Sub(lo, hi int) (*Replica, error) {
+	if lo < 0 || hi > len(r.engines) || lo >= hi {
+		return nil, fmt.Errorf("core: Sub range [%d,%d) outside engine stack of %d", lo, hi, len(r.engines))
+	}
+	engines := make([]layerEngine, hi-lo)
+	for i, e := range r.engines[lo:hi] {
+		engines[i] = e.cloneForInference()
+	}
+	return &Replica{engines: engines, spec: r.spec}, nil
+}
+
+// Forward runs a batch through the replica and never errors; it exists so a
+// bare Replica satisfies the serving backend contract alongside the sharded
+// chain. A single-element batch takes the serial Infer path — bit-identical
+// to InferBatch by the batched kernel's contract, and cheaper.
+func (r *Replica) Forward(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 1 {
+		return []*tensor.Tensor{r.Infer(xs[0])}, nil
+	}
+	return r.InferBatch(xs), nil
+}
 
 // Spec returns the configured network geometry (zero value before
 // Topology_set).

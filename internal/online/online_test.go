@@ -13,6 +13,7 @@ import (
 	"pipelayer/internal/core"
 	"pipelayer/internal/energy"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/serve"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 	"pipelayer/internal/testutil"
@@ -440,4 +441,49 @@ func assertNoGoroutineLeaks(t *testing.T, base int) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestOnlineShardedSwapSurvives: the supervisor's hot rollover works
+// unchanged when the serving layer runs the layer-sharded backend. Each
+// promotion goes through serve.Swap, which in sharded mode rebuilds the
+// shard chain from the candidate's weights and retires the old chain; every
+// response afterwards reports the promoted version and bit-matches that
+// version's checkpointed weights through the serial reference.
+func TestOnlineShardedSwapSurvives(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := testConfig(t)
+	cfg.Serve = serve.Config{Shards: 2, MaxBatch: 8, QueueCap: 64} // TinyMLP: fc1 | fc2
+	s := newSupervisor(t, cfg)
+
+	xs := evalInputs(t, 4)
+	for step := 0; step < 2; step++ { // promotes v2, then v3
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Promotions(); got != 2 {
+		t.Fatalf("promotions = %d, want 2", got)
+	}
+	srv := s.Server()
+	version := srv.Version()
+	if version != 3 {
+		t.Fatalf("served version = %d, want 3", version)
+	}
+	refs := refScores(t, cfg.Dir, cfg.Spec, version, xs)
+	for i, x := range xs {
+		res, err := srv.Predict(context.Background(), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Version != version {
+			t.Fatalf("response version = %d, want %d", res.Version, version)
+		}
+		if !sameScores(res.Scores, refs[i]) {
+			t.Fatalf("response %d does not bit-match version %d's weights", i, version)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoGoroutineLeaks(t, base)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,7 +12,11 @@ import (
 	"testing"
 	"time"
 
+	"pipelayer/internal/core"
+	"pipelayer/internal/energy"
 	"pipelayer/internal/telemetry/flight"
+	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
 )
 
 func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -65,6 +70,61 @@ func TestHTTPPredict(t *testing.T) {
 	}
 	if _, idx := want.Max(); resp.Class != idx {
 		t.Fatalf("class %d, want %d", resp.Class, idx)
+	}
+}
+
+// TestHTTPPredictFlatInputConvNetwork: HTTP clients always send a flat
+// vector, but a conv front layer consumes (C,H,W) images — the server must
+// reshape, not hand the flat tensor to Im2Col (which panics the worker, or
+// with shards the whole chain). Scores must bit-match the serial path on the
+// shaped image, unsharded and sharded alike.
+func TestHTTPPredictFlatInputConvNetwork(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"unsharded", 0},
+		{"sharded", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := core.New(energy.DefaultModel())
+			if err := a.TopologySet(testutil.TinyDeepCNN("serve-cnn"), 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.WeightLoad(nil, rand.New(rand.NewSource(77))); err != nil {
+				t.Fatal(err)
+			}
+			img := testutil.ImageSamples(1, 9)[0].Input
+			want := serialReference(t, a, []*tensor.Tensor{img})[0]
+
+			s, err := New(a, Config{Shards: tc.shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			h := s.Handler(5 * time.Second)
+
+			body, err := json.Marshal(PredictRequest{Input: img.Data()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := postJSON(t, h, "/predict", string(body))
+			if w.Code != http.StatusOK {
+				t.Fatalf("flat predict against conv net: status %d, body %s", w.Code, w.Body)
+			}
+			var resp PredictResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Scores) != want.Size() {
+				t.Fatalf("scores length %d, want %d", len(resp.Scores), want.Size())
+			}
+			for i, v := range resp.Scores {
+				if v != want.At(i) {
+					t.Fatalf("score %d = %v, serial path %v", i, v, want.At(i))
+				}
+			}
+		})
 	}
 }
 

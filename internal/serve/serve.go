@@ -25,7 +25,9 @@ import (
 	"time"
 
 	"pipelayer/internal/core"
+	"pipelayer/internal/mapping"
 	"pipelayer/internal/networks"
+	"pipelayer/internal/shard"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/telemetry/flight"
 	"pipelayer/internal/tensor"
@@ -44,8 +46,29 @@ var (
 type Config struct {
 	// Replicas is the number of inference clones serving batches
 	// concurrently. Each replica shares the trained machine's programmed
-	// arrays but owns its activation state.
+	// arrays but owns its activation state. In sharded mode (see Shards)
+	// there is a single shared shard chain instead of per-worker replicas;
+	// Replicas then sets the number of workers — the number of batches kept
+	// in flight, i.e. the pipeline fill — and defaults to Shards.
 	Replicas int
+	// Shards, when >= 2, serves through a pipelined chain of contiguous
+	// layer-range shards (internal/shard) instead of whole-model replicas:
+	// shard k computes batch i+1 while shard k+1 computes batch i — the
+	// paper's Figure 6 inter-layer pipeline on the serving path. The layer
+	// partition is balanced automatically by per-layer compute cost
+	// (measured trainer telemetry in Metrics when complete, analytic MAC
+	// counts otherwise) and stays fixed across hot swaps. Outputs remain
+	// bit-identical to the unsharded path.
+	Shards int
+	// ShardRanges assigns the layer partition explicitly (must tile the
+	// engine stack); non-empty ShardRanges enables sharded mode and
+	// overrides Shards.
+	ShardRanges []shard.Range
+	// ShardDepth bounds each shard's inbox (default 1): how many batches a
+	// shard may hold waiting beyond the one it is computing. Small values
+	// keep backpressure tight — a stalled shard stalls its upstream within
+	// one batch and the stall propagates to ErrOverloaded at admission.
+	ShardDepth int
 	// MaxBatch is the largest coalesced batch; a full batch flushes
 	// immediately.
 	MaxBatch int
@@ -88,7 +111,16 @@ type Config struct {
 	// each worker before it processes a batch — letting a test stall the
 	// pipeline deterministically to fill the queue.
 	testHookBeforeBatch func()
+
+	// testHookBeforeShard, settable only from this package's tests, is
+	// threaded into the shard chain's BeforeStage hook — letting a test
+	// stall a chosen shard and watch the backpressure cascade reach
+	// admission.
+	testHookBeforeShard func(int)
 }
+
+// Sharded reports whether the config selects the layer-sharded backend.
+func (c Config) Sharded() bool { return c.Shards >= 2 || len(c.ShardRanges) >= 1 }
 
 // WithDefaults returns the config with every zero field replaced by its
 // documented default (one replica, batches of 16, 2 ms window, 64-deep
@@ -96,6 +128,14 @@ type Config struct {
 // benchmark runner in particular — use it to record the *effective*
 // configuration in report provenance instead of zeros.
 func (c Config) WithDefaults() Config {
+	if len(c.ShardRanges) > 0 {
+		c.Shards = len(c.ShardRanges)
+	}
+	if c.Sharded() && c.Replicas <= 0 {
+		// A pipeline only overlaps when several batches are in flight; one
+		// worker per shard is the natural fill.
+		c.Replicas = c.Shards
+	}
 	if c.Replicas <= 0 {
 		c.Replicas = 1
 	}
@@ -152,11 +192,22 @@ type Result struct {
 	Version uint64
 }
 
-// replicaState pairs one worker's replica with the weight version it was
-// built from. Workers load their slot's pointer once per batch, so a swap
-// lands between batches, never inside one.
-type replicaState struct {
-	rep     *core.Replica
+// Backend computes whole batches for the workers. Two implementations:
+// *core.Replica (whole-model, one private backend per worker) and
+// *shard.Chain (layer-sharded pipeline, one backend shared by all workers —
+// safe because the chain is concurrent by design and pipelines the workers'
+// batches across its shards). Both produce bit-identical outputs to the
+// serial single-request path.
+type Backend interface {
+	Spec() networks.Spec
+	Forward(xs []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// backendState pairs a backend with the weight version it was built from.
+// Workers load their slot's pointer once per batch, so a swap lands between
+// batches, never inside one.
+type backendState struct {
+	be      Backend
 	version uint64
 }
 
@@ -189,12 +240,19 @@ type Server struct {
 	spec  networks.Spec // served geometry; Swap requires an identical spec
 	queue chan *request
 
-	// slots holds one atomically swappable replica+version per worker;
+	// slots holds one atomically swappable backend+version per worker (in
+	// sharded mode every slot points at the same shared chain state);
 	// version mirrors the most recently installed version for reporting.
 	// readiness is the /healthz state (Readiness values).
-	slots     []atomic.Pointer[replicaState]
+	slots     []atomic.Pointer[backendState]
 	version   atomic.Uint64
 	readiness atomic.Int32
+
+	// chainCfg is the pinned shard-chain construction recipe (resolved
+	// ranges included) so every hot swap rebuilds an identically
+	// partitioned chain; zero when unsharded.
+	chainCfg shard.Config
+	sharded  bool
 
 	mu     sync.RWMutex // guards closed against the queue close in Close
 	closed bool
@@ -228,20 +286,57 @@ var latencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
-// New builds replicas from the trained accelerator and starts the scheduler.
-// The accelerator must have weights loaded (NewReplica's requirement); it is
-// not otherwise touched, so training-side state stays where it was.
+// New builds the serving backend from the trained accelerator and starts the
+// scheduler. Unsharded, each worker owns a whole-model replica; with
+// cfg.Shards >= 2 (or explicit ShardRanges) one layer-sharded chain is built
+// and shared by every worker. The accelerator must have weights loaded
+// (NewReplica's requirement); it is not otherwise touched, so training-side
+// state stays where it was.
 func New(a *core.Accelerator, cfg Config) (*Server, error) {
 	cfg = cfg.WithDefaults()
-	replicas := make([]*core.Replica, cfg.Replicas)
-	for i := range replicas {
-		r, err := a.NewReplica()
+	var (
+		replicas []*core.Replica
+		chain    *shard.Chain
+		chainCfg shard.Config
+	)
+	if cfg.Sharded() {
+		rep, err := a.NewReplica()
 		if err != nil {
 			return nil, err
 		}
-		replicas[i] = r
+		chainCfg = shard.Config{
+			Shards:      cfg.Shards,
+			Ranges:      cfg.ShardRanges,
+			Depth:       cfg.ShardDepth,
+			Metrics:     cfg.Metrics,
+			Flight:      cfg.Flight,
+			TrackBase:   1, // track 0 is the request lane
+			TraceDepth:  cfg.TraceDepth,
+			BeforeStage: cfg.testHookBeforeShard,
+		}
+		// Resolve the partition once and pin it: hot swaps rebuild the
+		// chain for new weights, and the shard boundaries must not drift
+		// with whatever telemetry has accumulated by then.
+		ranges, err := shard.ResolveRanges(rep, chainCfg)
+		if err != nil {
+			return nil, err
+		}
+		chainCfg.Ranges = ranges
+		chainCfg.Shards = len(ranges)
+		if chain, err = shard.New(rep, chainCfg); err != nil {
+			return nil, err
+		}
+	} else {
+		replicas = make([]*core.Replica, cfg.Replicas)
+		for i := range replicas {
+			r, err := a.NewReplica()
+			if err != nil {
+				return nil, err
+			}
+			replicas[i] = r
+		}
 	}
-	spec := replicas[0].Spec()
+	spec := a.Spec()
 	s := &Server{
 		cfg:         cfg,
 		in:          spec.InC * spec.InH * spec.InW,
@@ -249,6 +344,8 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 		queue:       make(chan *request, cfg.QueueCap),
 		beforeBatch: cfg.testHookBeforeBatch,
 		flight:      cfg.Flight,
+		chainCfg:    chainCfg,
+		sharded:     chain != nil,
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.queueDepth = reg.Gauge("serve_queue_depth")
@@ -279,7 +376,23 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 	dispatch := make(chan []*request) // unbuffered: the batcher feels worker backpressure
 	s.wg.Add(1)
 	go s.batcher(dispatch)
-	s.slots = make([]atomic.Pointer[replicaState], len(replicas))
+	s.slots = make([]atomic.Pointer[backendState], cfg.Replicas)
+	if s.sharded {
+		// One shared chain state behind every slot. The chain owns tracks
+		// 1..S; worker i records its serve_batch spans on track S+1+i so
+		// per-shard and per-worker timelines stay distinct in the export.
+		st := &backendState{be: chain, version: cfg.InitialVersion}
+		for i := range s.slots {
+			track := uint64(chain.Shards()) + uint64(i) + 1
+			if s.flight.Enabled() {
+				s.flight.SetTrackName(track, fmt.Sprintf("worker %d", i))
+			}
+			s.slots[i].Store(st)
+			s.wg.Add(1)
+			go s.worker(i, track, dispatch)
+		}
+		return s, nil
+	}
 	for i, r := range replicas {
 		// Track 0 is the request lane; replica i owns track i+1.
 		track := uint64(i) + 1
@@ -287,7 +400,7 @@ func New(a *core.Accelerator, cfg Config) (*Server, error) {
 			s.flight.SetTrackName(track, fmt.Sprintf("replica %d", i))
 			r.AttachFlight(s.flight, track, cfg.TraceDepth)
 		}
-		s.slots[i].Store(&replicaState{rep: r, version: cfg.InitialVersion})
+		s.slots[i].Store(&backendState{be: r, version: cfg.InitialVersion})
 		s.wg.Add(1)
 		go s.worker(i, track, dispatch)
 	}
@@ -323,12 +436,36 @@ func (s *Server) Swap(replicas []*core.Replica, version uint64) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.sharded {
+		// Rebuild the chain from the first replica using the pinned
+		// partition, point every slot at it, then retire the old chain.
+		// Retiring drains: batches already inside the old chain finish and
+		// report their old version; a worker that loaded the old state just
+		// before the swap gets ErrClosed from the retired chain and retries
+		// on the freshly loaded slot. No request is dropped or torn.
+		chain, err := shard.New(replicas[0], s.chainCfg)
+		if err != nil {
+			return err
+		}
+		old := s.slots[0].Load()
+		st := &backendState{be: chain, version: version}
+		for i := range s.slots {
+			s.slots[i].Store(st)
+		}
+		s.version.Store(version)
+		s.gauge(s.weightVer, float64(version))
+		s.count(s.swaps)
+		if c, ok := old.be.(*shard.Chain); ok {
+			c.Close()
+		}
+		return nil
+	}
 	for i, r := range replicas {
 		track := uint64(i) + 1
 		if s.flight.Enabled() {
 			r.AttachFlight(s.flight, track, s.cfg.TraceDepth)
 		}
-		s.slots[i].Store(&replicaState{rep: r, version: version})
+		s.slots[i].Store(&backendState{be: r, version: version})
 	}
 	s.version.Store(version)
 	s.gauge(s.weightVer, float64(version))
@@ -356,6 +493,11 @@ func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (Result, error) 
 	}
 	if x.Size() != s.in {
 		return Result{}, fmt.Errorf("serve: input has %d elements, want %d", x.Size(), s.in)
+	}
+	if x.Rank() == 1 && len(s.spec.Layers) > 0 && s.spec.Layers[0].Kind != mapping.KindFC {
+		// HTTP clients send flat vectors; a conv front layer needs the
+		// (C,H,W) image. Reshape is a view — no copy.
+		x = x.Reshape(s.spec.InC, s.spec.InH, s.spec.InW)
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -474,7 +616,6 @@ func (s *Server) worker(slot int, track uint64, dispatch <-chan []*request) {
 	defer s.wg.Done()
 	for batch := range dispatch {
 		st := s.slots[slot].Load()
-		rep := st.rep
 		if s.beforeBatch != nil {
 			s.beforeBatch()
 		}
@@ -500,16 +641,28 @@ func (s *Server) worker(slot int, track uint64, dispatch <-chan []*request) {
 		if s.batchSize != nil {
 			s.batchSize.Observe(float64(len(live)))
 		}
-		if len(live) == 1 {
-			s.finish(live[0], rep.Infer(live[0].x), tBatch, st.version)
-		} else {
-			xs := make([]*tensor.Tensor, len(live))
-			for i, r := range live {
-				xs[i] = r.x
+		xs := make([]*tensor.Tensor, len(live))
+		for i, r := range live {
+			xs[i] = r.x
+		}
+		ys, err := st.be.Forward(xs)
+		// ErrClosed from a retired shard chain means a hot swap landed
+		// between loading the slot and the call: reload the slot — the swap
+		// installed the replacement before retiring the old chain — and
+		// recompute on the new version. Bounded, because only a swap can
+		// retire a chain out from under a live worker.
+		for attempt := 0; err != nil && errors.Is(err, shard.ErrClosed) && attempt < 4; attempt++ {
+			st = s.slots[slot].Load()
+			ys, err = st.be.Forward(xs)
+		}
+		if err != nil {
+			for _, r := range live {
+				r.done <- outcome{err: err}
 			}
-			for i, y := range rep.InferBatch(xs) {
-				s.finish(live[i], y, tBatch, st.version)
-			}
+			continue
+		}
+		for i, y := range ys {
+			s.finish(live[i], y, tBatch, st.version)
 		}
 		s.flight.Record("serve_batch", 0, track, tBatch, int64(len(live)))
 	}
@@ -562,6 +715,14 @@ func (s *Server) Close() error {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// In sharded mode the workers share one chain; retire it after they all
+	// exited so its shard goroutines are joined too. Chains replaced by
+	// earlier swaps were already retired by Swap.
+	if st := s.slots[0].Load(); st != nil {
+		if c, ok := st.be.(*shard.Chain); ok {
+			c.Close()
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,343 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipelayer/internal/core"
+	"pipelayer/internal/energy"
+	"pipelayer/internal/telemetry"
+	"pipelayer/internal/tensor"
+	"pipelayer/internal/testutil"
+)
+
+// cnnReplica builds a weight-loaded TinyDeepCNN (5 engines: conv, pool,
+// conv, pool, fc) and returns a fresh inference replica of it.
+func cnnReplica(t testing.TB) *core.Replica {
+	t.Helper()
+	a := core.New(energy.DefaultModel())
+	if err := a.TopologySet(testutil.TinyDeepCNN("shard-cnn"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WeightLoad(nil, rand.New(rand.NewSource(41))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func imageInputs(t testing.TB, n int) []*tensor.Tensor {
+	t.Helper()
+	samples := testutil.ImageSamples(n, 17)
+	xs := make([]*tensor.Tensor, n)
+	for i, s := range samples {
+		xs[i] = s.Input
+	}
+	return xs
+}
+
+func sameBits(t *testing.T, got, want *tensor.Tensor, what string) {
+	t.Helper()
+	g, w := got.Data(), want.Data()
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d elements, want %d", what, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: element %d is %v, want %v (bit-identity broken)", what, i, g[i], w[i])
+		}
+	}
+}
+
+func assertNoGoroutineLeaks(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChainBitIdentity: every shard count over the 5-engine CNN produces
+// bit-identical outputs to the unsharded replica, for multi-sample batches
+// and the single-sample fast path alike.
+func TestChainBitIdentity(t *testing.T) {
+	rep := cnnReplica(t)
+	xs := imageInputs(t, 6)
+	want := rep.InferBatch(append([]*tensor.Tensor(nil), xs...))
+	single := rep.Infer(xs[0])
+	for shards := 1; shards <= rep.Engines(); shards++ {
+		c, err := New(rep, Config{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got, err := c.Forward(append([]*tensor.Tensor(nil), xs...))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := range got {
+			sameBits(t, got[i], want[i], "batched")
+		}
+		one, err := c.Forward([]*tensor.Tensor{xs[0]})
+		if err != nil {
+			t.Fatalf("shards=%d single: %v", shards, err)
+		}
+		sameBits(t, one[0], single, "single")
+		if err := c.Close(); err != nil {
+			t.Fatalf("shards=%d close: %v", shards, err)
+		}
+	}
+}
+
+// TestChainExplicitRangesAndTelemetry: explicit uneven ranges work, per-shard
+// instruments appear labeled, and Ranges reports the partition used.
+func TestChainExplicitRangesAndTelemetry(t *testing.T) {
+	rep := cnnReplica(t)
+	xs := imageInputs(t, 4)
+	want := rep.InferBatch(append([]*tensor.Tensor(nil), xs...))
+	reg := telemetry.NewRegistry()
+	ranges := []Range{{0, 1}, {1, 4}, {4, 5}}
+	c, err := New(rep, Config{Ranges: ranges, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Forward(append([]*tensor.Tensor(nil), xs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		sameBits(t, got[i], want[i], "explicit ranges")
+	}
+	if got := c.Ranges(); len(got) != 3 || got[1] != ranges[1] {
+		t.Fatalf("Ranges() = %v, want %v", got, ranges)
+	}
+	snap := reg.Snapshot()
+	for k := 0; k < 3; k++ {
+		name := telemetry.Name("serve_shard_batches_total", map[string]string{"shard": []string{"0", "1", "2"}[k]})
+		if snap.Counters[name] != 1 {
+			t.Errorf("%s = %d, want 1", name, snap.Counters[name])
+		}
+	}
+}
+
+// TestChainAutoBalancePrefersMeasuredTelemetry: with complete per-stage
+// forward spans in the registry the planner balances on them instead of the
+// analytic costs.
+func TestChainAutoBalancePrefersMeasuredTelemetry(t *testing.T) {
+	rep := cnnReplica(t)
+	reg := telemetry.NewRegistry()
+	// Fake a profile where the last engine dominates: the 2-shard split must
+	// isolate it.
+	for i := 1; i <= rep.Engines(); i++ {
+		ms := time.Millisecond
+		if i == rep.Engines() {
+			ms = 100 * time.Millisecond
+		}
+		reg.Span(telemetry.Name("core_stage_forward_seconds", map[string]string{"stage": []string{"1", "2", "3", "4", "5"}[i-1]})).Add(ms)
+	}
+	ranges, err := ResolveRanges(rep, Config{Shards: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Range{{0, 4}, {4, 5}}
+	if ranges[0] != want[0] || ranges[1] != want[1] {
+		t.Fatalf("measured-cost split = %v, want %v", ranges, want)
+	}
+}
+
+// TestChainBoundedBackpressure: with the tail shard stalled, only a bounded
+// number of batches fit inside the chain (inboxes + in-compute slots);
+// admission of the next batch blocks until the stall clears — backpressure,
+// not buffering.
+func TestChainBoundedBackpressure(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep := cnnReplica(t)
+	xs := imageInputs(t, 1)
+	gate := make(chan struct{})
+	var stalled atomic.Bool
+	c, err := New(rep, Config{
+		Shards: 2,
+		Depth:  1,
+		BeforeStage: func(k int) {
+			if k == 1 && stalled.Load() {
+				<-gate
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled.Store(true)
+
+	// Capacity with 2 shards at depth 1: one batch stalled in the tail
+	// worker, one in the tail inbox, one stuck in the head worker's hand-off,
+	// one in the head inbox = 4. The 5th must block at admission.
+	const capacity = 4
+	var wg sync.WaitGroup
+	results := make(chan error, capacity)
+	for i := 0; i < capacity; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Forward([]*tensor.Tensor{xs[0]})
+			results <- err
+		}()
+	}
+	// Wait for the pipeline to fill: an admission attempt with a deadline
+	// must time out rather than be accepted or buffered.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		_, err := c.ForwardContext(ctx, []*tensor.Tensor{xs[0]})
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission never blocked with the tail shard stalled")
+		}
+	}
+
+	close(gate)
+	stalled.Store(false)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Fatalf("stalled batch failed after release: %v", err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoGoroutineLeaks(t, base)
+}
+
+// TestChainCancellationDoesNotWedge: canceling callers mid-flight abandons
+// their waits without wedging the chain — later batches still flow, and
+// Close still drains cleanly.
+func TestChainCancellationDoesNotWedge(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep := cnnReplica(t)
+	xs := imageInputs(t, 2)
+	want := rep.Infer(xs[1])
+	gate := make(chan struct{})
+	var stalled atomic.Bool
+	c, err := New(rep, Config{
+		Shards: 3,
+		BeforeStage: func(k int) {
+			if k == 2 && stalled.Load() {
+				<-gate
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled.Store(true)
+
+	// A batch canceled while in flight: Forward returns the context error;
+	// the chain later delivers the orphan into the job's buffered channel.
+	ctx, cancel := context.WithCancel(context.Background())
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := c.ForwardContext(ctx, []*tensor.Tensor{xs[0]})
+		inFlight <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it get admitted and stall
+	cancel()
+	select {
+	case err := <-inFlight:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled in-flight call returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled in-flight call never returned")
+	}
+
+	close(gate)
+	stalled.Store(false)
+	got, err := c.Forward([]*tensor.Tensor{xs[1]})
+	if err != nil {
+		t.Fatalf("chain wedged after cancellation: %v", err)
+	}
+	sameBits(t, got[0], want, "post-cancel")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoGoroutineLeaks(t, base)
+}
+
+// TestChainCloseDrains: batches accepted before Close complete and deliver;
+// Forward after Close reports ErrClosed; double Close reports ErrClosed.
+func TestChainCloseDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rep := cnnReplica(t)
+	xs := imageInputs(t, 3)
+	want := rep.InferBatch(append([]*tensor.Tensor(nil), xs...))
+	c, err := New(rep, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		ys  []*tensor.Tensor
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		ys, err := c.Forward(append([]*tensor.Tensor(nil), xs...))
+		done <- res{ys, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	// The batch either completed before Close registered it (delivered,
+	// bit-identical) or lost the admission race (ErrClosed) — never lost.
+	if r.err == nil {
+		for i := range r.ys {
+			sameBits(t, r.ys[i], want[i], "drained")
+		}
+	} else if !errors.Is(r.err, ErrClosed) {
+		t.Fatalf("in-flight batch got %v", r.err)
+	}
+	if _, err := c.Forward([]*tensor.Tensor{xs[0]}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Forward after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	assertNoGoroutineLeaks(t, base)
+}
+
+func TestChainEmptyBatch(t *testing.T) {
+	rep := cnnReplica(t)
+	c, err := New(rep, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ys, err := c.Forward(nil)
+	if err != nil || ys != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", ys, err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"pipelayer/internal/pipeline"
 	"pipelayer/internal/planner"
 	"pipelayer/internal/serve"
+	"pipelayer/internal/shard"
 	"pipelayer/internal/telemetry"
 	"pipelayer/internal/tensor"
 	"pipelayer/internal/trace"
@@ -124,8 +125,12 @@ type (
 	// readouts, bit-identical to the serial path.
 	Server = serve.Server
 	// ServeConfig tunes the Server's batching scheduler (replicas, batch
-	// size, batching window, queue depth, metrics).
+	// size, batching window, queue depth, metrics) and, via Shards or
+	// ShardRanges, selects the layer-sharded pipeline backend.
 	ServeConfig = serve.Config
+	// ShardRange is one contiguous [Lo,Hi) engine range of a layer-sharded
+	// server's pipeline (ServeConfig.ShardRanges).
+	ShardRange = shard.Range
 	// ServeResult is one completed prediction: class scores, argmax, and
 	// the weight version that computed it.
 	ServeResult = serve.Result
