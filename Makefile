@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2025.1
 # go run pkg@version pattern as staticcheck).
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test test-shuffle check fmt vet analyze vulncheck race race-telemetry race-fault race-serve race-shard race-online fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
+.PHONY: build test test-shuffle check fmt vet analyze analyze-json analyze-fix vulncheck race race-telemetry race-fault race-serve race-shard race-online fault-smoke serve-smoke lint bench bench-smoke bench-scenarios bench-diff bench-baseline clean
 
 # Scenario-benchmark harness knobs (see DESIGN.md §4h). The glob selects
 # checked-in scenario directories; the baseline is the committed fallback the
@@ -36,14 +36,40 @@ check: analyze fmt race
 vet:
 	$(GO) vet ./...
 
-# analyze runs pipelayer-vet: the six project-specific analyzers
-# (nondeterminism, maporder, floatreduce, spawn, sentinelcmp, metricname)
-# plus the stock go vet passes. The analyzers live in internal/analysis on
-# a stdlib-only go/analysis-compatible core, so the version is pinned by
-# the Go toolchain itself and the module stays dependency-free; see
-# DESIGN.md §4f for the enforced invariants and the escape-hatch grammar.
+# Directory for the pipelayer-vet loader's `go list -deps -export` cache.
+# Keyed on go.mod/go.sum, the toolchain version, and a stat fingerprint of
+# every module source file, so a stale entry is impossible — worst case is a
+# miss and a live `go list`. CI caches this directory between runs.
+VET_CACHE_DIR ?= .vetcache
+
+# Findings file written by analyze-json; CI uploads it as an artifact.
+VET_FINDINGS ?= vet-findings.jsonl
+
+# analyze runs pipelayer-vet: the eleven project-specific analyzers — the
+# determinism/telemetry generation (nondeterminism, maporder, floatreduce,
+# spawn, sentinelcmp, metricname) and the concurrency-protocol generation
+# (ctxflow, lockhold, drainproto, atomicmix, errdrop) — plus the stock go
+# vet passes. The analyzers live in internal/analysis on a stdlib-only
+# go/analysis-compatible core, so the version is pinned by the Go toolchain
+# itself and the module stays dependency-free; see DESIGN.md §4f and §4k
+# for the enforced invariants and the escape-hatch grammar.
 analyze:
-	$(GO) run ./cmd/pipelayer-vet ./...
+	$(GO) run ./cmd/pipelayer-vet -listcache $(VET_CACHE_DIR) ./...
+
+# analyze-json emits one JSON object per finding (file, line, col, analyzer,
+# message, escape-hatch status) to $(VET_FINDINGS). Exit status is the same
+# as `make analyze`; the `|| status=$$?` dance keeps the findings file even
+# when the run fails, which is exactly when CI wants to upload it.
+analyze-json:
+	@status=0; $(GO) run ./cmd/pipelayer-vet -listcache $(VET_CACHE_DIR) -json ./... > $(VET_FINDINGS) || status=$$?; \
+	echo "findings written to $(VET_FINDINGS)"; exit $$status
+
+# analyze-fix reruns the suite printing a paste-ready annotation template
+# under each finding: the exact //pipelayer:allow-<check> line to place above
+# the site, with the reason left for the author to fill in. The reason is
+# mandatory — a bare directive is itself a finding.
+analyze-fix:
+	$(GO) run ./cmd/pipelayer-vet -listcache $(VET_CACHE_DIR) -template ./...
 
 # vulncheck needs network access the first time (module proxy fetch of the
 # pinned govulncheck); afterwards the module cache makes it hermetic.
@@ -140,5 +166,5 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
-	rm -f pipelayer-sim pipelayer-train pipelayer-bench pipelayer-serve BENCH_telemetry.json BENCH_fault.json BENCH_serve.json trace.json
-	rm -rf bench-reports
+	rm -f pipelayer-sim pipelayer-train pipelayer-bench pipelayer-serve BENCH_telemetry.json BENCH_fault.json BENCH_serve.json trace.json $(VET_FINDINGS)
+	rm -rf bench-reports $(VET_CACHE_DIR)

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -207,7 +208,7 @@ func runScenarios(glob, reportDir string, repeats int) error {
 
 	suite := benchscenario.Suite{SchemaVersion: benchscenario.SchemaVersion}
 	for _, sc := range scs {
-		rep, err := benchscenario.Run(sc, benchscenario.Options{Env: &env, Repeats: repeats})
+		rep, err := benchscenario.Run(context.Background(), sc, benchscenario.Options{Env: &env, Repeats: repeats})
 		if err != nil {
 			return err
 		}

@@ -268,7 +268,9 @@ func listen(acc *core.Accelerator, cfg serve.Config, addr string, timeout time.D
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		s.Close()
+		if cerr := s.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "close after listen failure: %v\n", cerr)
+		}
 		return err
 	case <-sig:
 	}
@@ -415,7 +417,7 @@ func runSmoke(acc *core.Accelerator, cfg serve.Config, samples []nn.Sample, n in
 		},
 		Load: load,
 	}
-	rep0, err := benchscenario.RunServeOn(acc, samples, sc, benchscenario.Options{
+	rep0, err := benchscenario.RunServeOn(context.Background(), acc, samples, sc, benchscenario.Options{
 		Metrics:    cfg.Metrics,
 		Flight:     cfg.Flight,
 		TraceDepth: cfg.TraceDepth,

@@ -1,10 +1,12 @@
-// Command pipelayer-vet is the project's multichecker: it runs the six
-// pipelayer-specific analyzers (nondeterminism, maporder, floatreduce,
-// spawn, sentinelcmp, metricname) over the module and then the stock `go
-// vet` passes, exiting nonzero if either finds anything. It is the
-// machine-enforced version of the repo's determinism, telemetry, and
-// error-handling invariants; see internal/analysis for what each check
-// means and DESIGN.md §4f for why it exists.
+// Command pipelayer-vet is the project's multichecker: it runs the eleven
+// pipelayer-specific analyzers — the determinism/telemetry generation
+// (nondeterminism, maporder, floatreduce, spawn, sentinelcmp, metricname)
+// and the concurrency-protocol generation (ctxflow, lockhold, drainproto,
+// atomicmix, errdrop) — over the module and then the stock `go vet` passes,
+// exiting nonzero if either finds anything. It is the machine-enforced
+// version of the repo's determinism, telemetry, error-handling, and
+// serving-tier concurrency invariants; see internal/analysis for what each
+// check means and DESIGN.md §4f/§4k for why it exists.
 //
 // Usage:
 //
@@ -13,9 +15,17 @@
 // With no package patterns it analyzes ./... from the current directory
 // (the module root). Findings are suppressed line-by-line with
 // //pipelayer:allow-<check> <reason> directives; the reason is mandatory.
+//
+// -json emits one JSON object per finding (file, line, col, analyzer,
+// message, hatch) for CI artifacts and problem matchers. -template prints a
+// ready-to-paste annotation template under each finding (the `make
+// analyze-fix` mode). -listcache DIR caches the `go list -deps -export`
+// loader output between runs, keyed on module files, source fingerprints,
+// and the toolchain version.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +39,28 @@ func main() {
 	os.Exit(run())
 }
 
+// finding is the -json wire format: one object per line. Hatch reports the
+// escape-hatch status of the site: "none" for an ordinary finding (no valid
+// directive — that is why it surfaced), or "missing-reason" when the line
+// carries a bare //pipelayer:allow directive that suppresses nothing.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Hatch    string `json:"hatch"`
+}
+
+var missingReasonRE = regexp.MustCompile(`directive needs a reason`)
+
 func run() int {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	stock := flag.Bool("stock", true, "also run the stock `go vet` passes")
 	only := flag.String("run", "", "run only analyzers whose name matches this regexp")
+	asJSON := flag.Bool("json", false, "emit findings as JSON, one object per line, on stdout")
+	template := flag.Bool("template", false, "print a paste-ready annotation template under each finding")
+	listCache := flag.String("listcache", "", "directory for caching go list -deps -export output (empty disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: pipelayer-vet [flags] [packages]\n\nFlags:\n")
@@ -68,7 +96,7 @@ func run() int {
 	}
 
 	failed := false
-	loader := &analysis.Loader{Dir: "."}
+	loader := &analysis.Loader{Dir: ".", CacheDir: *listCache}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pipelayer-vet: %v\n", err)
@@ -85,10 +113,27 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "pipelayer-vet: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		failed = true
 		pos := pkgs[0].Fset.Position(d.Pos)
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+		switch {
+		case *asJSON:
+			hatch := "none"
+			if missingReasonRE.MatchString(d.Message) {
+				hatch = "missing-reason"
+			}
+			enc.Encode(finding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message, Hatch: hatch,
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+			if *template {
+				fmt.Fprintf(os.Stderr, "\tto suppress, place on the line above %s:%d with a real reason:\n", pos.Filename, pos.Line)
+				fmt.Fprintf(os.Stderr, "\t//pipelayer:allow-%s <why this site is safe>\n", d.Analyzer)
+			}
+		}
 	}
 
 	if *stock {

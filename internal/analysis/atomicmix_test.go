@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestAtomicMix proves a field touched via sync/atomic is flagged at every
+// plain access (across receiver names), untouched fields stay free, the
+// atomic.Pointer accessor rule allows owner methods and constructor locals
+// while catching free-function bypasses, and the escape hatch demands a
+// reason.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerAtomicMix, "atomicmix/a")
+}

@@ -1,0 +1,479 @@
+package analysis
+
+// Control-flow / dataflow core shared by the concurrency-protocol analyzers
+// (lockhold, drainproto). Like the rest of the framework it is a deliberately
+// thin, stdlib-only slice of what golang.org/x/tools provides: a per-function
+// CFG built from go/ast, block-level reachability, an iterative forward
+// may-analysis, and a small alias/escape helper over go/types. The builder
+// covers every statement shape the module uses; `goto` is treated as a
+// terminator (the tree has none, and a conservative terminator can only lose
+// findings inside dead code, never invent them).
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// A Block is one straight-line run of AST nodes: statements in source order,
+// with condition/range expressions of the owning control statement inlined at
+// the position they evaluate. Succs are the possible control-flow successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; block order follows construction order, which tracks source
+// order closely enough for deterministic diagnostics.
+type CFG struct {
+	Blocks []*Block
+
+	// SelectComm marks the comm statements (sends/receives) that belong to a
+	// select's case clauses: their blocking behavior is owned by the select
+	// head (which may have a default), so analyzers must not treat them as
+	// standalone blocking operations.
+	SelectComm map[ast.Node]bool
+
+	// RangeX marks range-head expressions, so an analyzer seeing a bare
+	// channel-typed expression in a block can tell "range over channel"
+	// (blocking) apart from an ordinary operand.
+	RangeX map[ast.Expr]bool
+}
+
+// Entry returns the function's entry block (nil for an empty CFG).
+func (g *CFG) Entry() *Block {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	return g.Blocks[0]
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	entry := g.Entry()
+	if entry == nil {
+		return seen
+	}
+	stack := []*Block{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// ForwardMay runs an iterative union-based forward dataflow to fixpoint: a
+// fact holds at a block's entry when it MAY hold on some path there. transfer
+// maps a block's in-set to its out-set and must not mutate in. The returned
+// map gives each reachable block's in-set.
+func (g *CFG) ForwardMay(transfer func(b *Block, in map[string]bool) map[string]bool) map[*Block]map[string]bool {
+	reach := g.Reachable()
+	ins := make(map[*Block]map[string]bool, len(reach))
+	outs := make(map[*Block]map[string]bool, len(reach))
+	for b := range reach {
+		ins[b] = map[string]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			if !reach[b] {
+				continue
+			}
+			out := transfer(b, ins[b])
+			if !sameSet(out, outs[b]) {
+				outs[b] = out
+				changed = true
+			}
+			for _, s := range b.Succs {
+				if !reach[s] {
+					continue
+				}
+				for k := range out {
+					if !ins[s][k] {
+						ins[s][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return ins
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// cfgBuilder threads the current break/continue targets through the
+// statement walk.
+type cfgBuilder struct {
+	g      *CFG
+	breaks []*Block // innermost-last break targets (loops, switch, select)
+	conts  []*Block // innermost-last continue targets (loops only)
+	labels map[string][2]*Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g: &CFG{
+			SelectComm: make(map[ast.Node]bool),
+			RangeX:     make(map[ast.Expr]bool),
+		},
+		labels: make(map[string][2]*Block),
+	}
+	entry := b.newBlock()
+	b.stmtList(body.List, entry)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmtList appends list to cur, splitting blocks at control flow, and
+// returns the block control falls out of (nil when every path terminates).
+func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable statements after a terminator still get a block so
+			// analyzers can choose to inspect dead code; it stays unlinked.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.LabeledStmt:
+		// Pre-register the label's break/continue targets for loops.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			head := b.newBlock()
+			exit := b.newBlock()
+			link(cur, head)
+			b.labels[s.Label.Name] = [2]*Block{exit, head}
+			return b.loopAt(inner, head, exit)
+		default:
+			return b.stmt(s.Stmt, cur)
+		}
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					link(cur, t[0])
+				}
+			} else if n := len(b.breaks); n > 0 {
+				link(cur, b.breaks[n-1])
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					link(cur, t[1])
+				}
+			} else if n := len(b.conts); n > 0 {
+				link(cur, b.conts[n-1])
+			}
+		case token.GOTO:
+			// Conservative: treated as a terminator (see package comment).
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		link(cur, thenB)
+		thenOut := b.stmtList(s.Body.List, thenB)
+		exit := b.newBlock()
+		link(thenOut, exit)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			link(b.stmt(s.Else, elseB), exit)
+		} else {
+			link(cur, exit)
+		}
+		return exit
+
+	case *ast.ForStmt, *ast.RangeStmt:
+		head := b.newBlock()
+		exit := b.newBlock()
+		link(cur, head)
+		return b.loopAt(s, head, exit)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.caseClauses(s.Body, cur, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.caseClauses(s.Body, cur, true)
+
+	case *ast.SelectStmt:
+		// The select head owns the SelectStmt node itself, so analyzers can
+		// ask "does this select block?" (no default clause) in one place.
+		cur.Nodes = append(cur.Nodes, s)
+		exit := b.newBlock()
+		b.breaks = append(b.breaks, exit)
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			clB := b.newBlock()
+			link(cur, clB)
+			if comm.Comm != nil {
+				b.g.SelectComm[comm.Comm] = true
+				clB = b.stmt(comm.Comm, clB)
+			}
+			link(b.stmtList(comm.Body, clB), exit)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			return nil // empty select blocks forever
+		}
+		return exit
+
+	default:
+		// Plain statements: expressions, assignments, sends, declarations,
+		// defer/go, inc/dec, empty. All straight-line.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// loopAt builds a for/range loop whose head and exit blocks were already
+// created (so labeled loops can pre-register them as branch targets).
+func (b *cfgBuilder) loopAt(s ast.Stmt, head, exit *Block) *Block {
+	b.breaks = append(b.breaks, exit)
+	b.conts = append(b.conts, head)
+	defer func() {
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+	}()
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		if s.Init != nil {
+			// Init runs once; it belongs before the head, but the head is
+			// already linked — fold it into the head (it dominates the cond).
+			head = b.stmt(s.Init, head)
+		}
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			link(head, exit)
+		}
+		body := b.newBlock()
+		link(head, body)
+		out := b.stmtList(s.Body.List, body)
+		if s.Post != nil {
+			out = b.stmt(s.Post, out)
+		}
+		link(out, head)
+		if s.Cond == nil && len(exit.Succs) == 0 {
+			// `for {}` with no break reaching exit: exit stays unlinked and
+			// unreachable, which is exactly right.
+			return exit
+		}
+		return exit
+	case *ast.RangeStmt:
+		head.Nodes = append(head.Nodes, s.X)
+		b.g.RangeX[s.X] = true
+		link(head, exit) // a range loop may run zero times
+		body := b.newBlock()
+		link(head, body)
+		link(b.stmtList(s.Body.List, body), head)
+		return exit
+	}
+	return exit
+}
+
+// caseClauses builds switch/type-switch clause blocks joining at one exit.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, cur *Block, hasImplicitExit bool) *Block {
+	exit := b.newBlock()
+	b.breaks = append(b.breaks, exit)
+	defaulted := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaulted = true
+		}
+		clB := b.newBlock()
+		link(cur, clB)
+		for _, e := range cc.List {
+			clB.Nodes = append(clB.Nodes, e)
+		}
+		link(b.stmtList(cc.Body, clB), exit)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !defaulted && hasImplicitExit {
+		link(cur, exit) // no case matched
+	}
+	return exit
+}
+
+// --- alias / escape helpers -------------------------------------------------
+
+// rootObject returns the types.Object of the base identifier of a selector
+// chain (s, s.mu, s.srv.mu → object of s), or nil.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	id := rootIdent(expr)
+	if id == nil || info == nil {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// ExprKey canonicalizes a selector chain into a stable alias key so that the
+// same lock reached through different receivers compares equal. A chain
+// rooted at a variable of (pointer-to-) named type keys by the type's
+// fully-qualified name plus the field path — `s.mu` in two methods of Server
+// is one lock protocol, whatever the receiver is called. A chain rooted at an
+// ordinary local keys by the local's declaration position, which is unique
+// within a run. Returns "" when the expression has no stable root (calls,
+// index expressions with computed bases, missing type info).
+func ExprKey(info *types.Info, expr ast.Expr) string {
+	path := selectorPath(expr)
+	if path == "" {
+		return ""
+	}
+	obj := rootObject(info, expr)
+	if obj == nil {
+		return ""
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	// Type-canonical keys only for genuine field chains: a bare local named
+	// `mu` in two functions is two locks, but `s.mu` and `q.mu` on the same
+	// named type are one protocol.
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && path != obj.Name() {
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "#" + path
+	}
+	return fmt.Sprintf("local@%d#%s", obj.Pos(), path)
+}
+
+// selectorPath renders the field path of a selector chain without the root
+// ("mu" for s.mu, "srv.mu" for s.srv.mu); "" for non-selector shapes.
+func selectorPath(expr ast.Expr) string {
+	var parts []string
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if len(parts) == 0 {
+				return e.Name // a bare local: path is its own name
+			}
+			out := ""
+			for i := len(parts) - 1; i >= 0; i-- {
+				if out != "" {
+					out += "."
+				}
+				out += parts[i]
+			}
+			return out
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+// renderExpr prints an expression as source text for diagnostics.
+func renderExpr(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// escapesFrom reports whether obj's address is taken or obj is captured by a
+// function literal anywhere inside within — the cheap escape test analyzers
+// use to stay conservative about aliasing locals.
+func escapesFrom(info *types.Info, within ast.Node, obj types.Object) bool {
+	if info == nil || obj == nil {
+		return true
+	}
+	escapes := false
+	ast.Inspect(within, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if root := rootObject(info, n.X); root == obj {
+					escapes = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					escapes = true
+				}
+				return !escapes
+			})
+			return false
+		}
+		return !escapes
+	})
+	return escapes
+}

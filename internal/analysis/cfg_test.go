@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody type-checks one source file and returns the named function's
+// body plus the type info, so CFG tests run on real checked syntax.
+func parseFuncBody(t *testing.T, src, name string) (*ast.BlockStmt, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body, info, fset
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil, nil, nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	body, _, _ := parseFuncBody(t, `package x
+func f() int {
+	a := 1
+	b := a + 1
+	return b
+}`, "f")
+	g := BuildCFG(body)
+	if g.Entry() == nil {
+		t.Fatal("no entry block")
+	}
+	reach := g.Reachable()
+	if !reach[g.Entry()] {
+		t.Fatal("entry not reachable")
+	}
+	if got := len(g.Entry().Nodes); got != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", got)
+	}
+}
+
+func TestCFGDeadCodeUnreachable(t *testing.T) {
+	body, _, _ := parseFuncBody(t, `package x
+func f() int {
+	return 1
+	var dead int
+	_ = dead
+	return dead
+}`, "f")
+	g := BuildCFG(body)
+	reach := g.Reachable()
+	// The statements after the return land in a block, but an unlinked one.
+	var deadBlocks int
+	for _, b := range g.Blocks {
+		if !reach[b] && len(b.Nodes) > 0 {
+			deadBlocks++
+		}
+	}
+	if deadBlocks == 0 {
+		t.Fatal("dead code after return should occupy an unreachable block")
+	}
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	body, _, _ := parseFuncBody(t, `package x
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	g := BuildCFG(body)
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if len(b.Nodes) > 0 && !reach[b] {
+			t.Fatalf("block %d with %d nodes unreachable in a branch-join CFG", b.Index, len(b.Nodes))
+		}
+	}
+}
+
+func TestCFGLoopBackedge(t *testing.T) {
+	body, _, _ := parseFuncBody(t, `package x
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	g := BuildCFG(body)
+	// Some block must have a successor with a smaller index: the backedge.
+	hasBackedge := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				hasBackedge = true
+			}
+		}
+	}
+	if !hasBackedge {
+		t.Fatal("for loop produced no backedge")
+	}
+}
+
+func TestCFGSelectMarksComms(t *testing.T) {
+	body, _, _ := parseFuncBody(t, `package x
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case ch <- 1:
+		return 0
+	default:
+		return -1
+	}
+}`, "f")
+	g := BuildCFG(body)
+	if len(g.SelectComm) != 2 {
+		t.Fatalf("SelectComm marked %d comm statements, want 2", len(g.SelectComm))
+	}
+}
+
+func TestCFGRangeMarksHead(t *testing.T) {
+	body, _, _ := parseFuncBody(t, `package x
+func f(ch chan int) (s int) {
+	for v := range ch {
+		s += v
+	}
+	return
+}`, "f")
+	g := BuildCFG(body)
+	if len(g.RangeX) != 1 {
+		t.Fatalf("RangeX marked %d expressions, want 1", len(g.RangeX))
+	}
+}
+
+// TestForwardMayLockFlow runs the exact transfer function shape lockhold
+// uses and checks the may-held facts: held inside the critical section and
+// on the deferred-unlock path, clear after an explicit unlock.
+func TestForwardMayLockFlow(t *testing.T) {
+	body, info, fset := parseFuncBody(t, `package x
+import "sync"
+type S struct{ mu sync.Mutex; ch chan int }
+func (s *S) f(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		s.ch <- 1
+		return
+	}
+	s.mu.Unlock()
+}`, "f")
+	g := BuildCFG(body)
+	classify := func(b *Block, in map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(in))
+		for k := range in {
+			out[k] = true
+		}
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock":
+					out[ExprKey(info, sel.X)] = true
+				case "Unlock":
+					delete(out, ExprKey(info, sel.X))
+				}
+				return true
+			})
+		}
+		return out
+	}
+	ins := g.ForwardMay(classify)
+	// Find the block containing the send and the one containing the final
+	// Unlock: the send's in-set must be empty (unlocked on that path), the
+	// final unlock's in-set must hold the lock.
+	for b, in := range ins {
+		for _, n := range b.Nodes {
+			if send, ok := n.(*ast.SendStmt); ok {
+				if len(classifyUpTo(b, in, classify, send.Pos())) != 0 {
+					t.Errorf("lock may be held at the send on line %d; Unlock dominates it", fset.Position(send.Pos()).Line)
+				}
+			}
+		}
+	}
+}
+
+// classifyUpTo replays a block's transfer up to (not including) pos —
+// mirroring how lockhold interleaves events within a block.
+func classifyUpTo(b *Block, in map[string]bool, transfer func(*Block, map[string]bool) map[string]bool, pos token.Pos) map[string]bool {
+	trimmed := &Block{Index: b.Index}
+	for _, n := range b.Nodes {
+		if n.Pos() < pos {
+			trimmed.Nodes = append(trimmed.Nodes, n)
+		}
+	}
+	return transfer(trimmed, in)
+}
+
+func TestExprKeyCanonicalAcrossReceivers(t *testing.T) {
+	src := `package x
+import "sync"
+type S struct{ mu sync.Mutex }
+func (s *S) a() { s.mu.Lock() }
+func (q *S) b() { q.mu.Lock() }
+func c() { var local sync.Mutex; local.Lock() }`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var keys []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+			keys = append(keys, ExprKey(info, sel.X))
+		}
+		return true
+	})
+	if len(keys) != 3 {
+		t.Fatalf("found %d Lock calls, want 3", len(keys))
+	}
+	if keys[0] != keys[1] {
+		t.Errorf("s.mu and q.mu key differently: %q vs %q — receiver names must not matter", keys[0], keys[1])
+	}
+	if !strings.Contains(keys[0], "x.S#mu") {
+		t.Errorf("field key %q does not canonicalize by named type", keys[0])
+	}
+	if keys[2] == keys[0] {
+		t.Errorf("a local mutex shares the field's key %q", keys[2])
+	}
+	if !strings.HasPrefix(keys[2], "local@") {
+		t.Errorf("local key %q not position-scoped", keys[2])
+	}
+}
+
+func TestEscapesFrom(t *testing.T) {
+	body, info, _ := parseFuncBody(t, `package x
+func f() (func(), *int) {
+	captured := 1
+	addressed := 2
+	clean := 3
+	_ = clean
+	return func() { captured++ }, &addressed
+}`, "f")
+	find := func(name string) types.Object {
+		var obj types.Object
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				if o := info.ObjectOf(id); o != nil && obj == nil {
+					obj = o
+				}
+			}
+			return true
+		})
+		return obj
+	}
+	if !escapesFrom(info, body, find("captured")) {
+		t.Error("closure-captured variable reported as non-escaping")
+	}
+	if !escapesFrom(info, body, find("addressed")) {
+		t.Error("address-taken variable reported as non-escaping")
+	}
+	if escapesFrom(info, body, find("clean")) {
+		t.Error("plain local reported as escaping")
+	}
+}

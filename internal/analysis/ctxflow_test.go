@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestCtxFlow proves the analyzer flags context.Background()/TODO() in
+// request-path-shaped packages (with the add-a-parameter vs thread-the-
+// parameter hints), honors the reasoned escape hatch, rejects a bare
+// directive, and stays silent in ordinary packages.
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerCtxFlow,
+		"ctxflow/internal/serve", "ctxflow/app")
+}

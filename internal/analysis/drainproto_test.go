@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestDrainProto proves spawn-allowlisted packages must still pair every go
+// statement with a drain protocol: Add-before-go with a Done in the spawned
+// function (literal, named method, or transitively), or a done-channel close
+// that a Close/Wait method receives. The gospawn/internal/serve fixture pins
+// the interaction with the spawn analyzer: a path gospawn exempts is exactly
+// where drainproto takes over.
+func TestDrainProto(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerDrainProto,
+		"drainproto/internal/serve", "gospawn/internal/serve")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestErrDrop proves errors from sentinel-carrying callees cannot be
+// discarded via `_ =` or a bare call statement, while handled/propagated/
+// deferred calls and foreign-module callees (std's own ErrClosed) pass, and
+// the escape hatch demands a reason.
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerErrDrop, "errdrop/a")
+}

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -10,9 +12,11 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -129,7 +133,15 @@ func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
 // A Loader loads and type-checks packages for analysis. One Loader shares a
 // FileSet and an export-data cache across every package it loads.
 type Loader struct {
-	Dir      string // module root (where go list runs); "" means "."
+	Dir string // module root (where go list runs); "" means "."
+	// CacheDir, when non-empty, persists the `go list -deps -export` output
+	// between runs, keyed on go.mod/go.sum content plus the toolchain
+	// version and the patterns. The list step dominates a warm analyze run
+	// (it walks the whole module graph), so CI points this at a cached
+	// directory. A cache entry is only trusted while every export-data file
+	// it references still exists; a pruned build cache is a miss, never a
+	// wrong answer.
+	CacheDir string
 	fset     *token.FileSet
 	resolver *exportResolver
 	imp      types.Importer
@@ -154,7 +166,7 @@ func (l *Loader) init() {
 // loadable package are recorded on the Package so analyzers can still run.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	l.init()
-	listed, err := goList(l.Dir, patterns...)
+	listed, err := l.listPackages(patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +194,125 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
 	return out, nil
+}
+
+// listPackages is goList behind the optional on-disk cache.
+func (l *Loader) listPackages(patterns ...string) ([]*listedPackage, error) {
+	if l.CacheDir == "" {
+		return goList(l.Dir, patterns...)
+	}
+	key, err := l.cacheKey(patterns)
+	if err != nil {
+		// An unkeyable module (unreadable go.mod) falls back to a live list.
+		return goList(l.Dir, patterns...)
+	}
+	path := filepath.Join(l.CacheDir, key+".json")
+	if cached, err := readListCache(path); err == nil {
+		return cached, nil
+	}
+	listed, err := goList(l.Dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeListCache(path, listed); err != nil {
+		return listed, nil // cache write failure is not a load failure
+	}
+	return listed, nil
+}
+
+// cacheKey hashes everything that can change the list result: module files
+// (go.mod, and go.sum when present — a zero-dependency module has none),
+// toolchain version, module dir, the patterns, and a stat fingerprint
+// (path, mtime, size) of every .go file in the module — an edited source
+// must change the key, or importers would type-check against its stale
+// export data. Stat-ing the tree is microseconds against the seconds a cold
+// `go list -export` compile costs.
+func (l *Loader) cacheKey(patterns []string) (string, error) {
+	h := sha256.New()
+	mod, err := os.ReadFile(filepath.Join(l.Dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	h.Write(mod)
+	if sum, err := os.ReadFile(filepath.Join(l.Dir, "go.sum")); err == nil {
+		h.Write(sum)
+	}
+	abs, err := filepath.Abs(l.Dir)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "|%s|%s|%s", runtime.Version(), abs, strings.Join(patterns, "\x00"))
+	err = filepath.WalkDir(l.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "|%s:%d:%d", path, info.ModTime().UnixNano(), info.Size())
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// readListCache loads a cached listing and validates it: every referenced
+// file (sources and export data) must still exist, otherwise the entry is a
+// miss. Source staleness is covered by the key (go.mod/go.sum) plus the
+// export-data paths: `go list -export` names content-addressed build-cache
+// entries, so an edited source file lists to a different Export path, and
+// the old entry's paths stay valid only while the build cache retains them.
+func readListCache(path string) ([]*listedPackage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPackage
+	if err := json.Unmarshal(data, &pkgs); err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			if _, err := os.Stat(p.Export); err != nil {
+				return nil, fmt.Errorf("stale cache: %s gone", p.Export)
+			}
+		}
+		if !p.Standard && !p.DepOnly {
+			for _, g := range p.GoFiles {
+				if _, err := os.Stat(filepath.Join(p.Dir, g)); err != nil {
+					return nil, fmt.Errorf("stale cache: %s gone", g)
+				}
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+func writeListCache(path string, pkgs []*listedPackage) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(pkgs)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadDir loads a single directory as the package with the given import

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipelayer/internal/analysis"
+	"pipelayer/internal/analysis/analysistest"
+)
+
+// TestLockHold proves the CFG dataflow catches every blocking-op shape under
+// a held lock (send, recv, select without default, WaitGroup/Cond waits,
+// backend Forward* calls, range over a channel), keeps deferred unlocks held
+// to function exit, exempts select-with-default, reports AB/BA lock-order
+// cycles once, scopes function literals as their own activations, and
+// enforces the reasoned escape hatch.
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, analysis.AnalyzerLockHold, "lockhold/a")
+}

@@ -2,7 +2,9 @@ package analysis
 
 // Suite returns the full pipelayer analyzer suite in reporting order. One
 // RunAnalyzers call over one package set is one consistent repo-wide view
-// (the metricname duplicate index spans packages within a call).
+// (the metricname duplicate index spans packages within a call). The first
+// six are the determinism/telemetry generation; the last five are the
+// concurrency-protocol generation built on the cfg.go dataflow core.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerNoDeterminism,
@@ -11,5 +13,10 @@ func Suite() []*Analyzer {
 		AnalyzerGoSpawn,
 		AnalyzerSentinelCmp,
 		AnalyzerMetricName,
+		AnalyzerCtxFlow,
+		AnalyzerLockHold,
+		AnalyzerDrainProto,
+		AnalyzerAtomicMix,
+		AnalyzerErrDrop,
 	}
 }

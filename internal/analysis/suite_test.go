@@ -34,11 +34,14 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	}
 }
 
-// TestSuiteHasSixAnalyzers pins the suite's composition: each analyzer
+// TestSuiteHasElevenAnalyzers pins the suite's composition: each analyzer
 // name doubles as its escape-hatch directive, so renames are breaking
 // changes that must be deliberate.
-func TestSuiteHasSixAnalyzers(t *testing.T) {
-	want := []string{"nondeterminism", "maporder", "floatreduce", "spawn", "sentinelcmp", "metricname"}
+func TestSuiteHasElevenAnalyzers(t *testing.T) {
+	want := []string{
+		"nondeterminism", "maporder", "floatreduce", "spawn", "sentinelcmp", "metricname",
+		"ctxflow", "lockhold", "drainproto", "atomicmix", "errdrop",
+	}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,61 @@
+// Package a is the atomicmix fixture: fields touched via sync/atomic must
+// never be accessed plainly, and atomic.Pointer slots stay behind their
+// owner's methods.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // atomic everywhere
+	plain int64 // never atomic: free to use directly
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	c.plain++
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// mixedRead is the bug: a plain load racing the atomic adds above.
+func (c *counter) mixedRead() int64 {
+	return c.hits // want "non-atomic access to c.hits"
+}
+
+// mixedWrite through a different receiver name still unifies on the field.
+func reset(k *counter) {
+	k.hits = 0 // want "non-atomic access to k.hits"
+	k.plain = 0
+}
+
+// annotated shows the escape hatch with and without a reason.
+func (c *counter) annotated() int64 {
+	//pipelayer:allow-atomicmix read under the registry mutex that all writers also hold
+	a := c.hits
+	b := c.hits //pipelayer:allow-atomicmix // want "non-atomic access" "needs a reason"
+	return a + b
+}
+
+type slots struct {
+	cur atomic.Pointer[counter]
+}
+
+// Load is the accessor: methods of the owning type may touch the slot.
+func (s *slots) Load() *counter {
+	return s.cur.Load()
+}
+
+// bypass reaches around the accessors from a free function.
+func bypass(s *slots) {
+	s.cur.Store(nil) // want "atomic.Pointer slot s.cur touched from a free function"
+}
+
+// newSlots initializes a slot on a local the function itself declared:
+// pre-publication, no concurrent observers, allowed.
+func newSlots(c *counter) *slots {
+	s := &slots{}
+	s.cur.Store(c)
+	return s
+}

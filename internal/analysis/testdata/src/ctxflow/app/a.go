@@ -1,0 +1,9 @@
+// Package app is the ctxflow negative control: an ordinary package outside
+// the request path may mint root contexts freely.
+package app
+
+import "context"
+
+func rootHere() context.Context {
+	return context.Background()
+}

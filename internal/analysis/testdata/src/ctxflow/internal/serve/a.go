@@ -1,0 +1,40 @@
+// Package serve is a ctxflow fixture shaped like a request-path package:
+// the import path ends in internal/serve, so fresh root contexts are
+// forbidden outside annotated sites.
+package serve
+
+import (
+	ctxpkg "context"
+	"time"
+)
+
+// noCtxParam has no context parameter: the diagnostic suggests adding one.
+func noCtxParam() error {
+	ctx := ctxpkg.Background() // want "context.Background\\(\\) in request-path package serve"
+	_ = ctx
+	return nil
+}
+
+// hasCtxParam already receives a context; minting a new root anyway is the
+// classic detach bug, and the hint says to thread the parameter.
+func hasCtxParam(ctx ctxpkg.Context) {
+	c, cancel := ctxpkg.WithTimeout(ctxpkg.TODO(), time.Second) // want "context.TODO\\(\\) in request-path package serve"
+	defer cancel()
+	_ = c
+	_ = ctx
+}
+
+// threaded is the clean shape: derive from the incoming context.
+func threaded(ctx ctxpkg.Context) {
+	c, cancel := ctxpkg.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = c
+}
+
+// annotated shows the escape hatch with and without a reason.
+func annotated() {
+	//pipelayer:allow-ctxflow lifecycle root for the background drain loop, joined by Close
+	a := ctxpkg.Background()
+	b := ctxpkg.Background() //pipelayer:allow-ctxflow // want "context.Background\\(\\)" "needs a reason"
+	_, _ = a, b
+}

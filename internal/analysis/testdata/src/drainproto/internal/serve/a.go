@@ -1,0 +1,84 @@
+// Package serve is the drainproto fixture: an import path gospawn exempts,
+// where every go statement must still carry a drain protocol — an
+// Add-before-go WaitGroup pair or a done-channel a Close/Wait method
+// receives from.
+package serve
+
+import "sync"
+
+type C struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+// trackedLit: Add before the spawn, Done in the literal.
+func (c *C) trackedLit() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+	}()
+}
+
+// trackedMethod: Add before the spawn, Done inside the named method the
+// goroutine runs.
+func (c *C) trackedMethod() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+func (c *C) run() {
+	defer c.wg.Done()
+	for range c.work {
+	}
+}
+
+// trackedDoneChan: the goroutine closes the channel Close receives from.
+func (c *C) trackedDoneChan() {
+	go func() {
+		close(c.done)
+	}()
+}
+
+// trackedTransitive: the literal only calls loop; loop closes the done
+// channel. The search follows same-package calls.
+func (c *C) trackedTransitive() {
+	go func() {
+		c.loop()
+	}()
+}
+
+func (c *C) loop() {
+	defer close(c.done)
+	for range c.work {
+	}
+}
+
+func (c *C) Close() {
+	close(c.work)
+	<-c.done
+	c.wg.Wait()
+}
+
+// untrackedLit has no Add and signals nothing Close observes.
+func (c *C) untrackedLit() {
+	go func() { // want "untracked goroutine"
+		c.work <- 1
+	}()
+}
+
+// addAfterGo is the lost-Add race: the WaitGroup must be incremented before
+// the spawn, not inside the goroutine.
+func (c *C) addAfterGo() {
+	go func() { // want "untracked goroutine"
+		c.wg.Add(1)
+		defer c.wg.Done()
+	}()
+}
+
+// annotated shows the escape hatch with and without a reason.
+func (c *C) annotated(f func()) {
+	//pipelayer:allow-drainproto process-lifetime watchdog, reaped at exit by design
+	go f()
+	go f() //pipelayer:allow-drainproto // want "untracked goroutine" "needs a reason"
+}

@@ -1,0 +1,67 @@
+// Package a is the errdrop fixture: it declares the backpressure sentinels
+// itself, so every error-returning function in it is a carrier, and dropping
+// a carrier's error via `_ =` or a bare call statement is flagged. Calls
+// into foreign modules (here: the standard library, which has its own
+// os.ErrClosed) are not carriers.
+package a
+
+import (
+	"errors"
+	"os"
+)
+
+var (
+	ErrOverloaded = errors.New("overloaded")
+	ErrClosed     = errors.New("closed")
+)
+
+type Srv struct{}
+
+func (s *Srv) Close() error               { return ErrClosed }
+func (s *Srv) Predict(x int) (int, error) { return x, nil }
+
+// bareCall discards the only result of a carrier call.
+func bareCall(s *Srv) {
+	s.Close() // want "result of Close discarded"
+}
+
+// blankAssign and blankSecond lose the sentinel through `_`.
+func blankAssign(s *Srv) {
+	_ = s.Close() // want "error from Close assigned to _"
+}
+
+func blankSecond(s *Srv) int {
+	v, _ := s.Predict(1) // want "error from Predict assigned to _"
+	return v
+}
+
+// handled and propagated are the clean shapes.
+func handled(s *Srv) {
+	if err := s.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		panic(err)
+	}
+}
+
+func propagated(s *Srv) (int, error) {
+	return s.Predict(2)
+}
+
+// deferred cleanup cannot propagate; defers are exempt by design.
+func deferred(s *Srv) error {
+	defer s.Close()
+	_, err := s.Predict(3)
+	return err
+}
+
+// foreignModule: os declares ErrClosed too, but it is not this module's
+// backpressure signal — no finding.
+func foreignModule() {
+	os.Remove("nonexistent")
+}
+
+// annotated shows the escape hatch with and without a reason.
+func annotated(s *Srv) {
+	//pipelayer:allow-errdrop second close on the error path; the first close's error was already returned
+	s.Close()
+	s.Close() //pipelayer:allow-errdrop // want "result of Close discarded" "needs a reason"
+}

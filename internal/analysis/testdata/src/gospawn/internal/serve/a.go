@@ -1,0 +1,29 @@
+// Package serve extends the gospawn fixture tree with the drainproto
+// interaction: this import path is exactly the shape gospawn exempts from
+// the raw-go ban, which is why drainproto must pick up there — an exempt
+// package may spawn, but only under a drain protocol. Loaded by the
+// drainproto test only (its want comments describe drainproto findings, so
+// running gospawn over it would see zero diagnostics).
+package serve
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// spawnTracked is what the exemption is for: gospawn stays silent and
+// drainproto is satisfied by the Add/Done pair.
+func (p *pool) spawnTracked(f func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		f()
+	}()
+}
+
+// spawnLeaked is the regression drainproto exists to catch: gospawn's
+// path exemption would wave it through.
+func (p *pool) spawnLeaked(f func()) {
+	go f() // want "untracked goroutine"
+}

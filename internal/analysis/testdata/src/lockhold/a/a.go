@@ -1,0 +1,130 @@
+// Package a is the lockhold fixture: blocking operations under a held
+// sync.Mutex/RWMutex, deferred-unlock flows, the select-with-default
+// exemption, backend Forward* calls, and the package-wide two-lock
+// acquisition order.
+package a
+
+import "sync"
+
+type S struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	wg  sync.WaitGroup
+	c   *sync.Cond
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+}
+
+type backend struct{}
+
+func (b *backend) Forward(x int) int { return x }
+
+// sendUnderLock blocks on a channel send with the mutex held.
+func (s *S) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// recvUnderDeferredUnlock: the deferred unlock runs at return, so the lock
+// is still held at the receive.
+func (s *S) recvUnderDeferredUnlock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want "channel receive while holding s.rw"
+}
+
+// releaseFirst is the clean shape: unlock before blocking.
+func (s *S) releaseFirst() {
+	s.mu.Lock()
+	v := len(s.ch)
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// selectNoDefault blocks; selectWithDefault cannot.
+func (s *S) selectNoDefault() {
+	s.mu.Lock()
+	select { // want "select without a default case while holding s.mu"
+	case s.ch <- 1:
+	case <-s.ch:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) selectWithDefault() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitsUnderLock: WaitGroup.Wait and Cond.Wait both park the goroutine.
+func (s *S) waitsUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want "sync.WaitGroup.Wait while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) condWait() {
+	s.mu.Lock()
+	s.c.Wait() // want "sync.Cond.Wait while holding s.mu"
+	s.mu.Unlock()
+}
+
+// forwardUnderLock: a backend call blocks for a whole pipeline pass.
+func (s *S) forwardUnderLock(b *backend) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.Forward(1) // want "backend Forward call while holding s.mu"
+}
+
+// rangeUnderLock: draining a channel under the lock blocks on every recv.
+func (s *S) rangeUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want "range over a channel while holding s.mu"
+	}
+}
+
+// orderAB and orderBA acquire mu1/mu2 in both orders: classic AB-BA
+// deadlock, reported once at the lexicographically first edge.
+func (s *S) orderAB() {
+	s.mu1.Lock()
+	s.mu2.Lock() // want "inconsistent lock order"
+	s.mu2.Unlock()
+	s.mu1.Unlock()
+}
+
+func (s *S) orderBA() {
+	s.mu2.Lock()
+	s.mu1.Lock()
+	s.mu1.Unlock()
+	s.mu2.Unlock()
+}
+
+// annotated shows the escape hatch with and without a reason.
+func (s *S) annotated() {
+	s.mu.Lock()
+	//pipelayer:allow-lockhold the channel is buffered to queue capacity and drained by this goroutine only
+	s.ch <- 1
+	s.ch <- 2 //pipelayer:allow-lockhold // want "channel send" "needs a reason"
+	s.mu.Unlock()
+}
+
+// litBody: a function literal is its own activation — the lock the outer
+// function holds is not charged to it, but its own lock is.
+func (s *S) litBody() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.mu1.Lock()
+		s.ch <- 3 // want "channel send while holding s.mu1"
+		s.mu1.Unlock()
+	}
+}

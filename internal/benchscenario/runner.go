@@ -52,8 +52,10 @@ type Options struct {
 }
 
 // Run executes one scenario end to end — train, measure, scrape — and
-// returns its uniform report.
-func Run(sc Scenario, opt Options) (Report, error) {
+// returns its uniform report. ctx bounds the whole run: every request the
+// load generator issues threads it, so canceling ctx drains the scenario
+// instead of orphaning in-flight work.
+func Run(ctx context.Context, sc Scenario, opt Options) (Report, error) {
 	if err := sc.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -72,11 +74,11 @@ func Run(sc Scenario, opt Options) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		return RunServeOn(acc, test, sc, opt)
+		return RunServeOn(ctx, acc, test, sc, opt)
 	case KindFault:
 		return runFault(sc, *opt.Env), nil
 	case KindOnline:
-		return runOnline(sc, opt)
+		return runOnline(ctx, sc, opt)
 	}
 	return Report{}, fmt.Errorf("benchscenario: unknown kind %q", sc.Kind) // unreachable after Validate
 }
@@ -130,7 +132,7 @@ func trainAccelerator(sc Scenario) (*core.Accelerator, []nn.Sample, error) {
 // flags and the checked-in scenarios exercise the same runner and emit the
 // same schema. Only the serve/load halves of sc are consulted (and
 // re-validated): training already happened.
-func RunServeOn(acc *core.Accelerator, samples []nn.Sample, sc Scenario, opt Options) (Report, error) {
+func RunServeOn(ctx context.Context, acc *core.Accelerator, samples []nn.Sample, sc Scenario, opt Options) (Report, error) {
 	if sc.Serve == nil || sc.Load == nil {
 		return Report{}, fmt.Errorf("benchscenario: scenario %s: serve and load sections required", sc.Name)
 	}
@@ -170,7 +172,7 @@ func RunServeOn(acc *core.Accelerator, samples []nn.Sample, sc Scenario, opt Opt
 	if sc.Serve.CompareSerial {
 		bestSerial := 0.0
 		for r := 0; r < repeats; r++ {
-			serialRPS, err := runSerialPass(acc, ref, input, n)
+			serialRPS, err := runSerialPass(ctx, acc, ref, input, n)
 			if err != nil {
 				return Report{}, fmt.Errorf("benchscenario: scenario %s: %w", sc.Name, err)
 			}
@@ -191,7 +193,7 @@ func RunServeOn(acc *core.Accelerator, samples []nn.Sample, sc Scenario, opt Opt
 	var best Report
 	digest := ""
 	for r := 0; r < repeats; r++ {
-		rep, runDigest, err := runBatchedPass(acc, ref, input, sc, opt, effective, metrics)
+		rep, runDigest, err := runBatchedPass(ctx, acc, ref, input, sc, opt, effective, metrics)
 		if err != nil {
 			return Report{}, err
 		}
@@ -276,7 +278,7 @@ func (s *spreadTracker) noise() map[string]float64 {
 // then assemble the uniform report. The digest is returned separately so the
 // repeat loop can cross-check it; base carries pre-measured metrics
 // (serial_rps) into the report.
-func runBatchedPass(acc *core.Accelerator, ref []refOutput, input func(int) *tensor.Tensor, sc Scenario, opt Options, effective serve.Config, base map[string]float64) (Report, string, error) {
+func runBatchedPass(ctx context.Context, acc *core.Accelerator, ref []refOutput, input func(int) *tensor.Tensor, sc Scenario, opt Options, effective serve.Config, base map[string]float64) (Report, string, error) {
 	n := sc.Load.Requests
 	reg := opt.Metrics
 	if reg == nil {
@@ -294,7 +296,7 @@ func runBatchedPass(acc *core.Accelerator, ref []refOutput, input func(int) *ten
 	// threaded in by the caller), so per-shard busy time is the delta over
 	// this pass, not the absolute total.
 	pre := reg.Snapshot()
-	results, errs, elapsed := fire(srv, input, n, sc.Load.lanes())
+	results, errs, elapsed := fire(ctx, srv, input, n, sc.Load.lanes())
 	if err := srv.Close(); err != nil {
 		return Report{}, "", fmt.Errorf("benchscenario: scenario %s: close: %w", sc.Name, err)
 	}
@@ -389,13 +391,12 @@ func referenceOutputs(acc *core.Accelerator, samples []nn.Sample) ([]refOutput, 
 // runSerialPass pushes all n requests one at a time through a batch-of-1
 // server, verifying bit-identity against the reference, and returns the
 // serial throughput — the denominator of the batched-vs-serial speedup.
-func runSerialPass(acc *core.Accelerator, ref []refOutput, input func(int) *tensor.Tensor, n int) (float64, error) {
+func runSerialPass(ctx context.Context, acc *core.Accelerator, ref []refOutput, input func(int) *tensor.Tensor, n int) (float64, error) {
 	srv, err := serve.New(acc, serve.Config{Replicas: 1, MaxBatch: 1, QueueCap: 32})
 	if err != nil {
 		return 0, err
 	}
 	defer srv.Close()
-	ctx := context.Background()
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		r, err := srv.Predict(ctx, input(i))
@@ -415,13 +416,12 @@ func runSerialPass(acc *core.Accelerator, ref []refOutput, input func(int) *tens
 // outstanding at any instant (for burst, lanes == n — everything at once).
 // Results and errors land at the request's index; timing covers first send
 // to last response.
-func fire(srv *serve.Server, input func(int) *tensor.Tensor, n, lanes int) ([]serve.Result, []error, time.Duration) {
+func fire(ctx context.Context, srv *serve.Server, input func(int) *tensor.Tensor, n, lanes int) ([]serve.Result, []error, time.Duration) {
 	if lanes > n {
 		lanes = n
 	}
 	results := make([]serve.Result, n)
 	errs := make([]error, n)
-	ctx := context.Background()
 	var wg sync.WaitGroup
 	// All lanes arm before any fires: without the barrier, the server can
 	// drain the early lanes' requests while later lanes are still being

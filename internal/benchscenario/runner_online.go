@@ -26,7 +26,7 @@ import (
 // the scenario fails on any torn, versionless, or shed response. No output
 // digest is emitted: which requests land on which version is scheduler
 // timing, not code determinism.
-func runOnline(sc Scenario, opt Options) (Report, error) {
+func runOnline(ctx context.Context, sc Scenario, opt Options) (Report, error) {
 	spec, err := resolveNetwork(sc.Network)
 	if err != nil {
 		return Report{}, fmt.Errorf("benchscenario: %w", err)
@@ -84,7 +84,6 @@ func runOnline(sc Scenario, opt Options) (Report, error) {
 	laneErr := make([]error, lanes)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	ctx := context.Background()
 	start := time.Now()
 	for lane := 0; lane < lanes; lane++ {
 		wg.Add(1)

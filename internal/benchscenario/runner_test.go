@@ -24,11 +24,11 @@ func testEnv() *Env {
 
 func TestRunServeScenarioDeterministic(t *testing.T) {
 	sc := microServe()
-	rep1, err := Run(sc, Options{Env: testEnv()})
+	rep1, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep2, err := Run(sc, Options{Env: testEnv()})
+	rep2, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,12 +80,12 @@ func TestRunServeDigestStableAcrossWorkers(t *testing.T) {
 	sc.Serve.CompareSerial = false // halve the runtime; digest is the point here
 
 	sc.Workers = 1
-	rep1, err := Run(sc, Options{Env: testEnv()})
+	rep1, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sc.Workers = 2
-	rep2, err := Run(sc, Options{Env: testEnv()})
+	rep2, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestRunOverloadScenario(t *testing.T) {
 	sc.Serve = &ServeSpec{Replicas: 1, MaxBatch: 2, Queue: 2}
 	sc.Load = &LoadSpec{Pattern: PatternOverload, Requests: 512, Concurrency: 64}
 
-	rep, err := Run(sc, Options{Env: testEnv()})
+	rep, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestRunFaultScenario(t *testing.T) {
 		Train:  TrainSpec{Images: 16, TestImages: 8, Epochs: 1, Batch: 8, LR: 0.08},
 		Faults: &FaultSpec{Densities: []float64{0, 0.001}, Spares: 4},
 	}
-	rep, err := Run(sc, Options{Env: testEnv()})
+	rep, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestRunOnlineScenario(t *testing.T) {
 		Serve:  &ServeSpec{Replicas: 2, MaxBatch: 4, Queue: 64},
 		Online: &OnlineSpec{Promotions: 2, Concurrency: 4},
 	}
-	rep, err := Run(sc, Options{Env: testEnv()})
+	rep, err := Run(t.Context(), sc, Options{Env: testEnv()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestRunOnlineScenario(t *testing.T) {
 func TestRunRejectsInvalidScenario(t *testing.T) {
 	sc := microServe()
 	sc.Kind = "turbo"
-	if _, err := Run(sc, Options{Env: testEnv()}); err == nil {
+	if _, err := Run(t.Context(), sc, Options{Env: testEnv()}); err == nil {
 		t.Fatal("Run() accepted an invalid scenario")
 	}
 }

@@ -533,6 +533,7 @@ func (s *Supervisor) Start() error {
 		return errors.New("online: already running")
 	}
 	go func() {
+		//pipelayer:allow-ctxflow the background training loop outlives any one request by design; its lifetime is owned by Close (which closes s.stop and joins s.done), not by a caller's context
 		if err := s.loop(context.Background()); err != nil && !errors.Is(err, context.Canceled) {
 			s.runErr.Store(err)
 		}

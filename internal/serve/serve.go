@@ -456,6 +456,7 @@ func (s *Server) Swap(replicas []*core.Replica, version uint64) error {
 		s.gauge(s.weightVer, float64(version))
 		s.count(s.swaps)
 		if c, ok := old.be.(*shard.Chain); ok {
+			//pipelayer:allow-errdrop retiring the replaced chain after the swap committed; Close on a quiesced chain only errors on double-close, and failing the successful Swap for it would un-publish weights already serving
 			c.Close()
 		}
 		return nil
@@ -720,6 +721,7 @@ func (s *Server) Close() error {
 	// earlier swaps were already retired by Swap.
 	if st := s.slots[0].Load(); st != nil {
 		if c, ok := st.be.(*shard.Chain); ok {
+			//pipelayer:allow-errdrop the workers are already joined, so the chain is idle and its Close can only report double-close; Server.Close's contract is that the first close returns nil once the drain finished
 			c.Close()
 		}
 	}

@@ -221,6 +221,7 @@ func (c *Chain) run(k int) {
 // blocks while the first shard's bounded inbox is full, which is exactly how
 // a stalled shard backpressures all the way to the serving queue.
 func (c *Chain) Forward(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	//pipelayer:allow-ctxflow Forward is the contextless serve.Backend compatibility entry point; callers with a deadline use ForwardContext, and Close's drain covers the uncancelable case
 	return c.ForwardContext(context.Background(), xs)
 }
 
